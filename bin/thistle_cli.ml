@@ -1,0 +1,307 @@
+(* Command-line interface to the Thistle optimizer and its substrates. *)
+
+open Cmdliner
+
+module O = Thistle.Optimize
+module F = Thistle.Formulate
+module I = Thistle.Integerize
+module Pl = Thistle.Pipeline
+module S = Mapper.Search
+module Arch = Archspec.Arch
+module Conv = Workload.Conv
+module Nest = Workload.Nest
+module Evaluate = Accmodel.Evaluate
+
+let base_tech = Archspec.Technology.table3
+
+(* Subcommands without a --node flag use the Table III values as-is. *)
+let tech = base_tech
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let setup_logs =
+  let setup verbose =
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level (if verbose then Some Logs.Info else Some Logs.Warning)
+  in
+  Term.(const setup $ Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Verbose logging."))
+
+let layer_arg =
+  let doc = "Layer name from Table II (e.g. resnet-2, yolo-7); see `thistle layers'." in
+  Arg.(required & opt (some string) None & info [ "layer" ] ~docv:"NAME" ~doc)
+
+let nest_of_layer name =
+  match Workload.Zoo.find name with
+  | layer -> Ok (Conv.to_nest layer)
+  | exception Not_found -> Error (Printf.sprintf "unknown layer %S; try `thistle layers'" name)
+
+let objective_arg =
+  let objective_conv =
+    Arg.enum [ ("energy", F.Energy); ("delay", F.Delay); ("edp", F.Edp) ]
+  in
+  Arg.(
+    value
+    & opt objective_conv F.Energy
+    & info [ "objective" ] ~docv:"OBJ"
+        ~doc:"Optimization criterion: $(b,energy), $(b,delay) or $(b,edp).")
+
+let arch_args =
+  let pes =
+    Arg.(value & opt int 168 & info [ "pes" ] ~docv:"P" ~doc:"Number of PEs.")
+  in
+  let regs =
+    Arg.(value & opt int 512 & info [ "regs" ] ~docv:"R" ~doc:"Registers per PE (words).")
+  in
+  let sram =
+    Arg.(value & opt int 65536 & info [ "sram" ] ~docv:"S" ~doc:"SRAM capacity (16-bit words).")
+  in
+  let build pes regs sram = Arch.make ~name:"cli" ~pes ~registers:regs ~sram_words:sram in
+  Term.(const build $ pes $ regs $ sram)
+
+let node_arg =
+  Arg.(
+    value
+    & opt float Archspec.Technology.reference_node_nm
+    & info [ "node" ] ~docv:"NM"
+        ~doc:"Process node in nm; Table III's 45 nm values are scaled \
+              first-order (on-chip area and energy by the squared ratio).")
+
+let tech_of_node node = Archspec.Technology.scale_to_node base_tech ~node_nm:node
+
+let top_choices_arg =
+  Arg.(
+    value
+    & opt int O.default_config.O.top_choices
+    & info [ "top-choices" ] ~docv:"K"
+        ~doc:"Number of best continuous solutions to integerize and model-evaluate.")
+
+let emit_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "emit" ] ~docv:"DIR"
+        ~doc:"Write Timeloop-style problem/mapping/arch YAML files to $(docv).")
+
+let emit_code_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "emit-code" ] ~docv:"FILE"
+        ~doc:"Write the tiled pseudocode of the chosen mapping to $(docv).")
+
+let print_outcome ?(tech = base_tech) nest (report : O.report) emit emit_code =
+  let o = report.O.outcome in
+  Format.printf "explored %d pruned permutation choices, %d programs solved@."
+    report.O.choices_enumerated report.O.choices_solved;
+  Format.printf "architecture: %a (area %.0f um^2)@." Arch.pp o.I.arch
+    (Arch.area tech o.I.arch);
+  Format.printf "mapping:@.%a@." Mapspace.Mapping.pp o.I.mapping;
+  Format.printf "metrics:@.%a@." Evaluate.pp o.I.metrics;
+  (match emit with
+  | None -> ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    Specs.Timeloop.write_bundle ~dir tech o.I.arch nest o.I.mapping;
+    Format.printf "wrote %s/{problem,mapping,arch}.yaml@." dir);
+  match emit_code with
+  | None -> ()
+  | Some file -> begin
+    match Codegen.Emit.pseudocode nest o.I.mapping with
+    | Ok code ->
+      let oc = open_out file in
+      output_string oc code;
+      close_out oc;
+      Format.printf "wrote %s@." file
+    | Error msg -> Format.printf "pseudocode emission failed: %s@." msg
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Subcommands                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let layers_cmd =
+  let run () =
+    Printf.printf "%-10s %6s %6s %6s %4s %7s %12s\n" "layer" "K" "C" "H=W" "RS" "stride"
+      "MACs";
+    List.iter
+      (fun l ->
+        Printf.printf "%-10s %6d %6d %6d %4d %7d %12.4g\n" l.Conv.layer_name
+          l.Conv.out_channels l.Conv.in_channels l.Conv.in_height l.Conv.kernel
+          l.Conv.stride (Conv.macs l))
+      Workload.Zoo.all_layers;
+    0
+  in
+  Cmd.v
+    (Cmd.info "layers" ~doc:"List the Table II workloads (ResNet-18 and Yolo-9000).")
+    Term.(const (fun () () -> run ()) $ setup_logs $ const ())
+
+let optimize_cmd =
+  let run () layer objective arch top_choices emit emit_code node =
+    match nest_of_layer layer with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok nest -> begin
+      let tech = tech_of_node node in
+      let config = { O.default_config with O.top_choices } in
+      match O.dataflow ~config tech arch objective nest with
+      | Error msg ->
+        prerr_endline msg;
+        1
+      | Ok report ->
+        print_outcome ~tech nest report emit emit_code;
+        0
+    end
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:
+         "Optimize the dataflow of one layer for a fixed architecture (Fig. 4 / Fig. 7 \
+          setting).")
+    Term.(
+      const run $ setup_logs $ layer_arg $ objective_arg $ arch_args $ top_choices_arg
+      $ emit_arg $ emit_code_arg $ node_arg)
+
+let codesign_cmd =
+  let area_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "area" ] ~docv:"UM2"
+          ~doc:"Chip-area budget in um^2 (defaults to the Eyeriss area).")
+  in
+  let run () layer objective area top_choices emit emit_code node =
+    match nest_of_layer layer with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok nest -> begin
+      let tech = tech_of_node node in
+      let area_budget =
+        match area with Some a -> a | None -> Arch.eyeriss_area tech
+      in
+      let config = { O.default_config with O.top_choices } in
+      match O.codesign ~config tech ~area_budget objective nest with
+      | Error msg ->
+        prerr_endline msg;
+        1
+      | Ok report ->
+        Format.printf "area budget: %.0f um^2@." area_budget;
+        print_outcome ~tech nest report emit emit_code;
+        0
+    end
+  in
+  Cmd.v
+    (Cmd.info "codesign"
+       ~doc:
+         "Jointly optimize architecture (PEs, registers, SRAM) and dataflow for one \
+          layer under an area budget (Fig. 5 setting).")
+    Term.(
+      const run $ setup_logs $ layer_arg $ objective_arg $ area_arg $ top_choices_arg
+      $ emit_arg $ emit_code_arg $ node_arg)
+
+let mapper_cmd =
+  let trials_arg =
+    Arg.(value & opt int 30000 & info [ "trials" ] ~docv:"N" ~doc:"Trial budget.")
+  in
+  let victory_arg =
+    Arg.(
+      value & opt int 15000
+      & info [ "victory" ] ~docv:"N" ~doc:"Stop after $(docv) non-improving trials.")
+  in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  let domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Search domains (threads); the trial budget is split across them.")
+  in
+  let run () layer objective arch trials victory seed domains =
+    match nest_of_layer layer with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok nest ->
+      let criterion =
+        match objective with
+        | F.Energy -> S.Min_energy
+        | F.Delay -> S.Min_delay
+        | F.Edp -> S.Min_edp
+      in
+      let config = { S.max_trials = trials; victory_condition = victory; seed } in
+      let result = S.search_parallel ~config ~domains tech arch criterion nest in
+      Printf.printf "trials: %d (%d valid, %d improvements)\n" result.S.trials
+        result.S.valid_trials result.S.improvements;
+      (match result.S.best with
+      | None -> print_endline "no valid mapping found"
+      | Some (mapping, metrics) ->
+        Format.printf "best mapping:@.%a@." Mapspace.Mapping.pp mapping;
+        Format.printf "metrics:@.%a@." Evaluate.pp metrics);
+      0
+  in
+  Cmd.v
+    (Cmd.info "mapper"
+       ~doc:
+         "Search-based mapping exploration (the Timeloop-Mapper-style baseline) on a \
+          fixed architecture.")
+    Term.(
+      const run $ setup_logs $ layer_arg $ objective_arg $ arch_args $ trials_arg
+      $ victory_arg $ seed_arg $ domains_arg)
+
+let pipeline_cmd =
+  let pipeline_arg =
+    let doc = "DNN pipeline: $(b,resnet18), $(b,yolo9000), $(b,alexnet) or $(b,vgg16)." in
+    Arg.(
+      required
+      & opt (some (Arg.enum Workload.Zoo.pipelines)) None
+      & info [ "pipeline" ] ~docv:"NAME" ~doc)
+  in
+  let run () layers objective =
+    let nests = List.map Conv.to_nest layers in
+    let area_budget = Arch.eyeriss_area tech in
+    let entries = Pl.run_layers tech (F.Codesign { area_budget }) objective nests in
+    (match Pl.dominant_arch objective entries with
+    | Error msg ->
+      Printf.printf "dominant architecture failed: %s\n" msg
+    | Ok arch ->
+      Format.printf "dominant-layer architecture: %a@.@." Arch.pp arch;
+      Printf.printf "%-10s %16s %16s\n" "layer" "layer-wise" "shared-arch";
+      List.iter
+        (fun (e : Pl.entry) ->
+          let name = Nest.name e.Pl.nest in
+          let value (m : Evaluate.t option) =
+            match (m, objective) with
+            | Some m, F.Energy -> Printf.sprintf "%.2f pJ/MAC" m.Evaluate.energy_per_mac
+            | Some m, F.Delay -> Printf.sprintf "%.1f IPC" m.Evaluate.ipc
+            | Some m, F.Edp ->
+              Printf.sprintf "%.3g pJ*cyc" (m.Evaluate.energy_pj *. m.Evaluate.cycles)
+            | None, _ -> "-"
+          in
+          let shared =
+            match O.dataflow tech arch objective e.Pl.nest with
+            | Ok r -> Some r.O.outcome.I.metrics
+            | Error _ -> None
+          in
+          Printf.printf "%-10s %16s %16s\n%!" name (value (Pl.metrics e)) (value shared))
+        entries);
+    0
+  in
+  Cmd.v
+    (Cmd.info "pipeline"
+       ~doc:
+         "Layer-wise co-design of a whole DNN pipeline, then re-optimization for the \
+          dominant layer's shared architecture (Fig. 6 / Fig. 8 flow).")
+    Term.(const run $ setup_logs $ pipeline_arg $ objective_arg)
+
+let main =
+  let info =
+    Cmd.info "thistle" ~version:"1.0.0"
+      ~doc:
+        "Comprehensive accelerator-dataflow co-design for CNNs via geometric \
+         programming (CGO 2022 reproduction)."
+  in
+  Cmd.group info [ layers_cmd; optimize_cmd; codesign_cmd; mapper_cmd; pipeline_cmd ]
+
+let () = exit (Cmd.eval' main)

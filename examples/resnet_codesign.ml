@@ -1,0 +1,49 @@
+(* Architecture-dataflow co-design for ResNet-18 (the paper's Fig. 5/6
+   flow, energy objective): each conv layer gets its own architecture
+   under the Eyeriss area budget, then the energy-dominant layer's
+   architecture is fixed and every layer is re-optimized for it.
+
+   Run with:  dune exec examples/resnet_codesign.exe *)
+
+module O = Thistle.Optimize
+module F = Thistle.Formulate
+module I = Thistle.Integerize
+module Pl = Thistle.Pipeline
+module Arch = Archspec.Arch
+module Evaluate = Accmodel.Evaluate
+
+let () =
+  let tech = Archspec.Technology.table3 in
+  let area_budget = Arch.eyeriss_area tech in
+  Printf.printf "area budget (Eyeriss): %.0f um^2\n\n" area_budget;
+  let nests = List.map Workload.Conv.to_nest Workload.Zoo.resnet18 in
+  let entries =
+    Pl.run_layers tech (F.Codesign { area_budget }) F.Energy nests
+  in
+  Printf.printf "%-10s %10s %6s %8s %10s\n" "layer" "pJ/MAC" "PEs" "regs/PE" "SRAM words";
+  List.iter
+    (fun (e : Pl.entry) ->
+      let name = Workload.Nest.name e.Pl.nest in
+      match e.Pl.result with
+      | Error msg -> Printf.printf "%-10s failed: %s\n" name msg
+      | Ok r ->
+        let o = r.O.outcome in
+        Printf.printf "%-10s %10.2f %6d %8d %10d\n%!" name
+          o.I.metrics.Evaluate.energy_per_mac o.I.arch.Arch.pe_count
+          o.I.arch.Arch.registers_per_pe o.I.arch.Arch.sram_words)
+    entries;
+  match Pl.dominant_arch F.Energy entries with
+  | Error msg -> Printf.printf "\nno dominant architecture: %s\n" msg
+  | Ok arch ->
+    Printf.printf "\nsingle shared architecture (energy-dominant layer): %s\n"
+      (Format.asprintf "%a" Arch.pp arch);
+    Printf.printf "%-10s %16s\n" "layer" "pJ/MAC (shared)";
+    List.iter
+      (fun (e : Pl.entry) ->
+        let name = Workload.Nest.name e.Pl.nest in
+        match O.dataflow tech arch F.Energy e.Pl.nest with
+        | Error msg -> Printf.printf "%-10s failed: %s\n" name msg
+        | Ok r ->
+          Printf.printf "%-10s %16.2f\n%!" name
+            r.O.outcome.I.metrics.Evaluate.energy_per_mac)
+      entries

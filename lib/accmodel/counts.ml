@@ -1,0 +1,150 @@
+module Nest = Workload.Nest
+module Mapping = Mapspace.Mapping
+module Level = Mapspace.Level
+
+type tensor_counts = {
+  tensor : string;
+  read_write : bool;
+  fills : (int * float) list;
+  footprints : (int * float) list;
+}
+
+type t = { macs : float; pes_used : int; per_tensor : tensor_counts list }
+
+(* Exact footprint of one tile: product over projections of
+   [sum stride * ext(iter) - sum stride + 1]. *)
+let exact_footprint tensor (ext : string -> int) =
+  List.fold_left
+    (fun acc proj ->
+      let weighted =
+        List.fold_left
+          (fun a { Nest.stride; iter } -> a + (stride * ext iter))
+          0 proj
+      in
+      let strides = List.fold_left (fun a { Nest.stride; _ } -> a + stride) 0 proj in
+      acc *. float_of_int (weighted - strides + 1))
+    1.0 tensor.Nest.projections
+
+let product_factors factors = List.fold_left (fun a (_, f) -> a *. float_of_int f) 1.0 factors
+
+(* Words copied into the storage below temporal level [level] for one
+   tensor, across the whole execution (Algorithm 1 with concrete trip
+   counts). *)
+let fill_volume mapping tensor ~level =
+  let lvl = Mapping.level mapping level in
+  let ext_below dim = Mapping.extent_through mapping ~level:(level - 1) dim in
+  (* Inner-to-outer walk over this level's permutation. *)
+  let hoist_dim = ref None in
+  let mult = ref 1.0 in
+  let can_hoist = ref true in
+  (* Loops with trip count 1 are not emitted in generated code, so they
+     neither stop hoisting nor multiply the volume. *)
+  List.iter
+    (fun it ->
+      let f = Mapping.factor mapping ~level it in
+      if f > 1 then begin
+        if !can_hoist then begin
+          if Nest.tensor_mentions tensor it then begin
+            can_hoist := false;
+            hoist_dim := Some it
+          end
+        end
+        else mult := !mult *. float_of_int f
+      end)
+    (List.rev lvl.Mapping.perm);
+  let cur dim =
+    match !hoist_dim with
+    | Some h when String.equal h dim -> ext_below dim * Mapping.factor mapping ~level dim
+    | Some _ | None -> ext_below dim
+  in
+  let volume = ref (exact_footprint tensor cur *. !mult) in
+  (* Loops of every outer level multiply the volume; spatial levels only
+     through dims present in the tensor (multicast / spatial reduction). *)
+  let nlevels = Mapping.num_levels mapping in
+  for l = level + 1 to nlevels - 1 do
+    let outer = Mapping.level mapping l in
+    match outer.Mapping.kind with
+    | Level.Temporal -> volume := !volume *. product_factors outer.Mapping.factors
+    | Level.Spatial ->
+      List.iter
+        (fun (dim, f) ->
+          if Nest.tensor_mentions tensor dim then volume := !volume *. float_of_int f)
+        outer.Mapping.factors
+  done;
+  !volume
+
+let tensor_counts mapping tensor =
+  let nlevels = Mapping.num_levels mapping in
+  let boundary_levels =
+    List.filter
+      (fun l -> (Mapping.level mapping l).Mapping.kind = Level.Temporal)
+      (List.init (nlevels - 1) (fun i -> i + 1))
+  in
+  let fills = List.map (fun l -> (l, fill_volume mapping tensor ~level:l)) boundary_levels in
+  let footprints =
+    List.map
+      (fun l ->
+        let ext dim = Mapping.extent_through mapping ~level:(l - 1) dim in
+        (l, exact_footprint tensor ext))
+      boundary_levels
+  in
+  {
+    tensor = tensor.Nest.tensor_name;
+    read_write = tensor.Nest.read_write;
+    fills;
+    footprints;
+  }
+
+let compute nest mapping =
+  match Mapping.validate nest mapping with
+  | Error _ as e -> e
+  | Ok () ->
+    Ok
+      {
+        macs = Nest.ops nest;
+        pes_used = Mapping.spatial_size mapping;
+        per_tensor = List.map (tensor_counts mapping) (Nest.tensors nest);
+      }
+
+(* --- canonical accessors --- *)
+
+let boundary_total ?(rw_only = false) t ~level =
+  List.fold_left
+    (fun acc tc ->
+      if rw_only && not tc.read_write then acc
+      else
+        match List.assoc_opt level tc.fills with
+        | Some v -> acc +. v
+        | None -> invalid_arg "Counts: mapping does not have the canonical levels")
+    0.0 t.per_tensor
+
+let sram_to_reg t = boundary_total t ~level:Level.pe_temporal_level
+
+let reg_to_sram t = boundary_total ~rw_only:true t ~level:Level.pe_temporal_level
+
+let dram_to_sram t = boundary_total t ~level:Level.dram_temporal_level
+
+let sram_to_dram t = boundary_total ~rw_only:true t ~level:Level.dram_temporal_level
+
+let footprint_total t ~level =
+  List.fold_left
+    (fun acc tc ->
+      match List.assoc_opt level tc.footprints with
+      | Some v -> acc +. v
+      | None -> invalid_arg "Counts: mapping does not have the canonical levels")
+    0.0 t.per_tensor
+
+let reg_words_per_pe t = footprint_total t ~level:Level.pe_temporal_level
+
+let sram_words_used t = footprint_total t ~level:Level.dram_temporal_level
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>macs=%g, PEs used=%d@," t.macs t.pes_used;
+  List.iter
+    (fun tc ->
+      Format.fprintf ppf "%s%s:" tc.tensor (if tc.read_write then "(rw)" else "");
+      List.iter (fun (l, v) -> Format.fprintf ppf " fill@L%d=%g" l v) tc.fills;
+      List.iter (fun (l, v) -> Format.fprintf ppf " buf@L%d=%g" l v) tc.footprints;
+      Format.fprintf ppf "@,")
+    t.per_tensor;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,59 @@
+(** Exact data-movement counts for a concrete mapping, following the
+    semantics of the paper's Algorithm 1 with integer trip counts.
+
+    For each tensor and each temporal tiling level above the innermost,
+    the copy into the lower storage is hoisted above every loop of that
+    level that does not appear in the tensor reference; the innermost
+    {e present} loop is folded into the copied footprint (sliding-window
+    union), and all outer loops multiply the volume.  Spatial levels
+    multiply only the factors of present dims — absent dims are served by
+    multicast (and, for read-write tensors, by spatial reduction), as in
+    the paper's model.
+
+    Footprints use the exact affine extents including the halo constant
+    ([sum stride*extent - sum stride + 1] per projection); nothing is
+    relaxed here, unlike the posynomial view used by the optimizer. *)
+
+type tensor_counts = {
+  tensor : string;
+  read_write : bool;
+  fills : (int * float) list;
+      (** [(level, words)] for each temporal level [l >= 1]: words copied
+          {e into} the storage below level [l] across the whole execution
+          (one direction; read-write tensors drain the same volume back) *)
+  footprints : (int * float) list;
+      (** [(level, words)] buffer size the tensor needs at each level
+          boundary: the exact footprint of the tile defined by levels
+          [0..l-1] (per PE for levels at or below the spatial level) *)
+}
+
+type t = {
+  macs : float;
+  pes_used : int;
+  per_tensor : tensor_counts list;
+}
+
+val compute : Workload.Nest.t -> Mapspace.Mapping.t -> (t, string) result
+(** Validates the mapping against the nest first. *)
+
+(* Canonical-hierarchy accessors (4 levels: reg, pe-temporal, spatial,
+   dram-temporal).  All raise [Invalid_argument] if the mapping did not
+   have the canonical structure. *)
+
+val sram_to_reg : t -> float
+(** Total words read from SRAM into register files (multicast counted
+    once), summed over tensors. *)
+
+val reg_to_sram : t -> float
+(** Write-back traffic of read-write tensors. *)
+
+val dram_to_sram : t -> float
+
+val sram_to_dram : t -> float
+
+val reg_words_per_pe : t -> float
+(** Register buffer words needed per PE (sum over tensors). *)
+
+val sram_words_used : t -> float
+
+val pp : Format.formatter -> t -> unit

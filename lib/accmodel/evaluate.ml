@@ -1,0 +1,87 @@
+module Tech = Archspec.Technology
+module Arch = Archspec.Arch
+
+type breakdown = {
+  mac_energy : float;
+  register_energy : float;
+  sram_energy : float;
+  dram_energy : float;
+}
+
+type t = {
+  arch : Arch.t;
+  counts : Counts.t;
+  energy_pj : float;
+  energy_per_mac : float;
+  breakdown : breakdown;
+  compute_cycles : float;
+  sram_cycles : float;
+  dram_cycles : float;
+  cycles : float;
+  ipc : float;
+}
+
+let check_capacities arch counts =
+  let reg = Counts.reg_words_per_pe counts in
+  let sram = Counts.sram_words_used counts in
+  let pes = counts.Counts.pes_used in
+  if reg > float_of_int arch.Arch.registers_per_pe then
+    Error
+      (Printf.sprintf "register tile needs %g words, PE has %d" reg
+         arch.Arch.registers_per_pe)
+  else if sram > float_of_int arch.Arch.sram_words then
+    Error (Printf.sprintf "SRAM tile needs %g words, SRAM has %d" sram arch.Arch.sram_words)
+  else if pes > arch.Arch.pe_count then
+    Error (Printf.sprintf "mapping uses %d PEs, architecture has %d" pes arch.Arch.pe_count)
+  else Ok ()
+
+let evaluate tech arch nest mapping =
+  match Counts.compute nest mapping with
+  | Error _ as e -> e
+  | Ok counts -> begin
+    match check_capacities arch counts with
+    | Error _ as e -> e
+    | Ok () ->
+      let eps_r = Arch.register_energy tech arch in
+      let eps_s = Arch.sram_energy tech arch in
+      let eps_d = tech.Tech.energy_dram in
+      let macs = counts.Counts.macs in
+      let s2r = Counts.sram_to_reg counts in
+      let r2s = Counts.reg_to_sram counts in
+      let d2s = Counts.dram_to_sram counts in
+      let s2d = Counts.sram_to_dram counts in
+      let mac_energy = ((4.0 *. eps_r) +. tech.Tech.energy_mac) *. macs in
+      let register_energy = eps_r *. (s2r +. r2s) in
+      let sram_energy = eps_s *. (s2r +. r2s +. d2s +. s2d) in
+      let dram_energy = eps_d *. (d2s +. s2d) in
+      let energy_pj = mac_energy +. register_energy +. sram_energy +. dram_energy in
+      let compute_cycles = macs /. float_of_int counts.Counts.pes_used in
+      let sram_cycles = (s2r +. r2s +. d2s +. s2d) /. tech.Tech.sram_bandwidth in
+      let dram_cycles = (d2s +. s2d) /. tech.Tech.dram_bandwidth in
+      let cycles = Float.max compute_cycles (Float.max sram_cycles dram_cycles) in
+      Ok
+        {
+          arch;
+          counts;
+          energy_pj;
+          energy_per_mac = energy_pj /. macs;
+          breakdown = { mac_energy; register_energy; sram_energy; dram_energy };
+          compute_cycles;
+          sram_cycles;
+          dram_cycles;
+          cycles;
+          ipc = macs /. cycles;
+        }
+  end
+
+let energy t = t.energy_pj
+
+let ipc t = t.ipc
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>energy %.4g pJ (%.3f pJ/MAC): mac %.3g, reg %.3g, sram %.3g, dram %.3g@,\
+     cycles %.4g (compute %.4g, sram %.4g, dram %.4g), IPC %.2f, PEs %d@]"
+    t.energy_pj t.energy_per_mac t.breakdown.mac_energy t.breakdown.register_energy
+    t.breakdown.sram_energy t.breakdown.dram_energy t.cycles t.compute_cycles
+    t.sram_cycles t.dram_cycles t.ipc t.counts.Counts.pes_used

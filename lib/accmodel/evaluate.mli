@@ -1,0 +1,48 @@
+(** Energy, delay and throughput of a concrete mapping on a concrete
+    architecture — the role Timeloop's model plays in the paper.
+
+    The energy expression is Eq. 3 instantiated with the technology models
+    of Eq. 4:
+
+    - MAC + per-MAC register traffic: [(4*eps_R + eps_op) * macs];
+    - register-file side of SRAM<->register traffic: [eps_R * (...)];
+    - SRAM accesses from both the register and the DRAM boundary;
+    - DRAM accesses.
+
+    Delay is the maximum of per-component delays (compute on the used PEs,
+    SRAM port traffic, DRAM traffic) as in Section V-B. *)
+
+type breakdown = {
+  mac_energy : float;  (** pJ, includes per-MAC register accesses *)
+  register_energy : float;  (** pJ for register-side tile traffic *)
+  sram_energy : float;
+  dram_energy : float;
+}
+
+type t = {
+  arch : Archspec.Arch.t;
+  counts : Counts.t;
+  energy_pj : float;
+  energy_per_mac : float;
+  breakdown : breakdown;
+  compute_cycles : float;
+  sram_cycles : float;
+  dram_cycles : float;
+  cycles : float;
+  ipc : float;  (** MACs per cycle; at most the number of PEs used *)
+}
+
+val evaluate :
+  Archspec.Technology.t ->
+  Archspec.Arch.t ->
+  Workload.Nest.t ->
+  Mapspace.Mapping.t ->
+  (t, string) result
+(** Fails when the mapping is invalid for the nest or exceeds the
+    architecture's register / SRAM / PE capacities. *)
+
+val energy : t -> float
+
+val ipc : t -> float
+
+val pp : Format.formatter -> t -> unit

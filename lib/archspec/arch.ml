@@ -1,0 +1,29 @@
+type t = {
+  arch_name : string;
+  pe_count : int;
+  registers_per_pe : int;
+  sram_words : int;
+}
+
+let make ~name ~pes ~registers ~sram_words =
+  if pes < 1 || registers < 1 || sram_words < 1 then
+    invalid_arg "Arch.make: all parameters must be positive";
+  { arch_name = name; pe_count = pes; registers_per_pe = registers; sram_words }
+
+let eyeriss =
+  make ~name:"eyeriss" ~pes:168 ~registers:512 ~sram_words:(128 * 1024 / 2)
+
+let area tech a =
+  Technology.chip_area tech ~pes:a.pe_count ~registers:a.registers_per_pe
+    ~sram_words:a.sram_words
+
+let eyeriss_area tech = area tech eyeriss
+
+let register_energy tech a =
+  Technology.register_access_energy tech ~registers:a.registers_per_pe
+
+let sram_energy tech a = Technology.sram_access_energy tech ~words:a.sram_words
+
+let pp ppf a =
+  Format.fprintf ppf "%s: P=%d R=%d/PE S=%d words" a.arch_name a.pe_count
+    a.registers_per_pe a.sram_words

@@ -1,0 +1,29 @@
+(** Accelerator architecture points: the three co-designed parameters of
+    the paper (PE count, registers per PE, shared SRAM capacity) plus the
+    derived per-access energies and total area. *)
+
+type t = {
+  arch_name : string;
+  pe_count : int;
+  registers_per_pe : int;  (** words *)
+  sram_words : int;  (** words (16-bit) *)
+}
+
+val make : name:string -> pes:int -> registers:int -> sram_words:int -> t
+(** Raises [Invalid_argument] on non-positive parameters. *)
+
+val eyeriss : t
+(** The paper's baseline: 168 PEs, 512 registers per PE, 128 KiB SRAM
+    (65536 16-bit words). *)
+
+val area : Technology.t -> t -> float
+(** Total area in um^2 under the linear model of Eq. 5. *)
+
+val eyeriss_area : Technology.t -> float
+(** The co-design area budget used throughout the evaluation. *)
+
+val register_energy : Technology.t -> t -> float
+
+val sram_energy : Technology.t -> t -> float
+
+val pp : Format.formatter -> t -> unit

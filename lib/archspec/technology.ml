@@ -1,0 +1,69 @@
+type t = {
+  area_mac : float;
+  area_register : float;
+  area_sram_word : float;
+  energy_mac : float;
+  sigma_register : float;
+  sigma_sram : float;
+  energy_dram : float;
+  dram_bandwidth : float;
+  sram_bandwidth : float;
+}
+
+let table3 =
+  {
+    area_mac = 1239.5;
+    area_register = 19.874;
+    area_sram_word = 6.806;
+    energy_mac = 2.2;
+    sigma_register = 9.06719e-3;
+    (* Table III lists 17.88 for the SRAM constant; on the same 10^-3 pJ
+       scale as the register constant this gives ~4.6 pJ per access for the
+       Eyeriss 64K-word scratchpad, consistent with Cacti. *)
+    sigma_sram = 17.88e-3;
+    energy_dram = 128.0;
+    dram_bandwidth = 8.0;
+    sram_bandwidth = 80.0;
+  }
+
+let reference_node_nm = 45.0
+
+let scale_to_node tech ~node_nm =
+  if not (node_nm > 0.0) then
+    invalid_arg "Technology.scale_to_node: node must be positive";
+  let s = node_nm /. reference_node_nm in
+  let s2 = s *. s in
+  {
+    tech with
+    area_mac = tech.area_mac *. s2;
+    area_register = tech.area_register *. s2;
+    area_sram_word = tech.area_sram_word *. s2;
+    energy_mac = tech.energy_mac *. s2;
+    sigma_register = tech.sigma_register *. s2;
+    sigma_sram = tech.sigma_sram *. s2;
+    (* DRAM is off-chip: per-access energy and bandwidths unchanged. *)
+  }
+
+let register_access_energy_f tech r = tech.sigma_register *. r
+
+let sram_access_energy_f tech s = tech.sigma_sram *. sqrt s
+
+let register_access_energy tech ~registers =
+  register_access_energy_f tech (float_of_int registers)
+
+let sram_access_energy tech ~words = sram_access_energy_f tech (float_of_int words)
+
+let pe_area tech ~registers =
+  (tech.area_register *. float_of_int registers) +. tech.area_mac
+
+let chip_area tech ~pes ~registers ~sram_words =
+  (pe_area tech ~registers *. float_of_int pes)
+  +. (tech.area_sram_word *. float_of_int sram_words)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>area/MAC %g um^2, area/reg %g um^2, area/SRAM-word %g um^2@,\
+     MAC %g pJ, sigma_R %g pJ/word, sigma_S %g pJ/sqrt-word, DRAM %g pJ@,\
+     bandwidth: DRAM %g w/cyc, SRAM %g w/cyc@]"
+    t.area_mac t.area_register t.area_sram_word t.energy_mac t.sigma_register
+    t.sigma_sram t.energy_dram t.dram_bandwidth t.sram_bandwidth

@@ -1,0 +1,55 @@
+(** Technology parameters (paper Table III, 45 nm) and the analytical
+    per-access energy / area models of Eq. 4 and Eq. 5.
+
+    Units: areas in um^2, energies in pJ, capacities in 16-bit words. *)
+
+type t = {
+  area_mac : float;  (** um^2 per MAC unit *)
+  area_register : float;  (** um^2 per register word *)
+  area_sram_word : float;  (** um^2 per SRAM word *)
+  energy_mac : float;  (** pJ per int16 MAC *)
+  sigma_register : float;
+      (** register energy constant: eps_R = sigma_R * R (pJ, R in words) *)
+  sigma_sram : float;
+      (** SRAM energy constant: eps_S = sigma_S * sqrt S (pJ, S in words).
+          Stored here in pJ per sqrt-word; Table III lists the raw constant
+          17.88 with a 10^-3 scale like the register constant. *)
+  energy_dram : float;  (** pJ per DRAM word access *)
+  dram_bandwidth : float;  (** words per cycle *)
+  sram_bandwidth : float;  (** words per cycle *)
+}
+
+val table3 : t
+(** The paper's Table III values (45 nm, Accelergy/Cacti-derived), with the
+    Fig. 3(a) example bandwidths. *)
+
+val reference_node_nm : float
+(** The process node Table III describes: 45 nm. *)
+
+val scale_to_node : t -> node_nm:float -> t
+(** First-order technology scaling from the 45 nm reference: on-chip area
+    and dynamic energy scale with the square of the feature-size ratio;
+    off-chip DRAM access energy and the bandwidths are left unchanged.
+    Coarse by construction — intended for what-if exploration, not for
+    sign-off numbers.  Raises [Invalid_argument] for non-positive nodes. *)
+
+val register_access_energy : t -> registers:int -> float
+(** [eps_R = sigma_R * R]: per-access register-file energy grows linearly
+    with the file size (Eq. 4). *)
+
+val sram_access_energy : t -> words:int -> float
+(** [eps_S = sigma_S * sqrt S] (Eq. 4). *)
+
+val register_access_energy_f : t -> float -> float
+(** Real-valued variants used on pre-integerization solver output. *)
+
+val sram_access_energy_f : t -> float -> float
+
+val pe_area : t -> registers:int -> float
+(** Area of one PE: [area_register * R + area_mac]. *)
+
+val chip_area : t -> pes:int -> registers:int -> sram_words:int -> float
+(** Left-hand side of the area constraint (Eq. 5):
+    [(area_register * R + area_mac) * P + area_sram_word * S]. *)
+
+val pp : Format.formatter -> t -> unit

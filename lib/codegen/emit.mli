@@ -1,0 +1,28 @@
+(** Tiled-pseudocode generation — the multi-level tiled loop nests with
+    explicit buffer copies that the paper uses to define dataflows
+    (Fig. 1(d) and Fig. 3(e)).
+
+    Given a canonical 4-level mapping, the emitter produces C-like
+    pseudocode with:
+
+    - buffer declarations sized from the exact tile footprints (SRAM
+      buffers per tensor, register buffers per tensor per PE);
+    - the DRAM-level temporal loops, with SRAM copy-in statements hoisted
+      above every loop absent from each tensor's reference (and copy-out
+      for read-write tensors);
+    - [forall] loops for the spatial (PE array) level;
+    - the per-PE temporal loops with register copy-ins at their hoist
+      points;
+    - the register-tile loops around the MAC statement, whose subscripts
+      are the original affine index expressions.
+
+    Trip-count-1 loops are omitted, as in generated code; hoist points
+    therefore match {!Accmodel.Counts} exactly. *)
+
+val pseudocode :
+  Workload.Nest.t -> Mapspace.Mapping.t -> (string, string) result
+(** Fails when the mapping is invalid for the nest or does not have the
+    canonical 4-level structure. *)
+
+val loop_count : string -> int
+(** Number of [for]/[forall] lines in an emitted program (test helper). *)

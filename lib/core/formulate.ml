@@ -1,0 +1,227 @@
+module Nest = Workload.Nest
+module Tech = Archspec.Technology
+module Arch = Archspec.Arch
+module Level = Mapspace.Level
+module M = Symexpr.Monomial
+module P = Symexpr.Posynomial
+
+type objective = Energy | Delay | Edp
+
+type arch_mode = Fixed of Arch.t | Codesign of { area_budget : float }
+
+type instance = {
+  problem : Gp.Problem.t;
+  nest : Nest.t;
+  choice : Permutations.choice;
+  analysis : Volume.t;
+  objective : objective;
+  arch_mode : arch_mode;
+  tileable : string list;
+  pinned : (string * float) list;
+}
+
+let var_arch_regs = "arch.regs"
+
+let var_arch_sram = "arch.sram"
+
+let var_arch_pes = "arch.pes"
+
+let var_delay = "delay.T"
+
+let bind_pinned pinned p =
+  List.fold_left (fun acc (x, v) -> P.bind x v acc) p pinned
+
+let build ?placement tech arch_mode objective (plan : Permutations.plan) (choice, analysis) =
+  let nest = plan.Permutations.nest in
+  let pinned =
+    match placement with Some p -> p | None -> plan.Permutations.pinned
+  in
+  let tileable = plan.Permutations.tileable in
+  let bind = bind_pinned pinned in
+  let macs = Nest.ops nest in
+  (* Data volumes and buffer footprints, summed over tensors. *)
+  let volume_sum select =
+    P.sum
+      (List.filter_map
+         (fun tv ->
+           Option.map
+             (fun v -> bind (Volume.volume_posynomial v))
+             (select tv))
+         analysis.Volume.per_tensor)
+  in
+  let sram_to_reg = volume_sum (fun tv -> Some tv.Volume.sram_to_reg) in
+  let reg_to_sram =
+    volume_sum (fun tv -> if tv.Volume.read_write then Some tv.Volume.sram_to_reg else None)
+  in
+  let dram_to_sram = volume_sum (fun tv -> Some tv.Volume.dram_to_sram) in
+  let sram_to_dram =
+    volume_sum (fun tv -> if tv.Volume.read_write then Some tv.Volume.dram_to_sram else None)
+  in
+  let footprint_sum select =
+    P.sum
+      (List.map
+         (fun tv -> bind (Symexpr.Footprint.to_posynomial (select tv)))
+         analysis.Volume.per_tensor)
+  in
+  let reg_footprint = footprint_sum (fun tv -> tv.Volume.register_footprint) in
+  let sram_footprint = footprint_sum (fun tv -> tv.Volume.sram_footprint) in
+  let spatial_product =
+    (* Over every dim: pinned spatial placements (e.g. a window dim spread
+       across PE rows) contribute their constant factor after binding. *)
+    let raw =
+      List.fold_left
+        (fun acc d -> M.mul acc (M.var (Level.trip_var ~level:Level.spatial_level ~dim:d)))
+        M.one (Nest.dim_names nest)
+    in
+    List.fold_left (fun acc (x, v) -> M.bind x v acc) raw pinned
+  in
+  (* Per-access energies: constants for a fixed architecture, monomials in
+     the architectural variables in co-design mode (Eq. 4). *)
+  let eps_r, eps_s =
+    match arch_mode with
+    | Fixed arch -> (M.const (Arch.register_energy tech arch), M.const (Arch.sram_energy tech arch))
+    | Codesign _ ->
+      ( M.scale tech.Tech.sigma_register (M.var var_arch_regs),
+        M.scale tech.Tech.sigma_sram (M.var_pow var_arch_sram 0.5) )
+  in
+  let eps_d = tech.Tech.energy_dram in
+  let register_side = P.add sram_to_reg reg_to_sram in
+  let dram_side = P.add dram_to_sram sram_to_dram in
+  let sram_side = P.add register_side dram_side in
+  (* Capacity / resource constraints shared by both objectives.
+
+     The posynomial footprints over-approximate the exact halo extents
+     (the negative constants of [x*Ht + Rt - x] are dropped).  The gap
+     [relaxed - exact] is smallest at the all-ones point, so adding that
+     minimal gap as slack to a constant capacity keeps the constraint a
+     valid over-approximation everywhere while making it exact at the
+     boundary — without it, architectures with very small register files
+     (which the co-design path legitimately produces) would be spuriously
+     infeasible. *)
+  let ones_env var =
+    match List.assoc_opt var pinned with Some v -> v | None -> 1.0
+  in
+  let capacity_slack select =
+    List.fold_left
+      (fun acc tv ->
+        let fp = select tv in
+        acc
+        +. P.eval ones_env (Symexpr.Footprint.to_posynomial fp)
+        -. Symexpr.Footprint.eval_exact ones_env fp)
+      0.0 analysis.Volume.per_tensor
+  in
+  let capacity name posy bound_monomial = (name, Gp.Problem.le posy bound_monomial) in
+  let base_constraints =
+    match arch_mode with
+    | Fixed arch ->
+      [
+        capacity "reg-capacity" reg_footprint
+          (M.const
+             (float_of_int arch.Arch.registers_per_pe
+             +. capacity_slack (fun tv -> tv.Volume.register_footprint)));
+        capacity "sram-capacity" sram_footprint
+          (M.const
+             (float_of_int arch.Arch.sram_words
+             +. capacity_slack (fun tv -> tv.Volume.sram_footprint)));
+        capacity "pe-count" (P.of_monomial spatial_product)
+          (M.const (float_of_int arch.Arch.pe_count));
+      ]
+    | Codesign { area_budget } ->
+      let area =
+        P.of_monomials
+          [
+            M.scale tech.Tech.area_register (M.mul (M.var var_arch_regs) (M.var var_arch_pes));
+            M.scale tech.Tech.area_mac (M.var var_arch_pes);
+            M.scale tech.Tech.area_sram_word (M.var var_arch_sram);
+          ]
+      in
+      [
+        capacity "reg-capacity" reg_footprint (M.var var_arch_regs);
+        capacity "sram-capacity" sram_footprint (M.var var_arch_sram);
+        capacity "pe-count" (P.of_monomial spatial_product) (M.var var_arch_pes);
+        ("area", Gp.Problem.le_const area area_budget);
+      ]
+  in
+  let lower_bounds =
+    let bound v = (Printf.sprintf "bound:%s" v, P.of_monomial (M.var_pow v (-1.0))) in
+    let trip_vars =
+      List.concat_map
+        (fun d -> List.map (fun level -> Level.trip_var ~level ~dim:d) [ 0; 1; 2; 3 ])
+        tileable
+    in
+    let arch_vars =
+      match arch_mode with
+      | Fixed _ -> []
+      | Codesign _ -> [ var_arch_regs; var_arch_sram; var_arch_pes ]
+    in
+    List.map bound (trip_vars @ arch_vars)
+  in
+  let extent_eqs =
+    List.map
+      (fun d ->
+        let product =
+          List.fold_left
+            (fun acc level -> M.mul acc (M.var (Level.trip_var ~level ~dim:d)))
+            M.one [ 0; 1; 2; 3 ]
+        in
+        ( Printf.sprintf "extent:%s" d,
+          Gp.Problem.eq product (M.const (float_of_int (Nest.extent nest d))) ))
+      tileable
+  in
+  let energy =
+    let mac_term =
+      P.of_monomials [ M.scale (4.0 *. macs) eps_r; M.const (tech.Tech.energy_mac *. macs) ]
+    in
+    P.sum
+      [
+        mac_term;
+        P.mul_monomial eps_r register_side;
+        P.mul_monomial eps_s sram_side;
+        P.scale eps_d dram_side;
+      ]
+  in
+  let delay_constraints () =
+    let t = M.var var_delay in
+    let compute_delay =
+      (* macs / (PEs used): one MAC per PE per cycle. *)
+      P.of_monomial (M.scale macs (M.pow spatial_product (-1.0)))
+    in
+    [
+      ("delay-compute", Gp.Problem.le compute_delay t);
+      ("delay-sram", Gp.Problem.le (P.scale (1.0 /. tech.Tech.sram_bandwidth) sram_side) t);
+      ("delay-dram", Gp.Problem.le (P.scale (1.0 /. tech.Tech.dram_bandwidth) dram_side) t);
+    ]
+  in
+  let problem =
+    match objective with
+    | Energy ->
+      Gp.Problem.make ~objective:energy
+        ~ineqs:(base_constraints @ lower_bounds)
+        ~eqs:extent_eqs ()
+    | Delay ->
+      Gp.Problem.make ~objective:(P.var var_delay)
+        ~ineqs:(delay_constraints () @ base_constraints @ lower_bounds)
+        ~eqs:extent_eqs ()
+    | Edp ->
+      (* Energy-delay product: posynomial times the epigraph variable is
+         still a posynomial, so EDP stays inside DGP. *)
+      Gp.Problem.make
+        ~objective:(P.mul_monomial (M.var var_delay) energy)
+        ~ineqs:(delay_constraints () @ base_constraints @ lower_bounds)
+        ~eqs:extent_eqs ()
+  in
+  { problem; nest; choice; analysis; objective; arch_mode; tileable; pinned }
+
+let solution_env instance solution var =
+  match List.assoc_opt var instance.pinned with
+  | Some v -> v
+  | None -> begin
+    match List.assoc_opt var solution.Gp.Solver.values with Some v -> v | None -> 1.0
+  end
+
+let cumulative instance solution dim ~level =
+  let env = solution_env instance solution in
+  let rec go l acc =
+    if l > level then acc else go (l + 1) (acc *. env (Level.trip_var ~level:l ~dim))
+  in
+  go 0 1.0

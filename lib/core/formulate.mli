@@ -1,0 +1,61 @@
+(** Lowering one permutation choice into a constrained geometric program
+    (the inner level of the paper's exploration, Eq. 3 / Eq. 5).
+
+    Variables: trip counts [t<level>.<dim>] for every tileable dim at all
+    four levels; in co-design mode also the architectural parameters
+    [arch.regs], [arch.sram] and [arch.pes]; for the delay objective the
+    epigraph variable [delay.T].
+
+    Constraints: per-dim trip-count products equal to extents; [>= 1]
+    bounds; register / SRAM capacity; PE count; the Eq. 5 area budget in
+    co-design mode; per-component delay bounds for the delay objective. *)
+
+type objective =
+  | Energy
+  | Delay
+  | Edp
+      (** energy-delay product: [E(t) * T] with the delay epigraph
+          constraints — still a valid geometric program (the paper notes
+          the possibility without evaluating it) *)
+
+type arch_mode =
+  | Fixed of Archspec.Arch.t
+  | Codesign of { area_budget : float }
+      (** co-design under a chip-area budget; the paper uses the Eyeriss
+          area *)
+
+type instance = {
+  problem : Gp.Problem.t;
+  nest : Workload.Nest.t;
+  choice : Permutations.choice;
+  analysis : Volume.t;
+  objective : objective;
+  arch_mode : arch_mode;
+  tileable : string list;
+  pinned : (string * float) list;
+}
+
+val var_arch_regs : string
+val var_arch_sram : string
+val var_arch_pes : string
+val var_delay : string
+
+val build :
+  ?placement:(string * float) list ->
+  Archspec.Technology.t ->
+  arch_mode ->
+  objective ->
+  Permutations.plan ->
+  Permutations.choice * Volume.t ->
+  instance
+(** [placement] selects one of the plan's window-dim placements
+    ({!Permutations.plan.placements}); defaults to the plan's default
+    pinned assignment (window dims at the register level). *)
+
+val solution_env : instance -> Gp.Solver.solution -> string -> float
+(** Evaluation environment combining the plan's pinned trip counts with
+    the solver's values (1.0 for anything else). *)
+
+val cumulative : instance -> Gp.Solver.solution -> string -> level:int -> float
+(** Real-valued tile extent of a dim through the given level, e.g. the
+    paper's [S_d] for [level = 2]. *)

@@ -1,0 +1,189 @@
+module Nest = Workload.Nest
+module Arch = Archspec.Arch
+module Level = Mapspace.Level
+module Mapping = Mapspace.Mapping
+module Divisors = Mapspace.Divisors
+
+type outcome = {
+  arch : Arch.t;
+  mapping : Mapping.t;
+  metrics : Accmodel.Evaluate.t;
+  choice : Permutations.choice;
+  continuous_objective : float;
+  candidates_tried : int;
+  candidates_valid : int;
+}
+
+let score objective (metrics : Accmodel.Evaluate.t) =
+  match objective with
+  | Formulate.Energy -> metrics.Accmodel.Evaluate.energy_pj
+  | Formulate.Delay -> metrics.Accmodel.Evaluate.cycles
+  | Formulate.Edp ->
+    metrics.Accmodel.Evaluate.energy_pj *. metrics.Accmodel.Evaluate.cycles
+
+(* Cumulative tile extents (register, PE, SRAM) for one dim: the paper's
+   top-down divisor ladder. *)
+let dim_triples ~n_divisors instance solution dim =
+  let extent = Nest.extent instance.Formulate.nest dim in
+  let r_real = Formulate.cumulative instance solution dim ~level:0 in
+  let q_real = Formulate.cumulative instance solution dim ~level:1 in
+  let s_real = Formulate.cumulative instance solution dim ~level:2 in
+  let triples =
+    List.concat_map
+      (fun s ->
+        List.concat_map
+          (fun q ->
+            List.map
+              (fun r -> (r, q, s))
+              (Divisors.closest q ~target:r_real ~count:n_divisors))
+          (Divisors.closest s ~target:q_real ~count:n_divisors))
+      (Divisors.closest extent ~target:s_real ~count:n_divisors)
+  in
+  (* Order closest-first (log-space distance to the real solution) so
+     that trimming the ladder keeps the most promising candidates. *)
+  let distance (r, q, s) =
+    Float.abs (log (float_of_int r) -. log (Float.max 1.0 r_real))
+    +. Float.abs (log (float_of_int q) -. log (Float.max 1.0 q_real))
+    +. Float.abs (log (float_of_int s) -. log (Float.max 1.0 s_real))
+  in
+  List.sort_uniq compare triples
+  |> List.stable_sort (fun a b -> Float.compare (distance a) (distance b))
+
+let full_perm nest perm =
+  let missing =
+    List.filter (fun d -> not (List.mem d perm)) (Nest.dim_names nest)
+  in
+  perm @ missing
+
+(* Build a canonical 4-level mapping from per-dim cumulative extents. *)
+let mapping_of_combo instance (combo : (string * (int * int * int)) list) =
+  let nest = instance.Formulate.nest in
+  let pinned_factor ~level dim =
+    match
+      List.assoc_opt (Level.trip_var ~level ~dim) instance.Formulate.pinned
+    with
+    | Some v -> int_of_float v
+    | None -> 1
+  in
+  let factors_at ~level select =
+    List.map
+      (fun d ->
+        match List.assoc_opt d combo with
+        | Some (r, q, s) -> (d, select (r, q, s) (Nest.extent nest d))
+        | None -> (d, pinned_factor ~level d))
+      (Nest.dim_names nest)
+  in
+  let reg = factors_at ~level:Level.register_level (fun (r, _, _) _ -> r) in
+  let pe = factors_at ~level:Level.pe_temporal_level (fun (r, q, _) _ -> q / r) in
+  let spatial = factors_at ~level:Level.spatial_level (fun (_, q, s) _ -> s / q) in
+  let dram = factors_at ~level:Level.dram_temporal_level (fun (_, _, s) n -> n / s) in
+  let reg_perm = full_perm nest [] in
+  let pe_perm = full_perm nest instance.Formulate.choice.Permutations.pe_perm in
+  let dram_perm = full_perm nest instance.Formulate.choice.Permutations.dram_perm in
+  Mapping.canonical ~reg:(reg, reg_perm) ~pe:(pe, pe_perm) ~spatial
+    ~dram:(dram, dram_perm)
+
+let arch_candidates ~n_pow2 tech instance solution ~spatial_size =
+  match instance.Formulate.arch_mode with
+  | Formulate.Fixed arch -> [ arch ]
+  | Formulate.Codesign { area_budget } ->
+    let env = Formulate.solution_env instance solution in
+    let regs_candidates =
+      Divisors.closest_powers_of_two ~target:(env Formulate.var_arch_regs) ~count:n_pow2
+    in
+    let sram_candidates =
+      Divisors.closest_powers_of_two ~target:(env Formulate.var_arch_sram) ~count:n_pow2
+    in
+    let pes = Int.max 1 spatial_size in
+    List.concat_map
+      (fun registers ->
+        List.filter_map
+          (fun sram_words ->
+            if
+              Archspec.Technology.chip_area tech ~pes ~registers ~sram_words
+              <= area_budget
+            then
+              Some
+                (Arch.make
+                   ~name:(Printf.sprintf "%s-codesign" (Nest.name instance.Formulate.nest))
+                   ~pes ~registers ~sram_words)
+            else None)
+          sram_candidates)
+      regs_candidates
+
+let run ?(n_divisors = 2) ?(n_pow2 = 2) ?(max_candidates = 65536)
+    ?(min_pe_utilization = 0.0) tech instance solution =
+  let nest = instance.Formulate.nest in
+  let per_dim =
+    List.map
+      (fun d -> (d, dim_triples ~n_divisors instance solution d))
+      instance.Formulate.tileable
+  in
+  (* Bound the cross product by trimming each dim's ladder (which is
+     ordered closest-first) rather than truncating the product itself:
+     cutting mid-product would silently drop whole regions of the
+     candidate space. *)
+  let rec take k = function
+    | x :: rest when k > 0 -> x :: take (k - 1) rest
+    | _ -> []
+  in
+  let per_dim =
+    match per_dim with
+    | [] -> []
+    | _ ->
+      let budget_per_dim =
+        let nd = List.length per_dim in
+        Int.max 1
+          (int_of_float (Float.pow (float_of_int max_candidates) (1.0 /. float_of_int nd)))
+      in
+      List.map (fun (d, triples) -> (d, take budget_per_dim triples)) per_dim
+  in
+  let combos = ref [ [] ] in
+  List.iter
+    (fun (d, triples) ->
+      combos :=
+        List.concat_map
+          (fun combo -> List.map (fun t -> (d, t) :: combo) triples)
+          !combos)
+    per_dim;
+  let tried = ref 0 in
+  let valid = ref 0 in
+  let best = ref None in
+  List.iter
+    (fun combo ->
+      let mapping = mapping_of_combo instance combo in
+      let spatial_size = Mapping.spatial_size mapping in
+      List.iter
+        (fun arch ->
+          incr tried;
+          let utilization =
+            float_of_int spatial_size /. float_of_int arch.Arch.pe_count
+          in
+          if utilization < min_pe_utilization then ()
+          else
+          match Accmodel.Evaluate.evaluate tech arch nest mapping with
+          | Error _ -> ()
+          | Ok metrics ->
+            incr valid;
+            let s = score instance.Formulate.objective metrics in
+            let better =
+              match !best with
+              | None -> true
+              | Some (s', _, _, _) -> s < s'
+            in
+            if better then best := Some (s, arch, mapping, metrics))
+        (arch_candidates ~n_pow2 tech instance solution ~spatial_size))
+    !combos;
+  match !best with
+  | None -> Error "integerize: no feasible integer candidate"
+  | Some (_, arch, mapping, metrics) ->
+    Ok
+      {
+        arch;
+        mapping;
+        metrics;
+        choice = instance.Formulate.choice;
+        continuous_objective = solution.Gp.Solver.objective;
+        candidates_tried = !tried;
+        candidates_valid = !valid;
+      }

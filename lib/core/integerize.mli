@@ -1,0 +1,41 @@
+(** Conversion of the solver's real-valued design point into integer
+    candidates, and their ranking with the accelerator model (Section IV).
+
+    Following the paper: memory capacities snap to the [n] closest powers
+    of two; tile sizes are chosen top-down — the [n] divisors of the
+    problem extent closest to the real SRAM-level tile, then divisors of
+    each such candidate for the PE-level tile, then divisors of those for
+    the register tile.  The cross product is filtered (divisibility is
+    ensured by construction; area and capacity violations are rejected)
+    and every surviving candidate is scored with {!Accmodel.Evaluate};
+    the best one is returned. *)
+
+type outcome = {
+  arch : Archspec.Arch.t;
+  mapping : Mapspace.Mapping.t;
+  metrics : Accmodel.Evaluate.t;
+  choice : Permutations.choice;
+  continuous_objective : float;
+      (** GP objective value at the real-valued optimum *)
+  candidates_tried : int;
+  candidates_valid : int;
+}
+
+val score : Formulate.objective -> Accmodel.Evaluate.t -> float
+(** The model metric being minimized: total energy (pJ) for [Energy],
+    total cycles for [Delay], their product for [Edp]. *)
+
+val run :
+  ?n_divisors:int ->
+  ?n_pow2:int ->
+  ?max_candidates:int ->
+  ?min_pe_utilization:float ->
+  Archspec.Technology.t ->
+  Formulate.instance ->
+  Gp.Solver.solution ->
+  (outcome, string) result
+(** [n_divisors] (default 2) is the paper's [n]; [n_pow2] (default 2) is
+    the paper's [N]; [max_candidates] (default 65536) bounds the cross
+    product; [min_pe_utilization] (default 0, i.e. off) rejects candidates
+    whose used-PE fraction falls below the threshold — the paper's
+    "minimum threshold on resource utilization" filter. *)

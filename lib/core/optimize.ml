@@ -1,0 +1,121 @@
+type config = {
+  n_divisors : int;
+  n_pow2 : int;
+  top_choices : int;
+  max_choices : int;
+  gp_tol : float;
+  explore_placements : bool;
+  min_pe_utilization : float;
+}
+
+let default_config =
+  {
+    n_divisors = 2;
+    n_pow2 = 2;
+    top_choices = 3;
+    max_choices = 512;
+    gp_tol = 1e-6;
+    explore_placements = true;
+    min_pe_utilization = 0.0;
+  }
+
+type report = {
+  outcome : Integerize.outcome;
+  choices_enumerated : int;
+  choices_solved : int;
+  best_continuous : float;
+}
+
+let log_src = Logs.Src.create "thistle.optimize" ~doc:"Thistle optimizer driver"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let run ?(config = default_config) tech arch_mode objective nest =
+  let plan = Permutations.enumerate ~max_choices:config.max_choices nest in
+  let solved =
+    (* Inner exploration: one GP per (permutation choice, window-dim
+       placement) pair. *)
+    let placements =
+      if config.explore_placements then plan.Permutations.placements
+      else [ plan.Permutations.pinned ]
+    in
+    List.concat_map
+      (fun choice_vol ->
+        List.filter_map
+          (fun placement ->
+            let instance =
+              Formulate.build ~placement tech arch_mode objective plan choice_vol
+            in
+            let solution =
+              Gp.Solver.solve ~tol:config.gp_tol instance.Formulate.problem
+            in
+            match solution.Gp.Solver.status with
+            | Gp.Solver.Infeasible -> None
+            | Gp.Solver.Optimal | Gp.Solver.Iteration_limit ->
+              if Float.is_finite solution.Gp.Solver.objective then
+                Some (instance, solution)
+              else None)
+          placements)
+      plan.Permutations.choices
+  in
+  Log.info (fun m ->
+      m "%s: %d/%d choices solved (raw %d)" (Workload.Nest.name nest) (List.length solved)
+        (List.length plan.Permutations.choices) plan.Permutations.raw_count);
+  match solved with
+  | [] -> Error "optimize: no permutation choice produced a feasible program"
+  | _ ->
+    let ranked =
+      List.sort
+        (fun (_, a) (_, b) ->
+          Float.compare a.Gp.Solver.objective b.Gp.Solver.objective)
+        solved
+    in
+    let rec take k = function
+      | x :: rest when k > 0 -> x :: take (k - 1) rest
+      | _ -> []
+    in
+    let shortlisted = take config.top_choices ranked in
+    let best_continuous =
+      match ranked with (_, s) :: _ -> s.Gp.Solver.objective | [] -> nan
+    in
+    let outcomes =
+      List.filter_map
+        (fun (instance, solution) ->
+          match
+            Integerize.run ~n_divisors:config.n_divisors ~n_pow2:config.n_pow2
+              ~min_pe_utilization:config.min_pe_utilization tech instance solution
+          with
+          | Ok o -> Some o
+          | Error msg ->
+            Log.debug (fun m -> m "integerize failed: %s" msg);
+            None)
+        shortlisted
+    in
+    let better a b =
+      Integerize.score objective a.Integerize.metrics
+      < Integerize.score objective b.Integerize.metrics
+    in
+    let best =
+      List.fold_left
+        (fun acc o ->
+          match acc with Some o' when better o' o -> acc | Some _ | None -> Some o)
+        None outcomes
+    in
+    begin
+      match best with
+      | None -> Error "optimize: no integer candidate survived model evaluation"
+      | Some outcome ->
+        Ok
+          {
+            outcome;
+            choices_enumerated = List.length plan.Permutations.choices;
+            choices_solved = List.length solved;
+            best_continuous;
+          }
+    end
+
+let dataflow ?config tech arch objective nest =
+  run ?config tech (Formulate.Fixed arch) objective nest
+
+let codesign ?config tech ~area_budget objective nest =
+  run ?config tech (Formulate.Codesign { area_budget }) objective nest

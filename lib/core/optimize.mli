@@ -1,0 +1,57 @@
+(** Thistle's top-level, single-layer entry points: enumerate pruned
+    permutation choices, solve one geometric program per choice, convert
+    the best few real-valued solutions to integer design points, and rank
+    them with the accelerator model (Fig. 2's flow).
+
+    [dataflow] optimizes the mapping for a fixed architecture (the paper's
+    baseline experiments, Figs. 4 and 7); [codesign] additionally frees
+    the architectural parameters under an area budget (Figs. 5, 6 and 8). *)
+
+type config = {
+  n_divisors : int;  (** paper's [n], divisor candidates per tile variable *)
+  n_pow2 : int;  (** paper's [N], power-of-two candidates per capacity *)
+  top_choices : int;
+      (** how many best-by-continuous-objective permutation choices are
+          integerized and model-evaluated *)
+  max_choices : int;  (** cap on enumerated permutation choices *)
+  gp_tol : float;
+  explore_placements : bool;
+      (** when false, window dims stay at the register level instead of
+          also trying spatial placement (ablation knob) *)
+  min_pe_utilization : float;
+      (** integer candidates using a smaller fraction of the PEs are
+          rejected (paper Section IV's utilization filter); 0 disables *)
+}
+
+val default_config : config
+
+type report = {
+  outcome : Integerize.outcome;
+  choices_enumerated : int;
+  choices_solved : int;  (** GPs that returned a usable point *)
+  best_continuous : float;  (** best continuous objective across choices *)
+}
+
+val run :
+  ?config:config ->
+  Archspec.Technology.t ->
+  Formulate.arch_mode ->
+  Formulate.objective ->
+  Workload.Nest.t ->
+  (report, string) result
+
+val dataflow :
+  ?config:config ->
+  Archspec.Technology.t ->
+  Archspec.Arch.t ->
+  Formulate.objective ->
+  Workload.Nest.t ->
+  (report, string) result
+
+val codesign :
+  ?config:config ->
+  Archspec.Technology.t ->
+  area_budget:float ->
+  Formulate.objective ->
+  Workload.Nest.t ->
+  (report, string) result

@@ -1,0 +1,35 @@
+type entry = {
+  nest : Workload.Nest.t;
+  result : (Optimize.report, string) result;
+}
+
+let run_layers ?config tech arch_mode objective nests =
+  List.map
+    (fun nest -> { nest; result = Optimize.run ?config tech arch_mode objective nest })
+    nests
+
+let metrics entry =
+  match entry.result with
+  | Ok report -> Some report.Optimize.outcome.Integerize.metrics
+  | Error _ -> None
+
+let dominant_arch objective entries =
+  let score m = Integerize.score objective m in
+  let best =
+    List.fold_left
+      (fun acc entry ->
+        match entry.result with
+        | Error _ -> acc
+        | Ok report ->
+          let m = report.Optimize.outcome.Integerize.metrics in
+          let s = score m in
+          begin
+            match acc with
+            | Some (s', _) when s' >= s -> acc
+            | Some _ | None -> Some (s, report.Optimize.outcome.Integerize.arch)
+          end)
+      None entries
+  in
+  match best with
+  | Some (_, arch) -> Ok arch
+  | None -> Error "dominant_arch: no layer optimized successfully"

@@ -1,0 +1,27 @@
+(** Multi-layer flows used by the paper's evaluation (Figs. 6 and 8):
+    layer-wise optimization of a whole DNN pipeline, selection of the
+    dominant layer, and re-optimization of every layer for the dominant
+    layer's fixed architecture. *)
+
+type entry = {
+  nest : Workload.Nest.t;
+  result : (Optimize.report, string) result;
+}
+
+val run_layers :
+  ?config:Optimize.config ->
+  Archspec.Technology.t ->
+  Formulate.arch_mode ->
+  Formulate.objective ->
+  Workload.Nest.t list ->
+  entry list
+(** Optimize each layer independently; failures are recorded per layer. *)
+
+val dominant_arch :
+  Formulate.objective -> entry list -> (Archspec.Arch.t, string) result
+(** The architecture chosen by the layer-wise co-design for the layer with
+    the largest total energy (respectively delay) — the paper's rule for
+    picking the single architecture shared by all layers. *)
+
+val metrics : entry -> Accmodel.Evaluate.t option
+(** The model metrics of an entry, when optimization succeeded. *)

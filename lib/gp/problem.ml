@@ -1,0 +1,63 @@
+module P = Symexpr.Posynomial
+module M = Symexpr.Monomial
+
+type t = {
+  objective : P.t;
+  ineqs : (string * P.t) list;
+  eqs : (string * M.t) list;
+}
+
+let make ~objective ?(ineqs = []) ?(eqs = []) () =
+  if P.is_zero objective then invalid_arg "Gp.Problem.make: zero objective";
+  List.iter
+    (fun (name, p) ->
+      if P.is_zero p then
+        invalid_arg (Printf.sprintf "Gp.Problem.make: zero inequality %S" name))
+    ineqs;
+  { objective; ineqs; eqs }
+
+let objective p = p.objective
+
+let ineqs p = p.ineqs
+
+let eqs p = p.eqs
+
+let le p m = P.div_monomial p m
+
+let le_const p c =
+  if not (c > 0.0) then invalid_arg "Gp.Problem.le_const: bound must be positive";
+  P.div_monomial p (M.const c)
+
+let eq m1 m2 = M.div m1 m2
+
+let variables prob =
+  let of_ineq (_, p) = P.variables p in
+  let of_eq (_, m) = M.variables m in
+  List.sort_uniq String.compare
+    (P.variables prob.objective
+    @ List.concat_map of_ineq prob.ineqs
+    @ List.concat_map of_eq prob.eqs)
+
+let violations ?(tol = 1e-6) prob env =
+  let ineq_violation (name, p) =
+    let v = P.eval env p -. 1.0 in
+    if v > tol then Some (name, v) else None
+  in
+  let eq_violation (name, m) =
+    let v = Float.abs (log (M.eval env m)) in
+    if v > tol then Some (name, v) else None
+  in
+  List.filter_map ineq_violation prob.ineqs
+  @ List.filter_map eq_violation prob.eqs
+
+let is_feasible ?tol prob env = violations ?tol prob env = []
+
+let pp ppf prob =
+  Format.fprintf ppf "@[<v>minimize %a" P.pp prob.objective;
+  List.iter
+    (fun (name, p) -> Format.fprintf ppf "@,s.t. [%s] %a <= 1" name P.pp p)
+    prob.ineqs;
+  List.iter
+    (fun (name, m) -> Format.fprintf ppf "@,s.t. [%s] %a = 1" name M.pp m)
+    prob.eqs;
+  Format.fprintf ppf "@]"

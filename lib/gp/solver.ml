@@ -1,0 +1,292 @@
+module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+module P = Symexpr.Posynomial
+module M = Symexpr.Monomial
+
+type status = Optimal | Infeasible | Iteration_limit
+
+type solution = { status : status; values : (string * float) list; objective : float }
+
+let lookup sol x = List.assoc x sol.values
+
+let env sol x = lookup sol x
+
+let log_src = Logs.Src.create "gp.solver" ~doc:"Geometric-program solver"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* ------------------------------------------------------------------ *)
+(* Lowering to log space                                              *)
+(* ------------------------------------------------------------------ *)
+
+let compile_posynomial n index p =
+  let term m =
+    let a = Vec.create n in
+    List.iter (fun (x, e) -> a.(Hashtbl.find index x) <- e) (M.exponents m);
+    (a, log (M.coeff m))
+  in
+  Smooth.log_sum_exp n (List.map term (P.terms p))
+
+(* Equality rows: monomial [c * prod t^a = 1] becomes [a . y = -log c]. *)
+let equality_rows n index eqs =
+  let row (_, m) =
+    let a = Vec.create n in
+    List.iter (fun (x, e) -> a.(Hashtbl.find index x) <- e) (M.exponents m);
+    (a, -.log (M.coeff m))
+  in
+  List.map row eqs
+
+(* ------------------------------------------------------------------ *)
+(* Equality-constrained Newton centering                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Minimize  barrier_t * f0(y) - sum_i log (-f_i(y))  subject to [a] y
+   fixed to its value at [y0] (the start must satisfy the equalities and
+   be strictly feasible for the inequalities). *)
+let centering ~barrier_t ~(objective : Smooth.t) ~(ineqs : Smooth.t list) ~rows y0 =
+  let n = Vec.dim y0 in
+  let p = List.length rows in
+  let phi y =
+    let acc = ref (barrier_t *. objective.Smooth.value y) in
+    let ok = ref true in
+    List.iter
+      (fun (g : Smooth.t) ->
+        let v = g.Smooth.value y in
+        if v >= 0.0 then ok := false else acc := !acc -. log (-.v))
+      ineqs;
+    if !ok then Some !acc else None
+  in
+  let y = ref (Vec.copy y0) in
+  let converged = ref false in
+  let iter = ref 0 in
+  while (not !converged) && !iter < 80 do
+    incr iter;
+    let v0, g0, h0 = objective.Smooth.eval !y in
+    ignore v0;
+    let grad = Vec.scale barrier_t g0 in
+    let hess = Mat.scale barrier_t h0 in
+    List.iter
+      (fun (g : Smooth.t) ->
+        let vi, gi, hi = g.Smooth.eval !y in
+        (* vi < 0 by the line-search invariant *)
+        let inv = -1.0 /. vi in
+        for i = 0 to n - 1 do
+          grad.(i) <- grad.(i) +. (inv *. gi.(i))
+        done;
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            Mat.add_to hess i j ((inv *. Mat.get hi i j) +. (inv *. inv *. gi.(i) *. gi.(j)))
+          done
+        done)
+      ineqs;
+    (* Newton step, keeping A y = const: KKT system
+       [H A^T; A 0] [dy; w] = [-grad; 0]. *)
+    let solve_kkt reg =
+      let dim = n + p in
+      let kkt = Mat.create dim dim in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          Mat.set kkt i j (Mat.get hess i j)
+        done;
+        Mat.add_to kkt i i reg
+      done;
+      List.iteri
+        (fun k (a, _) ->
+          for j = 0 to n - 1 do
+            Mat.set kkt (n + k) j a.(j);
+            Mat.set kkt j (n + k) a.(j)
+          done)
+        rows;
+      let rhs = Vec.create dim in
+      for i = 0 to n - 1 do
+        rhs.(i) <- -.grad.(i)
+      done;
+      Vec.slice (Mat.lu_solve kkt rhs) 0 n
+    in
+    let dy =
+      let rec attempt reg tries =
+        match solve_kkt reg with
+        | dy -> Some dy
+        | exception Mat.Singular ->
+          if tries <= 0 then None else attempt (reg *. 100.0) (tries - 1)
+      in
+      attempt 1e-9 6
+    in
+    match dy with
+    | None ->
+      (* The KKT system is numerically singular even with heavy
+         regularization: accept the current (feasible) point. *)
+      converged := true
+    | Some dy ->
+    let slope = Vec.dot grad dy in
+    let lambda2 = -.slope in
+    if lambda2 /. 2.0 < 1e-10 then converged := true
+    else begin
+      (* Backtracking line search with the strict-feasibility invariant. *)
+      let phi0 =
+        match phi !y with
+        | Some v -> v
+        | None -> invalid_arg "Gp.Solver: centering started at an infeasible point"
+      in
+      let rec search alpha tries =
+        if tries <= 0 then None
+        else begin
+          let cand = Vec.axpy alpha dy !y in
+          match phi cand with
+          | Some v when v <= phi0 +. (0.25 *. alpha *. slope) -> Some cand
+          | _ -> search (alpha /. 2.0) (tries - 1)
+        end
+      in
+      match search 1.0 60 with
+      | Some cand -> y := cand
+      | None -> converged := true (* cannot make progress; accept the point *)
+    end
+  done;
+  !y
+
+(* ------------------------------------------------------------------ *)
+(* Barrier loop                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let barrier ?(stop_early = fun _ -> false) ~tol ~max_outer ~objective ~ineqs ~rows y0 =
+  let m = List.length ineqs in
+  if m = 0 then (centering ~barrier_t:1.0 ~objective ~ineqs ~rows y0, true)
+  else begin
+    let y = ref y0 in
+    let t = ref 1.0 in
+    let mu = 20.0 in
+    let outer = ref 0 in
+    let done_ = ref false in
+    let clean = ref false in
+    while not !done_ do
+      incr outer;
+      y := centering ~barrier_t:!t ~objective ~ineqs ~rows !y;
+      if stop_early !y then begin
+        done_ := true;
+        clean := true
+      end
+      else if float_of_int m /. !t < tol then begin
+        done_ := true;
+        clean := true
+      end
+      else if !outer >= max_outer then done_ := true
+      else t := !t *. mu
+    done;
+    (!y, !clean)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Phase I                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* G(y, s) = f(y) - s over n + 1 variables. *)
+let minus_slack n (f : Smooth.t) =
+  let base = Smooth.extend f 1 in
+  let value y = base.Smooth.value y -. y.(n) in
+  let eval y =
+    let v, g, h = base.Smooth.eval y in
+    g.(n) <- g.(n) -. 1.0;
+    (v -. y.(n), g, h)
+  in
+  { Smooth.dim = n + 1; eval; value }
+
+(* Find a point satisfying the equalities and strictly satisfying the
+   inequalities, or decide that none exists. *)
+let phase1 ~tol ~max_outer n (ineqs : Smooth.t list) rows y0 =
+  let strictly_ok y = List.for_all (fun (g : Smooth.t) -> g.Smooth.value y < -1e-9) ineqs in
+  if strictly_ok y0 then Some y0
+  else begin
+    let n1 = n + 1 in
+    let s_dir = Vec.init n1 (fun i -> if i = n then 1.0 else 0.0) in
+    let objective = Smooth.linear n1 s_dir 0.0 in
+    let g_ineqs = List.map (minus_slack n) ineqs in
+    (* Keep s bounded below so the phase-I problem is bounded. *)
+    let lower = Smooth.linear n1 (Vec.scale (-1.0) s_dir) (-20.0) in
+    let rows1 = List.map (fun (a, d) -> (Vec.concat a [| 0.0 |], d)) rows in
+    let s0 =
+      List.fold_left (fun acc (g : Smooth.t) -> Float.max acc (g.Smooth.value y0)) 0.0 ineqs
+      +. 1.0
+    in
+    let start = Vec.concat y0 [| s0 |] in
+    let stop_early y = y.(n) < -0.5 in
+    let y1, _ =
+      barrier ~stop_early ~tol ~max_outer ~objective ~ineqs:(lower :: g_ineqs) ~rows:rows1
+        start
+    in
+    let y = Vec.slice y1 0 n in
+    if strictly_ok y then Some y else None
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let least_norm_start n rows =
+  match rows with
+  | [] -> Vec.create n
+  | _ ->
+    (* y0 = A^T z with (A A^T + eps I) z = d: minimum-norm solution of the
+       (assumed full-rank) equality system, regularized for safety. *)
+    let p = List.length rows in
+    let arr = Array.of_list rows in
+    let gram =
+      Mat.init p p (fun i j ->
+          Vec.dot (fst arr.(i)) (fst arr.(j)) +. if i = j then 1e-12 else 0.0)
+    in
+    let d = Vec.init p (fun i -> snd arr.(i)) in
+    let z = Mat.lu_solve gram d in
+    let y = Vec.create n in
+    Array.iteri
+      (fun i (a, _) ->
+        for j = 0 to n - 1 do
+          y.(j) <- y.(j) +. (z.(i) *. a.(j))
+        done)
+      arr;
+    y
+
+let solve ?(tol = 1e-8) ?(max_outer = 60) problem =
+  let vars = Problem.variables problem in
+  let n = List.length vars in
+  let index = Hashtbl.create (2 * n) in
+  List.iteri (fun i x -> Hashtbl.replace index x i) vars;
+  let objective = compile_posynomial n index (Problem.objective problem) in
+  let ineqs = List.map (fun (_, p) -> compile_posynomial n index p) (Problem.ineqs problem) in
+  let rows0 = equality_rows n index (Problem.eqs problem) in
+  (* Constant equalities reduce to 0 = d: inconsistent unless d ~ 0. *)
+  let inconsistent = ref false in
+  let rows =
+    List.filter
+      (fun (a, d) ->
+        if Vec.norm_inf a > 0.0 then true
+        else begin
+          if Float.abs d > 1e-9 then inconsistent := true;
+          false
+        end)
+      rows0
+  in
+  let extract status y =
+    let envt = Array.map exp y in
+    let values = List.mapi (fun i x -> (x, envt.(i))) vars in
+    let lookup_env x = envt.(Hashtbl.find index x) in
+    { status; values; objective = P.eval lookup_env (Problem.objective problem) }
+  in
+  if !inconsistent then { status = Infeasible; values = []; objective = nan }
+  else begin
+    (* Any residual numerical failure is reported as infeasibility of this
+       program rather than escaping to the caller: the driver treats such
+       choices as unusable and moves on. *)
+    match
+      let y0 = least_norm_start n rows in
+      match phase1 ~tol:1e-6 ~max_outer n ineqs rows y0 with
+      | None ->
+        Log.debug (fun m -> m "phase I failed: problem infeasible");
+        { status = Infeasible; values = []; objective = nan }
+      | Some y_feas ->
+        let y_opt, clean = barrier ~tol ~max_outer ~objective ~ineqs ~rows y_feas in
+        extract (if clean then Optimal else Iteration_limit) y_opt
+    with
+    | solution -> solution
+    | exception Mat.Singular ->
+      Log.debug (fun m -> m "numerical failure: treating the program as infeasible");
+      { status = Infeasible; values = []; objective = nan }
+  end

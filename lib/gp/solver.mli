@@ -1,0 +1,34 @@
+(** Interior-point solver for geometric programs.
+
+    The problem is transformed to log space ([y = log t]), where the
+    objective and inequality constraints become convex log-sum-exp
+    functions and monomial equalities become affine equalities.  A
+    standard two-phase barrier method then follows: phase I finds a
+    strictly feasible point (or a certificate of infeasibility), phase II
+    traces the central path with equality-constrained Newton steps. *)
+
+type status =
+  | Optimal  (** converged to the requested duality-gap tolerance *)
+  | Infeasible  (** phase I could not find a strictly feasible point *)
+  | Iteration_limit
+      (** progress stalled; the returned point is the best found and is
+          feasible, but optimality is not certified *)
+
+type solution = {
+  status : status;
+  values : (string * float) list;
+      (** variable assignment in the original (positive) space *)
+  objective : float;  (** objective posynomial value at [values] *)
+}
+
+val lookup : solution -> string -> float
+(** Value of a variable in the solution.  Raises [Not_found] if the
+    variable does not occur in the problem. *)
+
+val env : solution -> string -> float
+(** The solution as an evaluation environment. *)
+
+val solve : ?tol:float -> ?max_outer:int -> Problem.t -> solution
+(** [solve problem] minimizes the problem objective.  [tol] bounds the
+    final duality gap per inequality constraint (default 1e-8);
+    [max_outer] bounds the number of barrier updates (default 60). *)

@@ -1,0 +1,183 @@
+type t = { rows : int; cols : int; data : float array }
+
+exception Singular
+
+let singular_threshold = 1e-13
+
+let create rows cols = { rows; cols; data = Array.make (rows * cols) 0.0 }
+
+let init rows cols f =
+  { rows; cols; data = Array.init (rows * cols) (fun k -> f (k / cols) (k mod cols)) }
+
+let identity n = init n n (fun i j -> if i = j then 1.0 else 0.0)
+
+let of_rows arr =
+  let rows = Array.length arr in
+  if rows = 0 then { rows = 0; cols = 0; data = [||] }
+  else begin
+    let cols = Array.length arr.(0) in
+    Array.iter
+      (fun r ->
+        if Array.length r <> cols then invalid_arg "Mat.of_rows: ragged rows")
+      arr;
+    init rows cols (fun i j -> arr.(i).(j))
+  end
+
+let rows m = m.rows
+
+let cols m = m.cols
+
+let get m i j = m.data.((i * m.cols) + j)
+
+let set m i j v = m.data.((i * m.cols) + j) <- v
+
+let add_to m i j v =
+  let k = (i * m.cols) + j in
+  m.data.(k) <- m.data.(k) +. v
+
+let copy m = { m with data = Array.copy m.data }
+
+let transpose m = init m.cols m.rows (fun i j -> get m j i)
+
+let add a b =
+  if a.rows <> b.rows || a.cols <> b.cols then invalid_arg "Mat.add: dimension mismatch";
+  { a with data = Array.mapi (fun k v -> v +. b.data.(k)) a.data }
+
+let scale s m = { m with data = Array.map (fun v -> s *. v) m.data }
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Mat.mul: dimension mismatch";
+  let c = create a.rows b.cols in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = get a i k in
+      if aik <> 0.0 then
+        for j = 0 to b.cols - 1 do
+          add_to c i j (aik *. get b k j)
+        done
+    done
+  done;
+  c
+
+let mul_vec m x =
+  if m.cols <> Array.length x then invalid_arg "Mat.mul_vec: dimension mismatch";
+  Array.init m.rows (fun i ->
+      let acc = ref 0.0 in
+      for j = 0 to m.cols - 1 do
+        acc := !acc +. (get m i j *. x.(j))
+      done;
+      !acc)
+
+let mul_trans_vec m x =
+  if m.rows <> Array.length x then invalid_arg "Mat.mul_trans_vec: dimension mismatch";
+  let y = Array.make m.cols 0.0 in
+  for i = 0 to m.rows - 1 do
+    let xi = x.(i) in
+    if xi <> 0.0 then
+      for j = 0 to m.cols - 1 do
+        y.(j) <- y.(j) +. (get m i j *. xi)
+      done
+  done;
+  y
+
+let lu_solve a b =
+  if a.rows <> a.cols then invalid_arg "Mat.lu_solve: matrix not square";
+  if a.rows <> Array.length b then invalid_arg "Mat.lu_solve: dimension mismatch";
+  let n = a.rows in
+  let m = copy a in
+  let x = Array.copy b in
+  for k = 0 to n - 1 do
+    (* Partial pivoting: bring the largest remaining entry of column k to
+       the diagonal. *)
+    let pivot_row = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs (get m i k) > Float.abs (get m !pivot_row k) then pivot_row := i
+    done;
+    if !pivot_row <> k then begin
+      for j = 0 to n - 1 do
+        let tmp = get m k j in
+        set m k j (get m !pivot_row j);
+        set m !pivot_row j tmp
+      done;
+      let tmp = x.(k) in
+      x.(k) <- x.(!pivot_row);
+      x.(!pivot_row) <- tmp
+    end;
+    let pivot = get m k k in
+    if Float.abs pivot < singular_threshold then raise Singular;
+    for i = k + 1 to n - 1 do
+      let factor = get m i k /. pivot in
+      if factor <> 0.0 then begin
+        set m i k 0.0;
+        for j = k + 1 to n - 1 do
+          add_to m i j (-.factor *. get m k j)
+        done;
+        x.(i) <- x.(i) -. (factor *. x.(k))
+      end
+    done
+  done;
+  (* Back substitution. *)
+  for i = n - 1 downto 0 do
+    let acc = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (get m i j *. x.(j))
+    done;
+    x.(i) <- !acc /. get m i i
+  done;
+  x
+
+let cholesky a =
+  if a.rows <> a.cols then invalid_arg "Mat.cholesky: matrix not square";
+  let n = a.rows in
+  let l = create n n in
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      let acc = ref (get a i j) in
+      for k = 0 to j - 1 do
+        acc := !acc -. (get l i k *. get l j k)
+      done;
+      if i = j then begin
+        if !acc <= 0.0 then raise Singular;
+        set l i j (sqrt !acc)
+      end
+      else set l i j (!acc /. get l j j)
+    done
+  done;
+  l
+
+let cholesky_solve l b =
+  let n = rows l in
+  if n <> Array.length b then invalid_arg "Mat.cholesky_solve: dimension mismatch";
+  let y = Array.copy b in
+  (* Forward substitution with l. *)
+  for i = 0 to n - 1 do
+    let acc = ref y.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (get l i j *. y.(j))
+    done;
+    y.(i) <- !acc /. get l i i
+  done;
+  (* Back substitution with transpose l. *)
+  for i = n - 1 downto 0 do
+    let acc = ref y.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (get l j i *. y.(j))
+    done;
+    y.(i) <- !acc /. get l i i
+  done;
+  y
+
+let solve_spd a b = cholesky_solve (cholesky a) b
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to m.rows - 1 do
+    Format.fprintf ppf "[@[";
+    for j = 0 to m.cols - 1 do
+      if j > 0 then Format.fprintf ppf ";@ ";
+      Format.fprintf ppf "%g" (get m i j)
+    done;
+    Format.fprintf ppf "@]]";
+    if i < m.rows - 1 then Format.fprintf ppf "@,"
+  done;
+  Format.fprintf ppf "@]"

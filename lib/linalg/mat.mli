@@ -1,0 +1,69 @@
+(** Dense matrices of floats with the factorizations needed by the
+    geometric-programming solver: pivoted LU for general square systems and
+    Cholesky for symmetric positive-definite ones.
+
+    Matrices are stored row-major.  Dimensions are small (tens of rows), so
+    no blocking or vectorization is attempted. *)
+
+type t
+
+exception Singular
+(** Raised by [lu_solve] / [cholesky] when the matrix is (numerically)
+    singular or not positive definite. *)
+
+val create : int -> int -> t
+(** [create rows cols] is the zero matrix. *)
+
+val init : int -> int -> (int -> int -> float) -> t
+
+val identity : int -> t
+
+val of_rows : float array array -> t
+(** Builds a matrix from rows (copied).  Raises [Invalid_argument] if the
+    rows are ragged. *)
+
+val rows : t -> int
+
+val cols : t -> int
+
+val get : t -> int -> int -> float
+
+val set : t -> int -> int -> float -> unit
+
+val add_to : t -> int -> int -> float -> unit
+(** [add_to m i j v] adds [v] to entry [(i, j)] in place. *)
+
+val copy : t -> t
+
+val transpose : t -> t
+
+val add : t -> t -> t
+
+val scale : float -> t -> t
+
+val mul : t -> t -> t
+(** Matrix product.  Raises [Invalid_argument] on dimension mismatch. *)
+
+val mul_vec : t -> Vec.t -> Vec.t
+
+val mul_trans_vec : t -> Vec.t -> Vec.t
+(** [mul_trans_vec m x] is [transpose m * x] without materializing the
+    transpose. *)
+
+val lu_solve : t -> Vec.t -> Vec.t
+(** [lu_solve a b] solves [a x = b] by Gaussian elimination with partial
+    pivoting.  [a] is left unmodified.  Raises [Singular] when no pivot
+    exceeds the singularity threshold. *)
+
+val cholesky : t -> t
+(** [cholesky a] is the lower-triangular [l] with [l * transpose l = a] for
+    symmetric positive-definite [a].  Raises [Singular] otherwise. *)
+
+val cholesky_solve : t -> Vec.t -> Vec.t
+(** [cholesky_solve l b] solves [l * transpose l * x = b] given the factor
+    [l] produced by [cholesky]. *)
+
+val solve_spd : t -> Vec.t -> Vec.t
+(** [solve_spd a b] factors and solves in one step. *)
+
+val pp : Format.formatter -> t -> unit

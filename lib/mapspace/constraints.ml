@@ -1,0 +1,87 @@
+type level_constraint = {
+  c_level : int;
+  fixed_factors : (string * int) list;
+  max_factors : (string * int) list;
+  perm_prefix : string list;
+}
+
+type t = level_constraint list
+
+let empty = []
+
+let level_constraint ~level ?(fixed = []) ?(max_factors = []) ?(perm_prefix = []) () =
+  List.iter
+    (fun (dim, f) ->
+      if f < 1 then
+        invalid_arg
+          (Printf.sprintf "Constraints.level_constraint: factor %d for dim %S" f dim))
+    (fixed @ max_factors);
+  { c_level = level; fixed_factors = fixed; max_factors; perm_prefix }
+
+let rec is_prefix prefix perm =
+  match (prefix, perm) with
+  | [], _ -> true
+  | p :: ps, q :: qs -> String.equal p q && is_prefix ps qs
+  | _ :: _, [] -> false
+
+let violations_of constraint_ mapping =
+  if constraint_.c_level >= Mapping.num_levels mapping then
+    [ Printf.sprintf "level %d does not exist in the mapping" constraint_.c_level ]
+  else begin
+    let level = constraint_.c_level in
+    let fixed =
+      List.filter_map
+        (fun (dim, expected) ->
+          let actual = Mapping.factor mapping ~level dim in
+          if actual <> expected then
+            Some
+              (Printf.sprintf "level %d: %s=%d, constrained to %d" level dim actual
+                 expected)
+          else None)
+        constraint_.fixed_factors
+    in
+    let capped =
+      List.filter_map
+        (fun (dim, bound) ->
+          let actual = Mapping.factor mapping ~level dim in
+          if actual > bound then
+            Some
+              (Printf.sprintf "level %d: %s=%d exceeds the cap %d" level dim actual bound)
+          else None)
+        constraint_.max_factors
+    in
+    let perm =
+      if constraint_.perm_prefix = [] then []
+      else begin
+        let lvl = Mapping.level mapping level in
+        match lvl.Mapping.kind with
+        | Level.Spatial ->
+          [ Printf.sprintf "level %d is spatial: permutation prefix meaningless" level ]
+        | Level.Temporal ->
+          if is_prefix constraint_.perm_prefix lvl.Mapping.perm then []
+          else
+            [
+              Printf.sprintf "level %d: permutation does not start with %s" level
+                (String.concat " " constraint_.perm_prefix);
+            ]
+      end
+    in
+    fixed @ capped @ perm
+  end
+
+let violations t mapping = List.concat_map (fun c -> violations_of c mapping) t
+
+let satisfies t mapping = violations t mapping = []
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i c ->
+      if i > 0 then Format.fprintf ppf "@,";
+      Format.fprintf ppf "level %d:" c.c_level;
+      List.iter (fun (d, f) -> Format.fprintf ppf " %s=%d" d f) c.fixed_factors;
+      List.iter (fun (d, f) -> Format.fprintf ppf " %s<=%d" d f) c.max_factors;
+      if c.perm_prefix <> [] then
+        Format.fprintf ppf " perm^=%s" (String.concat "" c.perm_prefix))
+    t;
+  Format.fprintf ppf "@]"

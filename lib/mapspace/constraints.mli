@@ -1,0 +1,39 @@
+(** Mapping-space constraints — the "dataflow constraints specification"
+    a Timeloop-style mapper accepts alongside free search (paper
+    Section IV).  A constraint set restricts, per level:
+
+    - fixed factors: a dim's trip count at the level must equal a value;
+    - factor caps: a dim's trip count at the level may not exceed a value;
+    - a permutation prefix: the outermost loops of a temporal level must
+      start with the given iterators, in order.
+
+    Constraint sets are conjunctive and levels not mentioned are free. *)
+
+type level_constraint = {
+  c_level : int;
+  fixed_factors : (string * int) list;
+  max_factors : (string * int) list;
+  perm_prefix : string list;  (** outer to inner *)
+}
+
+type t = level_constraint list
+
+val empty : t
+
+val level_constraint :
+  level:int ->
+  ?fixed:(string * int) list ->
+  ?max_factors:(string * int) list ->
+  ?perm_prefix:string list ->
+  unit ->
+  level_constraint
+(** Raises [Invalid_argument] on non-positive factor values. *)
+
+val satisfies : t -> Mapping.t -> bool
+(** Levels beyond the mapping's depth make the constraint unsatisfied. *)
+
+val violations : t -> Mapping.t -> string list
+(** Human-readable reasons why the mapping fails each constraint; empty
+    iff {!satisfies}. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,106 @@
+let divisors n =
+  if n < 1 then invalid_arg "Divisors.divisors: argument must be positive";
+  let rec collect d small large =
+    if d * d > n then List.rev_append small large
+    else if n mod d = 0 then begin
+      let q = n / d in
+      if q = d then collect (d + 1) (d :: small) large
+      else collect (d + 1) (d :: small) (q :: large)
+    end
+    else collect (d + 1) small large
+  in
+  collect 1 [] []
+
+let is_divisor d ~of_ = d >= 1 && of_ mod d = 0
+
+let take k xs =
+  let rec go k = function
+    | x :: rest when k > 0 -> x :: go (k - 1) rest
+    | _ -> []
+  in
+  go k xs
+
+let closest n ~target ~count =
+  let target = Float.max target 1.0 in
+  let by_log_distance a b =
+    let dist d = Float.abs (log (float_of_int d) -. log target) in
+    Float.compare (dist a) (dist b)
+  in
+  divisors n |> List.stable_sort by_log_distance |> take count
+  |> List.sort_uniq Int.compare
+
+let closest_powers_of_two ~target ~count =
+  let target = Float.max target 1.0 in
+  let exact = log target /. log 2.0 in
+  let base = int_of_float (Float.round exact) in
+  let candidates =
+    List.init (count + 2) (fun i ->
+        let off = ((i + 1) / 2) * if i mod 2 = 0 then 1 else -1 in
+        Int.max 0 (base + off))
+  in
+  let pow2 e = 1 lsl e in
+  List.map pow2 candidates |> List.sort_uniq Int.compare
+  |> List.stable_sort (fun a b ->
+         let dist d = Float.abs (log (float_of_int d) -. log target) in
+         Float.compare (dist a) (dist b))
+  |> take count
+  |> List.sort_uniq Int.compare
+
+let rec factorizations n ~parts =
+  if parts < 1 then invalid_arg "Divisors.factorizations: parts must be positive";
+  if parts = 1 then [ [ n ] ]
+  else
+    List.concat_map
+      (fun d -> List.map (fun rest -> d :: rest) (factorizations (n / d) ~parts:(parts - 1)))
+      (divisors n)
+
+let count_factorizations n ~parts =
+  let table = Hashtbl.create 64 in
+  let rec count n parts =
+    if parts = 1 then 1
+    else
+      match Hashtbl.find_opt table (n, parts) with
+      | Some c -> c
+      | None ->
+        let c =
+          List.fold_left (fun acc d -> acc + count (n / d) (parts - 1)) 0 (divisors n)
+        in
+        Hashtbl.replace table (n, parts) c;
+        c
+  in
+  if parts < 1 then invalid_arg "Divisors.count_factorizations: parts must be positive";
+  count n parts
+
+let random_factorization rng n ~parts =
+  if parts < 1 then invalid_arg "Divisors.random_factorization: parts must be positive";
+  let table = Hashtbl.create 64 in
+  let rec count n parts =
+    if parts = 1 then 1
+    else
+      match Hashtbl.find_opt table (n, parts) with
+      | Some c -> c
+      | None ->
+        let c =
+          List.fold_left (fun acc d -> acc + count (n / d) (parts - 1)) 0 (divisors n)
+        in
+        Hashtbl.replace table (n, parts) c;
+        c
+  in
+  (* Uniform over ordered factorizations: pick the first factor d with
+     probability proportional to the number of completions of n/d. *)
+  let rec sample n parts =
+    if parts = 1 then [ n ]
+    else begin
+      let total = count n parts in
+      let target = Random.State.int rng total in
+      let rec pick acc = function
+        | [] -> assert false
+        | d :: rest ->
+          let c = count (n / d) (parts - 1) in
+          if target < acc + c then d :: sample (n / d) (parts - 1)
+          else pick (acc + c) rest
+      in
+      pick 0 (divisors n)
+    end
+  in
+  sample n parts

@@ -1,0 +1,28 @@
+(** Divisor arithmetic used by mapping enumeration and by the conversion of
+    real-valued solver output to integer tile sizes. *)
+
+val divisors : int -> int list
+(** All positive divisors of [n], ascending.  Raises [Invalid_argument] for
+    [n < 1]. *)
+
+val is_divisor : int -> of_:int -> bool
+
+val closest : int -> target:float -> count:int -> int list
+(** [closest n ~target ~count] is up to [count] divisors of [n] nearest to
+    [target] (distance measured in log space, since tile sizes act
+    multiplicatively), de-duplicated, ascending. *)
+
+val closest_powers_of_two : target:float -> count:int -> int list
+(** Up to [count] powers of two nearest to [target] in log space; always at
+    least 1. *)
+
+val factorizations : int -> parts:int -> int list list
+(** All ordered ways to write [n] as a product of [parts] positive factors.
+    Intended for small [n]; the count grows quickly. *)
+
+val count_factorizations : int -> parts:int -> int
+(** Number of such factorizations, without materializing them. *)
+
+val random_factorization : Random.State.t -> int -> parts:int -> int list
+(** Uniformly random ordered factorization, drawn by walking the divisor
+    lattice. *)

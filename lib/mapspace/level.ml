@@ -1,0 +1,29 @@
+type kind = Temporal | Spatial
+
+let canonical = [ Temporal; Temporal; Spatial; Temporal ]
+
+let canonical_names = [ "reg"; "pe"; "spatial"; "dram" ]
+
+let register_level = 0
+
+let pe_temporal_level = 1
+
+let spatial_level = 2
+
+let dram_temporal_level = 3
+
+let name i =
+  match List.nth_opt canonical_names i with
+  | Some n -> n
+  | None -> Printf.sprintf "level%d" i
+
+let trip_var ~level ~dim = Printf.sprintf "t%d.%s" level dim
+
+let parse_trip_var s =
+  match String.index_opt s '.' with
+  | Some dot when dot > 1 && s.[0] = 't' -> begin
+    match int_of_string_opt (String.sub s 1 (dot - 1)) with
+    | Some level -> Some (level, String.sub s (dot + 1) (String.length s - dot - 1))
+    | None -> None
+  end
+  | _ -> None

@@ -1,0 +1,132 @@
+type level = {
+  kind : Level.kind;
+  factors : (string * int) list;
+  perm : string list;
+}
+
+type t = { levels : level list }
+
+let make levels =
+  List.iter
+    (fun lvl ->
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun (dim, f) ->
+          if f < 1 then
+            invalid_arg (Printf.sprintf "Mapping.make: factor %d for dim %S" f dim);
+          if Hashtbl.mem seen dim then
+            invalid_arg (Printf.sprintf "Mapping.make: duplicate dim %S in level" dim);
+          Hashtbl.replace seen dim ())
+        lvl.factors)
+    levels;
+  { levels }
+
+let levels m = m.levels
+
+let num_levels m = List.length m.levels
+
+let level m i = List.nth m.levels i
+
+let factor m ~level dim =
+  match List.assoc_opt dim (List.nth m.levels level).factors with
+  | Some f -> f
+  | None -> 1
+
+let trips m dim = List.map (fun lvl -> Option.value ~default:1 (List.assoc_opt dim lvl.factors)) m.levels
+
+let extent_through m ~level dim =
+  let rec go i acc = function
+    | [] -> acc
+    | lvl :: rest ->
+      if i > level then acc
+      else
+        go (i + 1) (acc * Option.value ~default:1 (List.assoc_opt dim lvl.factors)) rest
+  in
+  go 0 1 m.levels
+
+let total_extent m dim = extent_through m ~level:(num_levels m - 1) dim
+
+let spatial_size m =
+  List.fold_left
+    (fun acc lvl ->
+      match lvl.kind with
+      | Level.Spatial -> List.fold_left (fun a (_, f) -> a * f) acc lvl.factors
+      | Level.Temporal -> acc)
+    1 m.levels
+
+let env m var =
+  match Level.parse_trip_var var with
+  | Some (lvl, dim) when lvl < num_levels m -> float_of_int (factor m ~level:lvl dim)
+  | Some _ | None -> 1.0
+
+let validate nest m =
+  let dims = Workload.Nest.dim_names nest in
+  let error fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let check_level i lvl =
+    let bad_dim =
+      List.find_opt (fun (d, _) -> not (List.mem d dims)) lvl.factors
+    in
+    match bad_dim with
+    | Some (d, _) -> error "level %d factors undeclared dim %S" i d
+    | None -> begin
+      match lvl.kind with
+      | Level.Spatial -> Ok ()
+      | Level.Temporal ->
+        if List.sort String.compare lvl.perm <> List.sort String.compare dims then
+          error "level %d permutation is not a permutation of the nest dims" i
+        else Ok ()
+    end
+  in
+  let rec check_levels i = function
+    | [] -> Ok ()
+    | lvl :: rest -> begin
+      match check_level i lvl with Ok () -> check_levels (i + 1) rest | e -> e
+    end
+  in
+  match check_levels 0 m.levels with
+  | Error _ as e -> e
+  | Ok () ->
+    let rec check_extents = function
+      | [] -> Ok ()
+      | d :: rest ->
+        let product = total_extent m d in
+        let extent = Workload.Nest.extent nest d in
+        if product <> extent then
+          error "dim %S: factors multiply to %d, extent is %d" d product extent
+        else check_extents rest
+    in
+    check_extents dims
+
+let canonical ~reg ~pe ~spatial ~dram =
+  let reg_factors, reg_perm = reg in
+  let pe_factors, pe_perm = pe in
+  let dram_factors, dram_perm = dram in
+  make
+    [
+      { kind = Level.Temporal; factors = reg_factors; perm = reg_perm };
+      { kind = Level.Temporal; factors = pe_factors; perm = pe_perm };
+      { kind = Level.Spatial; factors = spatial; perm = [] };
+      { kind = Level.Temporal; factors = dram_factors; perm = dram_perm };
+    ]
+
+let equal_level a b =
+  a.kind = b.kind
+  && List.sort compare a.factors = List.sort compare b.factors
+  && a.perm = b.perm
+
+let equal a b = List.equal equal_level a.levels b.levels
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i lvl ->
+      let kind = match lvl.kind with Level.Temporal -> "temporal" | Level.Spatial -> "spatial" in
+      Format.fprintf ppf "%s(%s):" (Level.name i) kind;
+      List.iter (fun (d, f) -> if f > 1 then Format.fprintf ppf " %s=%d" d f) lvl.factors;
+      (match lvl.kind with
+      | Level.Temporal when lvl.perm <> [] ->
+        Format.fprintf ppf " perm=%s" (String.concat "" lvl.perm)
+      | Level.Temporal | Level.Spatial -> ());
+      if i < List.length m.levels - 1 then Format.fprintf ppf "@,")
+    m.levels;
+  Format.fprintf ppf "@]"

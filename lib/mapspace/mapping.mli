@@ -1,0 +1,64 @@
+(** Concrete mappings: integer tiling factors and loop permutations for
+    every level of the hierarchy.
+
+    A mapping assigns to each level an association [dim -> factor]
+    (missing dims default to 1) and, for temporal levels, a permutation of
+    the nest iterators written {e outer to inner}, following the paper's
+    convention for tile-iterator permutations. *)
+
+type level = {
+  kind : Level.kind;
+  factors : (string * int) list;
+  perm : string list;  (** outer to inner; ignored for spatial levels *)
+}
+
+type t
+
+val make : level list -> t
+(** Levels innermost first.  Raises [Invalid_argument] on non-positive
+    factors or duplicate dims within a level. *)
+
+val levels : t -> level list
+
+val num_levels : t -> int
+
+val level : t -> int -> level
+
+val factor : t -> level:int -> string -> int
+(** Defaults to 1 for dims not listed at the level. *)
+
+val trips : t -> string -> int list
+(** Factors of one dim across levels, innermost first. *)
+
+val extent_through : t -> level:int -> string -> int
+(** Product of the dim's factors at levels [0..level] — the tile extent of
+    the dim at that level. *)
+
+val total_extent : t -> string -> int
+
+val spatial_size : t -> int
+(** Product of all factors at spatial levels: the number of PEs used. *)
+
+val env : t -> string -> float
+(** Evaluation environment mapping {!Level.trip_var} names to factors
+    (1.0 for anything unknown), for use with symbolic expressions. *)
+
+val validate : Workload.Nest.t -> t -> (unit, string) result
+(** Checks that the mapping has a level structure matching
+    {!Level.canonical} length or any length, that every factored dim is
+    declared in the nest, that per-dim factor products equal extents, and
+    that every temporal level's permutation is a permutation of the nest's
+    dims. *)
+
+val canonical :
+  reg:(string * int) list * string list ->
+  pe:(string * int) list * string list ->
+  spatial:(string * int) list ->
+  dram:(string * int) list * string list ->
+  t
+(** Convenience constructor for the 4-level canonical hierarchy; each
+    temporal argument is [(factors, perm)]. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

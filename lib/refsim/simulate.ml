@@ -1,0 +1,161 @@
+module Nest = Workload.Nest
+module Mapping = Mapspace.Mapping
+module Level = Mapspace.Level
+
+type fill_report = { tensor : string; level : int; copies : int; words : float }
+
+(* One loop of the flattened nest enclosing a copy point. *)
+type loop = { loop_dim : string; trips : int; block : int (* origin step per iteration *) }
+
+(* Loops enclosing the level-[l] copy of [tensor], outermost first:
+   every loop of levels above [l] (spatial levels restricted to dims
+   present in the tensor — multicast serves the rest), then the loops of
+   level [l] outside the hoist point. *)
+let enclosing_loops mapping tensor ~level ~hoist_index =
+  let loops_of_level l ~keep =
+    let lvl = Mapping.level mapping l in
+    let dims =
+      match lvl.Mapping.kind with
+      | Level.Temporal -> lvl.Mapping.perm
+      | Level.Spatial -> List.map fst lvl.Mapping.factors
+    in
+    List.filter_map
+      (fun dim ->
+        if not (keep dim) then None
+        else
+          Some
+            {
+              loop_dim = dim;
+              trips = Mapping.factor mapping ~level:l dim;
+              block = Mapping.extent_through mapping ~level:(l - 1) dim;
+            })
+      dims
+  in
+  let nlevels = Mapping.num_levels mapping in
+  let upper =
+    List.concat_map
+      (fun l ->
+        let lvl = Mapping.level mapping l in
+        let keep dim =
+          match lvl.Mapping.kind with
+          | Level.Temporal -> true
+          | Level.Spatial -> Nest.tensor_mentions tensor dim
+        in
+        loops_of_level l ~keep)
+      (List.rev (List.init (nlevels - 1 - level) (fun i -> level + 1 + i)))
+  in
+  let this_level =
+    let lvl = Mapping.level mapping level in
+    let outer_dims =
+      List.filteri (fun i _ -> i < hoist_index) lvl.Mapping.perm
+    in
+    loops_of_level level ~keep:(fun d -> List.mem d outer_dims)
+  in
+  upper @ this_level
+
+(* Index of the innermost iterator of the level's permutation present in
+   the tensor reference; [None] when no iterator is present (the copy
+   hoists above the whole level). *)
+let hoist_position mapping tensor ~level =
+  let perm = (Mapping.level mapping level).Mapping.perm in
+  let n = List.length perm in
+  let rec scan i = function
+    | [] -> None
+    | dim :: outer ->
+      (* Trip-count-1 loops are not emitted, so hoisting passes through
+         them (same rule as Accmodel.Counts). *)
+      if
+        Nest.tensor_mentions tensor dim
+        && Mapping.factor mapping ~level dim > 1
+      then Some (n - 1 - i)
+      else scan (i + 1) outer
+  in
+  scan 0 (List.rev perm)
+
+(* Words of one copy at given per-dim origins: product over projections of
+   the interval length [sum stride*(origin + ext - 1) - sum stride*origin
+   + 1]; origins cancel, but computing both ends from the actual indices
+   exercises the interval arithmetic. *)
+let copy_words tensor ~origin ~ext =
+  List.fold_left
+    (fun acc proj ->
+      let start =
+        List.fold_left (fun a { Nest.stride; iter } -> a + (stride * origin iter)) 0 proj
+      in
+      let stop =
+        List.fold_left
+          (fun a { Nest.stride; iter } -> a + (stride * (origin iter + ext iter - 1)))
+          0 proj
+      in
+      acc *. float_of_int (stop - start + 1))
+    1.0 tensor.Nest.projections
+
+let fills_of_tensor mapping tensor ~level =
+  let ext_below dim = Mapping.extent_through mapping ~level:(level - 1) dim in
+  let perm = (Mapping.level mapping level).Mapping.perm in
+  let hoist_index, hoist_dim =
+    match hoist_position mapping tensor ~level with
+    | Some i -> (i, Some (List.nth perm i))
+    | None -> (0, None)
+  in
+  let tile_ext dim =
+    match hoist_dim with
+    | Some h when String.equal h dim -> ext_below dim * Mapping.factor mapping ~level dim
+    | Some _ | None -> ext_below dim
+  in
+  let loops = enclosing_loops mapping tensor ~level ~hoist_index in
+  let origins = Hashtbl.create 8 in
+  let origin dim = Option.value ~default:0 (Hashtbl.find_opt origins dim) in
+  let copies = ref 0 in
+  let words = ref 0.0 in
+  let rec run = function
+    | [] ->
+      incr copies;
+      words := !words +. copy_words tensor ~origin ~ext:tile_ext
+    | l :: inner ->
+      let saved = origin l.loop_dim in
+      for i = 0 to l.trips - 1 do
+        Hashtbl.replace origins l.loop_dim (saved + (i * l.block));
+        run inner
+      done;
+      Hashtbl.replace origins l.loop_dim saved
+  in
+  run loops;
+  { tensor = tensor.Nest.tensor_name; level; copies = !copies; words = !words }
+
+let fills nest mapping =
+  match Mapping.validate nest mapping with
+  | Error _ as e -> e
+  | Ok () ->
+    let nlevels = Mapping.num_levels mapping in
+    let boundary_levels =
+      List.filter
+        (fun l -> (Mapping.level mapping l).Mapping.kind = Level.Temporal)
+        (List.init (nlevels - 1) (fun i -> i + 1))
+    in
+    Ok
+      (List.concat_map
+         (fun tensor ->
+           List.map (fun level -> fills_of_tensor mapping tensor ~level) boundary_levels)
+         (Nest.tensors nest))
+
+(* --- footprint checks by enumeration --- *)
+
+let enumerate_indices ~extents proj =
+  let rec go acc = function
+    | [] -> [ acc ]
+    | { Nest.stride; iter } :: rest ->
+      List.concat_map
+        (fun i -> go (acc + (stride * i)) rest)
+        (List.init (extents iter) (fun i -> i))
+  in
+  go 0 proj
+
+let projection_span ~extents proj =
+  let indices = enumerate_indices ~extents proj in
+  let lo = List.fold_left Int.min max_int indices in
+  let hi = List.fold_left Int.max min_int indices in
+  hi - lo + 1
+
+let projection_distinct ~extents proj =
+  List.length (List.sort_uniq Int.compare (enumerate_indices ~extents proj))

@@ -1,0 +1,31 @@
+(** Brute-force reference interpreter for tiled executions.
+
+    This module re-derives data-movement volumes by {e walking the loop
+    nest} that the mapping describes: for every tensor and every temporal
+    tiling level, the copy into the storage below is placed at its hoist
+    point (above every loop of the level absent from the tensor
+    reference), the enclosing loops are literally iterated, and each copy's
+    word count is obtained from interval arithmetic on the tensor's affine
+    projections at the current loop indices.
+
+    It shares no code with {!Accmodel.Counts} beyond the workload types,
+    so agreement between the two is a meaningful correctness check.  Costs
+    grow with the product of outer trip counts — use small nests. *)
+
+type fill_report = {
+  tensor : string;
+  level : int;
+  copies : int;  (** number of copy executions observed *)
+  words : float;  (** total words transferred into the lower storage *)
+}
+
+val fills : Workload.Nest.t -> Mapspace.Mapping.t -> (fill_report list, string) result
+(** One report per (tensor, temporal level >= 1) pair. *)
+
+val projection_span : extents:(string -> int) -> Workload.Nest.projection -> int
+(** Footprint extent of one projection computed by enumerating every
+    iterator combination inside the tile: [max index - min index + 1]. *)
+
+val projection_distinct : extents:(string -> int) -> Workload.Nest.projection -> int
+(** Number of {e distinct} addresses touched (always [<= projection_span];
+    strictly fewer when strides leave gaps). *)

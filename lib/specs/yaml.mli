@@ -1,0 +1,34 @@
+(** A small YAML subset, sufficient for Timeloop-style specification
+    documents (Fig. 3): indentation-structured maps, block lists of
+    ["- "] items (including inline first keys, as in ["- name: x"]),
+    scalars (null/bool/int/float/plain and quoted strings) and ["#"]
+    comments.  Anchors, flow collections, multi-document streams and
+    multi-line scalars are not supported. *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of value list
+  | Map of (string * value) list
+
+val parse : string -> (value, string) result
+(** Errors carry a line number and a description. *)
+
+val emit : value -> string
+(** [parse (emit v)] returns a value equal to [v] up to scalar
+    re-interpretation (e.g. the string ["42"] emits as a quoted scalar so
+    it survives the round trip). *)
+
+val find : value -> string -> value option
+(** Map lookup; [None] on non-maps or missing keys. *)
+
+val get_string : value -> string option
+
+val get_int : value -> int option
+
+val get_list : value -> value list option
+
+val pp : Format.formatter -> value -> unit

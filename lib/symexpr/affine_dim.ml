@@ -1,0 +1,50 @@
+type t = { terms : (int * Monomial.t) list; constant : int }
+
+let make terms constant =
+  List.iter
+    (fun (stride, _) ->
+      if stride <= 0 then invalid_arg "Affine_dim.make: stride must be positive")
+    terms;
+  { terms; constant }
+
+let of_extent m = make [ (1, m) ] 0
+
+let terms d = d.terms
+
+let constant d = d.constant
+
+let subst x m' d =
+  { d with terms = List.map (fun (s, m) -> (s, Monomial.subst x m' m)) d.terms }
+
+let bind x v d =
+  { d with terms = List.map (fun (s, m) -> (s, Monomial.bind x v m)) d.terms }
+
+let mentions d x = List.exists (fun (_, m) -> Monomial.mentions m x) d.terms
+
+let eval_exact env d =
+  List.fold_left
+    (fun acc (s, m) -> acc +. (float_of_int s *. Monomial.eval env m))
+    (float_of_int d.constant) d.terms
+
+let to_posynomial d =
+  let stride_terms =
+    List.map (fun (s, m) -> Monomial.scale (float_of_int s) m) d.terms
+  in
+  let with_const =
+    if d.constant > 0 then Monomial.const (float_of_int d.constant) :: stride_terms
+    else stride_terms
+  in
+  Posynomial.of_monomials with_const
+
+let equal a b = a.constant = b.constant && List.equal (fun (s1, m1) (s2, m2) -> s1 = s2 && Monomial.equal m1 m2) a.terms b.terms
+
+let pp ppf d =
+  Format.fprintf ppf "(";
+  List.iteri
+    (fun i (s, m) ->
+      if i > 0 then Format.fprintf ppf " + ";
+      if s <> 1 then Format.fprintf ppf "%d*" s;
+      Monomial.pp ppf m)
+    d.terms;
+  if d.constant <> 0 then Format.fprintf ppf " %+d" d.constant;
+  Format.fprintf ppf ")"

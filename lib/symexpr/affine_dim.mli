@@ -1,0 +1,52 @@
+(** Extent of one data dimension of a tensor tile, in factored affine form:
+
+    [sum_k stride_k * extent_k + constant]
+
+    where each [extent_k] is a monomial over trip-count variables (the
+    number of distinct values the k-th iterator takes inside the tile) and
+    [constant] is the usual halo correction [1 - sum_k stride_k].
+
+    Example: for the input-tensor dimension indexed by [x*h + r] with tile
+    extents [Ht] and [Rt], the footprint extent is
+    [x*Ht + Rt - x]  (stride [x] on [h], stride 1 on [r], constant
+    [1 - (x + 1) = -x]).
+
+    Exact evaluation keeps the constant; the posynomial view used for
+    geometric programming drops non-positive constants (a conservative
+    over-approximation of at most [sum strides - 1] words per dimension). *)
+
+type t
+
+val make : (int * Monomial.t) list -> int -> t
+(** [make terms constant]; every stride must be positive.  Extent
+    monomials normally have coefficient 1 (pure products of trip-count
+    variables); partial evaluation with {!bind} may fold constants into
+    them. *)
+
+val of_extent : Monomial.t -> t
+(** A dimension indexed by a single stride-1 iterator: extent = monomial,
+    constant 0. *)
+
+val terms : t -> (int * Monomial.t) list
+
+val constant : t -> int
+
+val subst : string -> Monomial.t -> t -> t
+(** Substitute a variable inside every extent monomial (see
+    {!Monomial.subst}). *)
+
+val bind : string -> float -> t -> t
+(** Partial evaluation of one variable inside every extent monomial. *)
+
+val mentions : t -> string -> bool
+
+val eval_exact : (string -> float) -> t -> float
+
+val to_posynomial : t -> Posynomial.t
+(** Relaxed view: strides times extents, plus the constant only when it is
+    positive (it never is for well-formed dims, but we keep the general
+    rule). *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

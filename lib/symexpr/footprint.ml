@@ -1,0 +1,28 @@
+type t = Affine_dim.t list
+
+let make dims = dims
+
+let dims fp = fp
+
+let subst x m' fp = List.map (Affine_dim.subst x m') fp
+
+let bind x v fp = List.map (Affine_dim.bind x v) fp
+
+let mentions fp x = List.exists (fun d -> Affine_dim.mentions d x) fp
+
+let eval_exact env fp =
+  List.fold_left (fun acc d -> acc *. Affine_dim.eval_exact env d) 1.0 fp
+
+let to_posynomial fp =
+  List.fold_left
+    (fun acc d -> Posynomial.mul acc (Affine_dim.to_posynomial d))
+    (Posynomial.const 1.0) fp
+
+let equal = List.equal Affine_dim.equal
+
+let pp ppf fp =
+  match fp with
+  | [] -> Format.fprintf ppf "1"
+  | d :: rest ->
+    Affine_dim.pp ppf d;
+    List.iter (fun d -> Format.fprintf ppf "*%a" Affine_dim.pp d) rest

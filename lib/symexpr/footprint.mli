@@ -1,0 +1,29 @@
+(** Data footprint of a tensor tile: the product over data dimensions of
+    their affine extents (see {!Affine_dim}).
+
+    Keeping the factored form (rather than an expanded posynomial) lets
+    Algorithm 1's [replace] step act dimension-locally and lets the
+    concrete accelerator model evaluate footprints exactly, halo constants
+    included. *)
+
+type t
+
+val make : Affine_dim.t list -> t
+
+val dims : t -> Affine_dim.t list
+
+val subst : string -> Monomial.t -> t -> t
+
+val bind : string -> float -> t -> t
+
+val mentions : t -> string -> bool
+
+val eval_exact : (string -> float) -> t -> float
+(** Product of exact dimension extents. *)
+
+val to_posynomial : t -> Posynomial.t
+(** Expanded product of relaxed dimension posynomials. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

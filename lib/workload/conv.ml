@@ -1,0 +1,81 @@
+type t = {
+  layer_name : string;
+  batch : int;
+  out_channels : int;
+  in_channels : int;
+  in_height : int;
+  in_width : int;
+  kernel : int;
+  stride : int;
+}
+
+let make ~name ?(batch = 1) ~k ~c ~hw ~rs ?(stride = 1) () =
+  if batch < 1 || k < 1 || c < 1 || hw < 1 || rs < 1 || stride < 1 then
+    invalid_arg "Conv.make: all parameters must be positive";
+  {
+    layer_name = name;
+    batch;
+    out_channels = k;
+    in_channels = c;
+    in_height = hw;
+    in_width = hw;
+    kernel = rs;
+    stride;
+  }
+
+let out_height l = (l.in_height + l.stride - 1) / l.stride
+
+let out_width l = (l.in_width + l.stride - 1) / l.stride
+
+let to_nest l =
+  let open Nest in
+  let dims =
+    [
+      { dim_name = "n"; extent = l.batch };
+      { dim_name = "k"; extent = l.out_channels };
+      { dim_name = "c"; extent = l.in_channels };
+      { dim_name = "r"; extent = l.kernel };
+      { dim_name = "s"; extent = l.kernel };
+      { dim_name = "h"; extent = out_height l };
+      { dim_name = "w"; extent = out_width l };
+    ]
+  in
+  let idx ?(stride = 1) iter = { stride; iter } in
+  let tensors =
+    [
+      {
+        tensor_name = "Out";
+        projections = [ [ idx "n" ]; [ idx "k" ]; [ idx "h" ]; [ idx "w" ] ];
+        read_write = true;
+      };
+      {
+        tensor_name = "In";
+        projections =
+          [
+            [ idx "n" ];
+            [ idx "c" ];
+            [ idx ~stride:l.stride "h"; idx "r" ];
+            [ idx ~stride:l.stride "w"; idx "s" ];
+          ];
+        read_write = false;
+      };
+      {
+        tensor_name = "Ker";
+        projections = [ [ idx "k" ]; [ idx "c" ]; [ idx "r" ]; [ idx "s" ] ];
+        read_write = false;
+      };
+    ]
+  in
+  Nest.make ~name:l.layer_name ~dims ~tensors
+
+let macs l =
+  float_of_int l.batch
+  *. float_of_int l.out_channels
+  *. float_of_int l.in_channels
+  *. float_of_int (l.kernel * l.kernel)
+  *. float_of_int (out_height l)
+  *. float_of_int (out_width l)
+
+let pp ppf l =
+  Format.fprintf ppf "%s: N=%d K=%d C=%d HxW=%dx%d RS=%d stride=%d" l.layer_name l.batch
+    l.out_channels l.in_channels l.in_height l.in_width l.kernel l.stride

@@ -1,0 +1,29 @@
+let nest ?(name = "matmul") ~ni ~nj ~nk () =
+  let nest_name = name in
+  let open Nest in
+  let idx iter = { stride = 1; iter } in
+  Nest.make ~name:nest_name
+    ~dims:
+      [
+        { dim_name = "i"; extent = ni };
+        { dim_name = "j"; extent = nj };
+        { dim_name = "k"; extent = nk };
+      ]
+    ~tensors:
+      [
+        {
+          tensor_name = "C";
+          projections = [ [ idx "i" ]; [ idx "j" ] ];
+          read_write = true;
+        };
+        {
+          tensor_name = "A";
+          projections = [ [ idx "i" ]; [ idx "k" ] ];
+          read_write = false;
+        };
+        {
+          tensor_name = "B";
+          projections = [ [ idx "k" ]; [ idx "j" ] ];
+          read_write = false;
+        };
+      ]

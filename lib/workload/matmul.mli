@@ -1,0 +1,4 @@
+(** Matrix multiplication [C(i,j) += A(i,k) * B(k,j)] as a loop nest — the
+    paper's running example (Fig. 1). *)
+
+val nest : ?name:string -> ni:int -> nj:int -> nk:int -> unit -> Nest.t

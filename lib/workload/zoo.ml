@@ -1,0 +1,88 @@
+(* Table II of the paper.  K: output channels; C: input channels; H = W:
+   input image height/width; RS: kernel size; stride 2 for entries marked
+   with [*] in the table. *)
+
+let layer prefix i (k, c, hw, rs, stride) =
+  Conv.make ~name:(Printf.sprintf "%s-%d" prefix i) ~k ~c ~hw ~rs ~stride ()
+
+let resnet18 =
+  List.mapi
+    (fun i spec -> layer "resnet" (i + 1) spec)
+    [
+      (64, 3, 224, 7, 2);
+      (64, 64, 56, 3, 1);
+      (64, 64, 56, 1, 1);
+      (128, 64, 56, 3, 2);
+      (128, 64, 56, 1, 2);
+      (128, 128, 28, 3, 1);
+      (256, 128, 28, 3, 2);
+      (256, 128, 28, 1, 1);
+      (256, 256, 14, 3, 1);
+      (512, 256, 14, 3, 2);
+      (512, 256, 14, 1, 2);
+      (512, 512, 7, 3, 1);
+    ]
+
+let yolo9000 =
+  List.mapi
+    (fun i spec -> layer "yolo" (i + 1) spec)
+    [
+      (32, 3, 544, 3, 1);
+      (64, 32, 272, 3, 1);
+      (128, 64, 136, 3, 1);
+      (64, 128, 136, 1, 1);
+      (256, 128, 68, 3, 1);
+      (128, 256, 68, 1, 1);
+      (512, 256, 34, 3, 1);
+      (256, 512, 34, 1, 1);
+      (1024, 512, 17, 3, 1);
+      (512, 1024, 17, 1, 1);
+      (28269, 1024, 17, 1, 1);
+    ]
+
+(* AlexNet's conv layers (Krizhevsky et al., 2012), modeled with the same
+   same-padding convention; layer 1's 11x11 stride-4 window is mapped to
+   stride 4 over a 224-pixel input. *)
+let alexnet =
+  List.mapi
+    (fun i spec -> layer "alexnet" (i + 1) spec)
+    [
+      (96, 3, 224, 11, 4);
+      (256, 96, 27, 5, 1);
+      (384, 256, 13, 3, 1);
+      (384, 384, 13, 3, 1);
+      (256, 384, 13, 3, 1);
+    ]
+
+(* VGG-16's conv layers (Simonyan & Zisserman, 2014): all 3x3 stride 1. *)
+let vgg16 =
+  List.mapi
+    (fun i spec -> layer "vgg" (i + 1) spec)
+    [
+      (64, 3, 224, 3, 1);
+      (64, 64, 224, 3, 1);
+      (128, 64, 112, 3, 1);
+      (128, 128, 112, 3, 1);
+      (256, 128, 56, 3, 1);
+      (256, 256, 56, 3, 1);
+      (256, 256, 56, 3, 1);
+      (512, 256, 28, 3, 1);
+      (512, 512, 28, 3, 1);
+      (512, 512, 28, 3, 1);
+      (512, 512, 14, 3, 1);
+      (512, 512, 14, 3, 1);
+      (512, 512, 14, 3, 1);
+    ]
+
+let pipelines =
+  [
+    ("resnet18", resnet18);
+    ("yolo9000", yolo9000);
+    ("alexnet", alexnet);
+    ("vgg16", vgg16);
+  ]
+
+let all_layers = yolo9000 @ resnet18 @ alexnet @ vgg16
+
+let find name =
+  List.find (fun l -> String.equal l.Conv.layer_name name) all_layers

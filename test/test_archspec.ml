@@ -1,0 +1,120 @@
+(* Tests for the technology and architecture parameter models (Table III,
+   Eq. 4 and Eq. 5). *)
+
+module Tech = Archspec.Technology
+module Arch = Archspec.Arch
+
+let tech = Tech.table3
+
+let approx ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps *. (1.0 +. Float.abs b)
+
+let check_float ?eps name expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected %g, got %g" name expected actual)
+    true
+    (approx ?eps expected actual)
+
+let test_table3_values () =
+  check_float "area_mac" 1239.5 tech.Tech.area_mac;
+  check_float "area_register" 19.874 tech.Tech.area_register;
+  check_float "area_sram_word" 6.806 tech.Tech.area_sram_word;
+  check_float "energy_mac" 2.2 tech.Tech.energy_mac;
+  check_float "sigma_register" 9.06719e-3 tech.Tech.sigma_register;
+  check_float "sigma_sram" 17.88e-3 tech.Tech.sigma_sram;
+  check_float "energy_dram" 128.0 tech.Tech.energy_dram
+
+let test_register_energy_linear () =
+  (* Eq. 4: eps_R = sigma_R * R — doubling the file doubles the cost. *)
+  let e64 = Tech.register_access_energy tech ~registers:64 in
+  let e128 = Tech.register_access_energy tech ~registers:128 in
+  check_float "linear" (2.0 *. e64) e128;
+  check_float "absolute" (9.06719e-3 *. 64.0) e64
+
+let test_sram_energy_sqrt () =
+  (* Eq. 4: eps_S = sigma_S * sqrt S — 4x the capacity doubles the cost. *)
+  let e16k = Tech.sram_access_energy tech ~words:16384 in
+  let e64k = Tech.sram_access_energy tech ~words:65536 in
+  check_float "sqrt scaling" (2.0 *. e16k) e64k;
+  check_float "absolute" (17.88e-3 *. 128.0) e16k
+
+let test_area_model () =
+  (* Eq. 5: (Area_R * R + Area_MAC) * P + Area_S * S. *)
+  let a = Arch.make ~name:"t" ~pes:10 ~registers:16 ~sram_words:1000 in
+  check_float "area"
+    (((19.874 *. 16.0) +. 1239.5) *. 10.0 +. (6.806 *. 1000.0))
+    (Arch.area tech a);
+  check_float "pe area" ((19.874 *. 16.0) +. 1239.5) (Tech.pe_area tech ~registers:16)
+
+let test_eyeriss_parameters () =
+  Alcotest.(check int) "pes" 168 Arch.eyeriss.Arch.pe_count;
+  Alcotest.(check int) "registers" 512 Arch.eyeriss.Arch.registers_per_pe;
+  (* 128 KiB of 16-bit words. *)
+  Alcotest.(check int) "sram words" 65536 Arch.eyeriss.Arch.sram_words
+
+let test_validation () =
+  Alcotest.check_raises "nonpositive"
+    (Invalid_argument "Arch.make: all parameters must be positive") (fun () ->
+      ignore (Arch.make ~name:"bad" ~pes:0 ~registers:1 ~sram_words:1))
+
+let test_node_scaling () =
+  (* Halving the feature size quarters on-chip area and dynamic energy. *)
+  let t22 = Tech.scale_to_node tech ~node_nm:22.5 in
+  check_float "area_mac" (tech.Tech.area_mac /. 4.0) t22.Tech.area_mac;
+  check_float "sigma_register" (tech.Tech.sigma_register /. 4.0) t22.Tech.sigma_register;
+  check_float "energy_mac" (tech.Tech.energy_mac /. 4.0) t22.Tech.energy_mac;
+  (* Off-chip DRAM untouched. *)
+  check_float "dram" tech.Tech.energy_dram t22.Tech.energy_dram;
+  check_float "bandwidth" tech.Tech.sram_bandwidth t22.Tech.sram_bandwidth;
+  (* Identity at the reference node. *)
+  let t45 = Tech.scale_to_node tech ~node_nm:Tech.reference_node_nm in
+  check_float "identity" tech.Tech.area_mac t45.Tech.area_mac;
+  Alcotest.check_raises "bad node"
+    (Invalid_argument "Technology.scale_to_node: node must be positive") (fun () ->
+      ignore (Tech.scale_to_node tech ~node_nm:0.0))
+
+let prop_area_monotone =
+  let gen =
+    QCheck2.Gen.(
+      triple (int_range 1 2048) (int_range 1 2048) (int_range 1 (1 lsl 18)))
+  in
+  QCheck2.Test.make ~name:"area increases in every parameter" ~count:200 gen
+    (fun (pes, registers, sram_words) ->
+      let base = Arch.make ~name:"b" ~pes ~registers ~sram_words in
+      let bigger which =
+        match which with
+        | `P -> Arch.make ~name:"b" ~pes:(pes + 1) ~registers ~sram_words
+        | `R -> Arch.make ~name:"b" ~pes ~registers:(registers + 1) ~sram_words
+        | `S -> Arch.make ~name:"b" ~pes ~registers ~sram_words:(sram_words + 1)
+      in
+      List.for_all
+        (fun w -> Arch.area tech (bigger w) > Arch.area tech base)
+        [ `P; `R; `S ])
+
+let prop_energy_monotone =
+  let gen = QCheck2.Gen.(pair (int_range 1 4096) (int_range 1 (1 lsl 20))) in
+  QCheck2.Test.make ~name:"per-access energies increase with capacity" ~count:200 gen
+    (fun (registers, words) ->
+      Tech.register_access_energy tech ~registers:(registers * 2)
+      > Tech.register_access_energy tech ~registers
+      && Tech.sram_access_energy tech ~words:(words * 4)
+         > Tech.sram_access_energy tech ~words)
+
+let () =
+  Alcotest.run "archspec"
+    [
+      ( "technology",
+        [
+          Alcotest.test_case "table III" `Quick test_table3_values;
+          Alcotest.test_case "register energy linear" `Quick test_register_energy_linear;
+          Alcotest.test_case "sram energy sqrt" `Quick test_sram_energy_sqrt;
+          Alcotest.test_case "area model" `Quick test_area_model;
+        ] );
+      ( "architectures",
+        [
+          Alcotest.test_case "eyeriss" `Quick test_eyeriss_parameters;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "node scaling" `Quick test_node_scaling;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_area_monotone; prop_energy_monotone ] );
+    ]

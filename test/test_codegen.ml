@@ -1,0 +1,162 @@
+(* Tests for tiled-pseudocode emission (the paper's Fig. 1(d) form). *)
+
+module Nest = Workload.Nest
+module Mapping = Mapspace.Mapping
+module Emit = Codegen.Emit
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let check_contains code needle =
+  Alcotest.(check bool) (Printf.sprintf "contains %S" needle) true (contains ~needle code)
+
+let index_of code needle =
+  let nl = String.length needle and hl = String.length code in
+  let rec go i =
+    if i + nl > hl then Alcotest.failf "missing %S" needle
+    else if String.sub code i nl = needle then i
+    else go (i + 1)
+  in
+  go 0
+
+(* The paper's matmul structure: SRAM-level <i,k,j>, register-level
+   <i,j,k>, P_k = 1 (Fig. 1(d)). *)
+let matmul_code () =
+  let nest = Workload.Matmul.nest ~ni:64 ~nj:64 ~nk:64 () in
+  let mapping =
+    Mapping.canonical
+      ~reg:([ ("i", 2); ("j", 2); ("k", 4) ], [ "i"; "j"; "k" ])
+      ~pe:([ ("i", 4); ("j", 4); ("k", 2) ], [ "i"; "j"; "k" ])
+      ~spatial:[ ("i", 2); ("j", 4) ]
+      ~dram:([ ("i", 4); ("j", 2); ("k", 8) ], [ "i"; "k"; "j" ])
+  in
+  Result.get_ok (Emit.pseudocode nest mapping)
+
+let test_buffers () =
+  let code = matmul_code () in
+  (* SRAM tiles: C 16x32, A 16x8, B 8x32; register tiles 2x2, 2x4, 4x2. *)
+  check_contains code "int16 C_sbuf[16][32];";
+  check_contains code "int16 A_sbuf[16][8];";
+  check_contains code "int16 B_sbuf[8][32];";
+  check_contains code "int16 C_rbuf[2][2];";
+  check_contains code "int16 A_rbuf[2][4];";
+  check_contains code "int16 B_rbuf[4][2];"
+
+let test_loop_structure () =
+  let code = matmul_code () in
+  (* 3 DRAM + 2 spatial + 3 PE-temporal + 3 register loops. *)
+  Alcotest.(check int) "loop count" 11 (Emit.loop_count code);
+  check_contains code "forall (ip = 0; ip < 2; ip++)";
+  check_contains code "forall (jp = 0; jp < 4; jp++)";
+  (* DRAM level in <i,k,j> order. *)
+  Alcotest.(check bool)
+    "id before kd" true
+    (index_of code "for (id" < index_of code "for (kd");
+  Alcotest.(check bool)
+    "kd before jd" true
+    (index_of code "for (kd" < index_of code "for (jd")
+
+let test_copy_hoisting () =
+  let code = matmul_code () in
+  (* A is not indexed by j: its SRAM copy hoists above the jd loop (it
+     appears textually before "for (jd"), while B and C's do not. *)
+  Alcotest.(check bool)
+    "A copy above jd" true
+    (index_of code "A_sbuf[0:" < index_of code "for (jd");
+  Alcotest.(check bool)
+    "B copy below jd" true
+    (index_of code "B_sbuf[0:" > index_of code "for (jd");
+  (* C is read-write: a write-back of the SRAM tile exists. *)
+  check_contains code "] = C_sbuf[";
+  check_contains code "] = C_rbuf["
+
+let test_mac_statement () =
+  let code = matmul_code () in
+  check_contains code "C_rbuf[ir][jr] += A_rbuf[ir][kr] * B_rbuf[kr][jr];"
+
+let test_conv_halo_and_strides () =
+  let conv = Workload.Conv.make ~name:"c" ~k:4 ~c:2 ~hw:8 ~rs:3 ~stride:2 () in
+  let nest = Workload.Conv.to_nest conv in
+  let dims = Nest.dim_names nest in
+  let mapping =
+    Mapping.canonical
+      ~reg:([ ("r", 3); ("s", 3); ("h", 2); ("w", 2) ], dims)
+      ~pe:([ ("c", 2); ("h", 2) ], [ "c"; "h"; "n"; "k"; "r"; "s"; "w" ])
+      ~spatial:[ ("k", 4) ]
+      ~dram:([ ("w", 2) ], dims)
+  in
+  let code = Result.get_ok (Emit.pseudocode nest mapping) in
+  (* In's SRAM tile: c=2, h spans 2*4+3-2 = 9, w spans 2*2+3-2 = 5. *)
+  check_contains code "int16 In_sbuf[1][2][9][5];";
+  (* The register tile of In carries the halo too: (2*2+3-2) = 5 each. *)
+  check_contains code "int16 In_rbuf[1][1][5][5];";
+  (* Strided origin arithmetic appears in the In copies. *)
+  check_contains code "2*(";
+  (* The MAC statement uses the strided index expression. *)
+  check_contains code "In_rbuf[0][0][2*(hr) + rr][2*(wr) + sr]"
+
+let test_unit_factors_omitted () =
+  let nest = Workload.Matmul.nest ~ni:8 ~nj:8 ~nk:8 () in
+  let mapping =
+    Mapping.canonical
+      ~reg:([ ("i", 8); ("j", 8); ("k", 8) ], [ "i"; "j"; "k" ])
+      ~pe:([], [ "i"; "j"; "k" ])
+      ~spatial:[]
+      ~dram:([], [ "i"; "j"; "k" ])
+  in
+  let code = Result.get_ok (Emit.pseudocode nest mapping) in
+  (* Only the three register loops remain. *)
+  Alcotest.(check int) "loops" 3 (Emit.loop_count code)
+
+let test_invalid_mapping () =
+  let nest = Workload.Matmul.nest ~ni:8 ~nj:8 ~nk:8 () in
+  let mapping =
+    Mapping.canonical
+      ~reg:([ ("i", 4) ], [ "i"; "j"; "k" ])
+      ~pe:([], [ "i"; "j"; "k" ])
+      ~spatial:[]
+      ~dram:([], [ "i"; "j"; "k" ])
+  in
+  match Emit.pseudocode nest mapping with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected validation failure"
+
+(* The emitted copies must agree with the model: count the copy
+   statements' total words by hand for the paper example. *)
+let test_copy_sizes_match_model () =
+  let nest = Workload.Matmul.nest ~ni:64 ~nj:64 ~nk:64 () in
+  let mapping =
+    Mapping.canonical
+      ~reg:([ ("i", 2); ("j", 2); ("k", 4) ], [ "i"; "j"; "k" ])
+      ~pe:([ ("i", 4); ("j", 4); ("k", 2) ], [ "i"; "j"; "k" ])
+      ~spatial:[ ("i", 2); ("j", 4) ]
+      ~dram:([ ("i", 4); ("j", 2); ("k", 8) ], [ "i"; "k"; "j" ])
+  in
+  let code = Result.get_ok (Emit.pseudocode nest mapping) in
+  (* A's SRAM copy slice is 16 x 8 = S_i x S_k. *)
+  check_contains code "A_sbuf[0:16][0:8]";
+  (* A's register copy slice is one register tile, R_i x R_k = 2 x 4,
+     re-filled along the innermost present loop (Fig. 1(d) form); the
+     model aggregates the sliding-window union analytically. *)
+  check_contains code "A_rbuf[0:2][0:4]"
+
+let () =
+  Alcotest.run "codegen"
+    [
+      ( "matmul (Fig. 1d)",
+        [
+          Alcotest.test_case "buffers" `Quick test_buffers;
+          Alcotest.test_case "loop structure" `Quick test_loop_structure;
+          Alcotest.test_case "copy hoisting" `Quick test_copy_hoisting;
+          Alcotest.test_case "MAC statement" `Quick test_mac_statement;
+          Alcotest.test_case "copy sizes" `Quick test_copy_sizes_match_model;
+        ] );
+      ( "conv",
+        [
+          Alcotest.test_case "halo and strides" `Quick test_conv_halo_and_strides;
+          Alcotest.test_case "unit factors omitted" `Quick test_unit_factors_omitted;
+          Alcotest.test_case "invalid mapping" `Quick test_invalid_mapping;
+        ] );
+    ]

@@ -1,0 +1,111 @@
+(* Tests for mapping-space constraints: satisfaction logic, the
+   constrained mapper search, and the Timeloop-style spec round trip. *)
+
+module C = Mapspace.Constraints
+module Mapping = Mapspace.Mapping
+module S = Mapper.Search
+
+let tech = Archspec.Technology.table3
+
+let nest = Workload.Matmul.nest ~ni:8 ~nj:8 ~nk:8 ()
+
+let sample_mapping =
+  Mapping.canonical
+    ~reg:([ ("i", 2); ("j", 2); ("k", 2) ], [ "i"; "j"; "k" ])
+    ~pe:([ ("i", 2); ("k", 2) ], [ "k"; "i"; "j" ])
+    ~spatial:[ ("j", 2) ]
+    ~dram:([ ("i", 2); ("j", 2); ("k", 2) ], [ "j"; "i"; "k" ])
+
+let test_fixed_factor () =
+  let ok = [ C.level_constraint ~level:1 ~fixed:[ ("i", 2); ("j", 1) ] () ] in
+  Alcotest.(check bool) "satisfied" true (C.satisfies ok sample_mapping);
+  let bad = [ C.level_constraint ~level:1 ~fixed:[ ("i", 4) ] () ] in
+  Alcotest.(check bool) "violated" false (C.satisfies bad sample_mapping);
+  Alcotest.(check int) "one violation" 1 (List.length (C.violations bad sample_mapping))
+
+let test_max_factor () =
+  let ok = [ C.level_constraint ~level:2 ~max_factors:[ ("j", 4) ] () ] in
+  Alcotest.(check bool) "under the cap" true (C.satisfies ok sample_mapping);
+  let bad = [ C.level_constraint ~level:2 ~max_factors:[ ("j", 1) ] () ] in
+  Alcotest.(check bool) "over the cap" false (C.satisfies bad sample_mapping)
+
+let test_perm_prefix () =
+  let ok = [ C.level_constraint ~level:1 ~perm_prefix:[ "k"; "i" ] () ] in
+  Alcotest.(check bool) "prefix holds" true (C.satisfies ok sample_mapping);
+  let bad = [ C.level_constraint ~level:1 ~perm_prefix:[ "i" ] () ] in
+  Alcotest.(check bool) "prefix fails" false (C.satisfies bad sample_mapping);
+  (* A permutation prefix on a spatial level is never satisfiable. *)
+  let spatial = [ C.level_constraint ~level:2 ~perm_prefix:[ "j" ] () ] in
+  Alcotest.(check bool) "spatial prefix" false (C.satisfies spatial sample_mapping)
+
+let test_missing_level () =
+  let c = [ C.level_constraint ~level:7 ~fixed:[ ("i", 1) ] () ] in
+  Alcotest.(check bool) "level out of range" false (C.satisfies c sample_mapping)
+
+let test_validation () =
+  Alcotest.check_raises "bad factor"
+    (Invalid_argument "Constraints.level_constraint: factor 0 for dim \"i\"") (fun () ->
+      ignore (C.level_constraint ~level:0 ~fixed:[ ("i", 0) ] ()))
+
+let test_constrained_search () =
+  let arch = Archspec.Arch.make ~name:"t" ~pes:8 ~registers:32 ~sram_words:512 in
+  let constraints =
+    [
+      C.level_constraint ~level:2 ~fixed:[ ("i", 1); ("j", 2); ("k", 1) ] ();
+      C.level_constraint ~level:0 ~max_factors:[ ("k", 2) ] ();
+    ]
+  in
+  let config = { S.max_trials = 4000; victory_condition = 4000; seed = 13 } in
+  let r = S.search ~config ~constraints tech arch S.Min_energy nest in
+  match r.S.best with
+  | None -> Alcotest.fail "no constrained mapping found"
+  | Some (mapping, _) ->
+    Alcotest.(check bool) "satisfies" true (C.satisfies constraints mapping);
+    Alcotest.(check int) "spatial j fixed" 2 (Mapping.factor mapping ~level:2 "j");
+    Alcotest.(check bool) "reg k capped" true (Mapping.factor mapping ~level:0 "k" <= 2);
+    (* The free search (same seed) may use mappings the constraints
+       forbid, so the constrained best can only be equal or worse. *)
+    let free = S.search ~config tech arch S.Min_energy nest in
+    match (free.S.best, r.S.best) with
+    | Some (_, f), Some (_, c) ->
+      Alcotest.(check bool)
+        "free <= constrained" true
+        (f.Accmodel.Evaluate.energy_pj <= c.Accmodel.Evaluate.energy_pj +. 1e-9)
+    | _ -> Alcotest.fail "searches found nothing"
+
+let test_spec_roundtrip () =
+  let constraints =
+    [
+      C.level_constraint ~level:1 ~fixed:[ ("k", 4) ] ~perm_prefix:[ "k"; "c" ] ();
+      C.level_constraint ~level:2 ~max_factors:[ ("c", 8) ] ();
+      C.level_constraint ~level:3 ~fixed:[ ("h", 2) ] ~max_factors:[ ("w", 4) ] ();
+    ]
+  in
+  let yaml = Specs.Timeloop.constraints_to_yaml constraints in
+  let text = Specs.Yaml.emit yaml in
+  let parsed =
+    Result.get_ok
+      (Specs.Timeloop.constraints_of_yaml (Result.get_ok (Specs.Yaml.parse text)))
+  in
+  Alcotest.(check int) "count" 3 (List.length parsed);
+  let c1 = List.nth parsed 0 in
+  Alcotest.(check int) "level" 1 c1.C.c_level;
+  Alcotest.(check (list (pair string int))) "fixed" [ ("k", 4) ] c1.C.fixed_factors;
+  Alcotest.(check (list string)) "prefix" [ "k"; "c" ] c1.C.perm_prefix;
+  let c3 = List.nth parsed 2 in
+  Alcotest.(check (list (pair string int))) "caps" [ ("w", 4) ] c3.C.max_factors
+
+let () =
+  Alcotest.run "constraints"
+    [
+      ( "satisfaction",
+        [
+          Alcotest.test_case "fixed factors" `Quick test_fixed_factor;
+          Alcotest.test_case "factor caps" `Quick test_max_factor;
+          Alcotest.test_case "permutation prefix" `Quick test_perm_prefix;
+          Alcotest.test_case "missing level" `Quick test_missing_level;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+      ("search", [ Alcotest.test_case "constrained search" `Quick test_constrained_search ]);
+      ("specs", [ Alcotest.test_case "roundtrip" `Quick test_spec_roundtrip ]);
+    ]

@@ -1,0 +1,158 @@
+(* Tests for the conversion of real-valued solver output into integer
+   design points (Section IV): divisor ladders, candidate filtering and
+   model-ranked selection. *)
+
+module F = Thistle.Formulate
+module Perm = Thistle.Permutations
+module I = Thistle.Integerize
+module Arch = Archspec.Arch
+module Mapping = Mapspace.Mapping
+module Nest = Workload.Nest
+
+let tech = Archspec.Technology.table3
+
+let small_conv () =
+  Workload.Conv.to_nest (Workload.Conv.make ~name:"small" ~k:16 ~c:16 ~hw:16 ~rs:3 ())
+
+let solve_first ?(objective = F.Energy) arch_mode nest =
+  let plan = Perm.enumerate nest in
+  let inst = F.build tech arch_mode objective plan (List.hd plan.Perm.choices) in
+  let sol = Gp.Solver.solve inst.F.problem in
+  (inst, sol)
+
+let test_fixed_outcome_valid () =
+  let nest = small_conv () in
+  let arch = Arch.make ~name:"a" ~pes:64 ~registers:64 ~sram_words:4096 in
+  let inst, sol = solve_first (F.Fixed arch) nest in
+  match I.run tech inst sol with
+  | Error msg -> Alcotest.failf "integerize failed: %s" msg
+  | Ok o ->
+    Alcotest.(check string) "same arch" "a" o.I.arch.Arch.arch_name;
+    Alcotest.(check (result unit string))
+      "mapping valid" (Ok ())
+      (Mapping.validate nest o.I.mapping);
+    Alcotest.(check bool) "tried some" true (o.I.candidates_tried > 0);
+    Alcotest.(check bool) "some valid" true (o.I.candidates_valid > 0);
+    (* The window dims sit fully at the register level. *)
+    Alcotest.(check int) "r at register level" 3 (Mapping.factor o.I.mapping ~level:0 "r");
+    Alcotest.(check int) "r nowhere else" 1 (Mapping.factor o.I.mapping ~level:3 "r");
+    (* Metrics respect the architecture (evaluate would have failed
+       otherwise), and the score is finite. *)
+    Alcotest.(check bool)
+      "finite energy" true
+      (Float.is_finite o.I.metrics.Accmodel.Evaluate.energy_pj)
+
+let test_integer_close_to_continuous () =
+  let nest = small_conv () in
+  let arch = Arch.make ~name:"a" ~pes:64 ~registers:64 ~sram_words:4096 in
+  let inst, sol = solve_first (F.Fixed arch) nest in
+  let o = Result.get_ok (I.run tech inst sol) in
+  (* The integer design evaluated by the exact model should be within a
+     modest factor of the continuous relaxation's objective. *)
+  let ratio = o.I.metrics.Accmodel.Evaluate.energy_pj /. sol.Gp.Solver.objective in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratio %.3f in [0.8, 2]" ratio)
+    true
+    (ratio > 0.8 && ratio < 2.0)
+
+let test_codesign_area_respected () =
+  let nest = small_conv () in
+  let budget = Arch.eyeriss_area tech in
+  let inst, sol = solve_first (F.Codesign { area_budget = budget }) nest in
+  match I.run tech inst sol with
+  | Error msg -> Alcotest.failf "integerize failed: %s" msg
+  | Ok o ->
+    let area = Arch.area tech o.I.arch in
+    Alcotest.(check bool)
+      (Printf.sprintf "area %.0f <= budget %.0f" area budget)
+      true (area <= budget);
+    (* Capacities are powers of two, as the paper rounds them. *)
+    let is_pow2 n = n land (n - 1) = 0 in
+    Alcotest.(check bool) "registers pow2" true (is_pow2 o.I.arch.Arch.registers_per_pe);
+    Alcotest.(check bool) "sram pow2" true (is_pow2 o.I.arch.Arch.sram_words);
+    (* The built architecture supplies exactly the PEs the mapping uses. *)
+    Alcotest.(check int)
+      "PEs = spatial size"
+      (Mapping.spatial_size o.I.mapping)
+      o.I.arch.Arch.pe_count
+
+let test_delay_scoring () =
+  let nest = small_conv () in
+  let arch = Arch.make ~name:"a" ~pes:64 ~registers:64 ~sram_words:4096 in
+  let inst, sol = solve_first ~objective:F.Delay (F.Fixed arch) nest in
+  let o = Result.get_ok (I.run tech inst sol) in
+  Alcotest.(check bool)
+    "score is cycles" true
+    (I.score F.Delay o.I.metrics = o.I.metrics.Accmodel.Evaluate.cycles);
+  Alcotest.(check bool)
+    "ipc <= pe count" true
+    (o.I.metrics.Accmodel.Evaluate.ipc <= float_of_int arch.Arch.pe_count)
+
+(* Widening the divisor ladder must not degrade the chosen design (the
+   ladder is trimmed closest-first, so n = 3 explores a superset of the
+   promising region that n = 2 does). *)
+let test_ladder_width_monotone () =
+  let module O = Thistle.Optimize in
+  let nest =
+    Workload.Conv.to_nest
+      (Workload.Conv.make ~name:"gap" ~k:16 ~c:8 ~hw:16 ~rs:1 ~stride:2 ())
+  in
+  let arch = Arch.make ~name:"a" ~pes:64 ~registers:64 ~sram_words:4096 in
+  let energy n =
+    let config = { O.default_config with O.n_divisors = n; top_choices = 2 } in
+    match O.dataflow ~config tech arch F.Energy nest with
+    | Ok r -> r.O.outcome.I.metrics.Accmodel.Evaluate.energy_pj
+    | Error msg -> Alcotest.failf "n=%d failed: %s" n msg
+  in
+  let e2 = energy 2 and e3 = energy 3 in
+  Alcotest.(check bool)
+    (Printf.sprintf "n=3 (%.4g) within 5%% of n=2 (%.4g)" e3 e2)
+    true
+    (e3 <= e2 *. 1.05)
+
+let test_utilization_filter () =
+  let nest = small_conv () in
+  let arch = Arch.make ~name:"a" ~pes:64 ~registers:64 ~sram_words:4096 in
+  let inst, sol = solve_first (F.Fixed arch) nest in
+  (* An impossible threshold rejects every candidate. *)
+  (match I.run ~min_pe_utilization:1.01 tech inst sol with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected the utilization filter to reject everything");
+  (* A satisfiable threshold constrains the chosen point. *)
+  match I.run ~min_pe_utilization:0.5 tech inst sol with
+  | Error msg -> Alcotest.failf "filter too strict: %s" msg
+  | Ok o ->
+    let utilization =
+      float_of_int (Mapping.spatial_size o.I.mapping)
+      /. float_of_int o.I.arch.Arch.pe_count
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "utilization %.2f >= 0.5" utilization)
+      true (utilization >= 0.5)
+
+let test_infeasible_arch_errors () =
+  let nest = small_conv () in
+  (* A 4-register PE cannot hold the pinned 3x3 window tiles. *)
+  let arch = Arch.make ~name:"tiny" ~pes:4 ~registers:4 ~sram_words:256 in
+  let inst, sol = solve_first (F.Fixed arch) nest in
+  match I.run tech inst sol with
+  | Error _ -> ()
+  | Ok o ->
+    Alcotest.failf "expected failure, got energy %g"
+      o.I.metrics.Accmodel.Evaluate.energy_pj
+
+let () =
+  Alcotest.run "integerize"
+    [
+      ( "outcomes",
+        [
+          Alcotest.test_case "fixed-arch outcome valid" `Quick test_fixed_outcome_valid;
+          Alcotest.test_case "integer close to continuous" `Quick
+            test_integer_close_to_continuous;
+          Alcotest.test_case "codesign area respected" `Quick test_codesign_area_respected;
+          Alcotest.test_case "delay scoring" `Quick test_delay_scoring;
+          Alcotest.test_case "ladder width monotone" `Quick test_ladder_width_monotone;
+          Alcotest.test_case "utilization filter" `Quick test_utilization_filter;
+          Alcotest.test_case "infeasible arch errors" `Quick test_infeasible_arch_errors;
+        ] );
+    ]

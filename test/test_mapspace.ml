@@ -1,0 +1,134 @@
+(* Tests for divisor arithmetic, level naming and mapping validation. *)
+
+module D = Mapspace.Divisors
+module Level = Mapspace.Level
+module Mapping = Mapspace.Mapping
+module Nest = Workload.Nest
+
+let test_divisors () =
+  Alcotest.(check (list int)) "12" [ 1; 2; 3; 4; 6; 12 ] (D.divisors 12);
+  Alcotest.(check (list int)) "1" [ 1 ] (D.divisors 1);
+  Alcotest.(check (list int)) "49" [ 1; 7; 49 ] (D.divisors 49);
+  Alcotest.(check bool) "is_divisor" true (D.is_divisor 7 ~of_:49);
+  Alcotest.(check bool) "not divisor" false (D.is_divisor 5 ~of_:49)
+
+let test_closest () =
+  Alcotest.(check (list int)) "closest to 5 in 12" [ 4; 6 ] (D.closest 12 ~target:5.0 ~count:2);
+  Alcotest.(check (list int)) "closest to 1" [ 1; 2 ] (D.closest 12 ~target:1.0 ~count:2);
+  Alcotest.(check (list int)) "closest to huge" [ 6; 12 ] (D.closest 12 ~target:100.0 ~count:2)
+
+let test_closest_pow2 () =
+  Alcotest.(check (list int)) "near 12" [ 8; 16 ] (D.closest_powers_of_two ~target:12.0 ~count:2);
+  Alcotest.(check (list int))
+    "near 0.3 stays >= 1" [ 1; 2 ]
+    (D.closest_powers_of_two ~target:0.3 ~count:2)
+
+let test_factorizations () =
+  let fs = D.factorizations 4 ~parts:2 in
+  Alcotest.(check int) "4 into 2 parts" 3 (List.length fs);
+  Alcotest.(check bool)
+    "products" true
+    (List.for_all (fun f -> List.fold_left ( * ) 1 f = 4) fs);
+  Alcotest.(check int)
+    "count matches"
+    (List.length (D.factorizations 24 ~parts:3))
+    (D.count_factorizations 24 ~parts:3)
+
+let prop_random_factorization =
+  let gen = QCheck2.Gen.(pair (int_range 1 360) (int_range 1 5)) in
+  QCheck2.Test.make ~name:"random factorization multiplies back" ~count:300 gen
+    (fun (n, parts) ->
+      let rng = Random.State.make [| n; parts |] in
+      let f = D.random_factorization rng n ~parts in
+      List.length f = parts && List.fold_left ( * ) 1 f = n)
+
+let prop_closest_are_divisors =
+  let gen = QCheck2.Gen.(triple (int_range 1 1000) (float_range 0.5 600.0) (int_range 1 4)) in
+  QCheck2.Test.make ~name:"closest returns divisors" ~count:300 gen
+    (fun (n, target, count) ->
+      let ds = D.closest n ~target ~count in
+      ds <> [] && List.for_all (fun d -> D.is_divisor d ~of_:n) ds)
+
+let test_level_vars () =
+  Alcotest.(check string) "var name" "t2.h" (Level.trip_var ~level:2 ~dim:"h");
+  Alcotest.(check (option (pair int string)))
+    "parse" (Some (2, "h"))
+    (Level.parse_trip_var "t2.h");
+  Alcotest.(check (option (pair int string))) "reject" None (Level.parse_trip_var "x2.h");
+  Alcotest.(check string) "level names" "spatial" (Level.name Level.spatial_level)
+
+let nest = Workload.Matmul.nest ~ni:8 ~nj:8 ~nk:8 ()
+
+let mapping_for ?(spatial = [ ("i", 2) ]) () =
+  Mapping.canonical
+    ~reg:([ ("i", 2); ("j", 2); ("k", 2) ], [ "i"; "j"; "k" ])
+    ~pe:([ ("i", 2); ("j", 4); ("k", 2) ], [ "i"; "j"; "k" ])
+    ~spatial
+    ~dram:([ ("j", 1); ("k", 2) ], [ "i"; "j"; "k" ])
+
+let test_mapping_accessors () =
+  let m = mapping_for () in
+  Alcotest.(check int) "factor" 4 (Mapping.factor m ~level:1 "j");
+  Alcotest.(check int) "default factor" 1 (Mapping.factor m ~level:3 "i");
+  Alcotest.(check int) "extent through" 4 (Mapping.extent_through m ~level:1 "i");
+  Alcotest.(check int) "total i" 8 (Mapping.total_extent m "i");
+  Alcotest.(check int) "spatial size" 2 (Mapping.spatial_size m);
+  Alcotest.(check (list int)) "trips j" [ 2; 4; 1; 1 ] (Mapping.trips m "j");
+  Alcotest.(check (float 0.0)) "env" 4.0 (Mapping.env m "t1.j");
+  Alcotest.(check (float 0.0)) "env unknown" 1.0 (Mapping.env m "t9.q")
+
+let test_mapping_validate () =
+  let ok = mapping_for () in
+  Alcotest.(check (result unit string)) "valid" (Ok ()) (Mapping.validate nest ok);
+  let bad_extent = mapping_for ~spatial:[ ("i", 4) ] () in
+  (match Mapping.validate nest bad_extent with
+  | Error msg ->
+    Alcotest.(check bool) "mentions dim i" true (String.length msg > 0)
+  | Ok () -> Alcotest.fail "expected extent violation");
+  let bad_perm =
+    Mapping.canonical
+      ~reg:([ ("i", 8); ("j", 8); ("k", 8) ], [ "i"; "j" ])
+      ~pe:([], [ "i"; "j"; "k" ])
+      ~spatial:[]
+      ~dram:([], [ "i"; "j"; "k" ])
+  in
+  match Mapping.validate nest bad_perm with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected permutation violation"
+
+let test_mapping_make_rejects () =
+  Alcotest.check_raises "nonpositive factor"
+    (Invalid_argument "Mapping.make: factor 0 for dim \"i\"") (fun () ->
+      ignore
+        (Mapping.make
+           [ { Mapping.kind = Level.Temporal; factors = [ ("i", 0) ]; perm = [ "i" ] } ]))
+
+let prop_extent_product =
+  let gen = QCheck2.Gen.int_range 0 10000 in
+  QCheck2.Test.make ~name:"random mapping factor products = extents" ~count:200 gen
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let m = Mapper.Search.random_mapping rng nest in
+      Mapping.validate nest m = Ok ())
+
+let () =
+  Alcotest.run "mapspace"
+    [
+      ( "divisors",
+        [
+          Alcotest.test_case "divisors" `Quick test_divisors;
+          Alcotest.test_case "closest" `Quick test_closest;
+          Alcotest.test_case "closest pow2" `Quick test_closest_pow2;
+          Alcotest.test_case "factorizations" `Quick test_factorizations;
+        ] );
+      ("levels", [ Alcotest.test_case "trip vars" `Quick test_level_vars ]);
+      ( "mapping",
+        [
+          Alcotest.test_case "accessors" `Quick test_mapping_accessors;
+          Alcotest.test_case "validate" `Quick test_mapping_validate;
+          Alcotest.test_case "make rejects" `Quick test_mapping_make_rejects;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_random_factorization; prop_closest_are_divisors; prop_extent_product ] );
+    ]

@@ -1,0 +1,157 @@
+(* End-to-end tests of the Thistle driver: dataflow optimization for fixed
+   architectures, co-design under an area budget, and the paper's expected
+   dominance relations between the two. *)
+
+module O = Thistle.Optimize
+module F = Thistle.Formulate
+module I = Thistle.Integerize
+module S = Mapper.Search
+module Arch = Archspec.Arch
+module Mapping = Mapspace.Mapping
+module Evaluate = Accmodel.Evaluate
+
+let tech = Archspec.Technology.table3
+
+let small_conv () =
+  Workload.Conv.to_nest (Workload.Conv.make ~name:"small" ~k:16 ~c:16 ~hw:16 ~rs:3 ())
+
+let arch = Arch.make ~name:"mid" ~pes:64 ~registers:64 ~sram_words:8192
+
+let get = function
+  | Ok (r : O.report) -> r
+  | Error msg -> Alcotest.failf "optimize failed: %s" msg
+
+(* A reduced exploration keeps the end-to-end suite fast; the full
+   settings are exercised by the reproduction harness. *)
+let fast = { O.default_config with O.max_choices = 10; top_choices = 2 }
+
+let test_dataflow_valid () =
+  let nest = small_conv () in
+  let r = get (O.dataflow ~config:fast tech arch F.Energy nest) in
+  let o = r.O.outcome in
+  Alcotest.(check (result unit string))
+    "mapping valid" (Ok ())
+    (Mapping.validate nest o.I.mapping);
+  Alcotest.(check bool) "solved several" true (r.O.choices_solved > 1);
+  (* The continuous relaxation over-approximates halo volumes and the
+     integer point rounds tile sizes, so the two can differ in either
+     direction — but only modestly. *)
+  let ratio = r.O.best_continuous /. o.I.metrics.Evaluate.energy_pj in
+  Alcotest.(check bool)
+    (Printf.sprintf "continuous/integer ratio %.3f in [0.5, 2]" ratio)
+    true
+    (ratio > 0.5 && ratio < 2.0)
+
+(* Thistle's optimized dataflow should not lose to a seeded random search
+   with a healthy trial budget (the paper's Fig. 4 relationship). *)
+let test_beats_or_matches_mapper () =
+  let nest = small_conv () in
+  let r = get (O.dataflow ~config:fast tech arch F.Energy nest) in
+  let thistle_energy = r.O.outcome.I.metrics.Evaluate.energy_pj in
+  let config = { S.max_trials = 5000; victory_condition = 5000; seed = 1 } in
+  let mapper = S.search ~config tech arch S.Min_energy nest in
+  match mapper.S.best with
+  | None -> Alcotest.fail "mapper found nothing"
+  | Some (_, e) ->
+    Alcotest.(check bool)
+      (Printf.sprintf "thistle %.3g <= 1.05 * mapper %.3g" thistle_energy
+         e.Evaluate.energy_pj)
+      true
+      (thistle_energy <= e.Evaluate.energy_pj *. 1.05)
+
+(* Co-design at the area of the fixed architecture should match or beat
+   the fixed architecture's optimized dataflow (Fig. 5 relationship). *)
+let test_codesign_beats_fixed () =
+  let nest = small_conv () in
+  let fixed = get (O.dataflow ~config:fast tech arch F.Energy nest) in
+  let budget = Arch.area tech arch in
+  let codesign = get (O.codesign ~config:fast tech ~area_budget:budget F.Energy nest) in
+  let e_fixed = fixed.O.outcome.I.metrics.Evaluate.energy_pj in
+  let e_codesign = codesign.O.outcome.I.metrics.Evaluate.energy_pj in
+  Alcotest.(check bool)
+    (Printf.sprintf "codesign %.3g <= 1.05 * fixed %.3g" e_codesign e_fixed)
+    true
+    (e_codesign <= e_fixed *. 1.05);
+  Alcotest.(check bool)
+    "within budget" true
+    (Arch.area tech codesign.O.outcome.I.arch <= budget)
+
+let test_delay_objective () =
+  let nest = small_conv () in
+  let r = get (O.dataflow ~config:fast tech arch F.Delay nest) in
+  let m = r.O.outcome.I.metrics in
+  Alcotest.(check bool)
+    "ipc <= P" true
+    (m.Evaluate.ipc <= float_of_int arch.Arch.pe_count +. 1e-9);
+  Alcotest.(check bool)
+    "cycles >= macs / P" true
+    (m.Evaluate.cycles
+    >= (Workload.Nest.ops nest /. float_of_int arch.Arch.pe_count) -. 1e-9);
+  (* Delay optimization should saturate a good fraction of the array on
+     this comfortably parallel layer. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "ipc %.1f >= 16" m.Evaluate.ipc)
+    true (m.Evaluate.ipc >= 16.0)
+
+let test_edp_objective () =
+  let nest = small_conv () in
+  let edp (m : Evaluate.t) = m.Evaluate.energy_pj *. m.Evaluate.cycles in
+  let r_edp = get (O.run ~config:fast tech (F.Fixed arch) F.Edp nest) in
+  let r_energy = get (O.run ~config:fast tech (F.Fixed arch) F.Energy nest) in
+  let r_delay = get (O.run ~config:fast tech (F.Fixed arch) F.Delay nest) in
+  let edp_of (r : O.report) = edp r.O.outcome.I.metrics in
+  (* The EDP-optimal point should beat (or match) the products achieved
+     by the single-criterion optimizations, modulo integerization. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "edp %.3g <= energy-run %.3g" (edp_of r_edp) (edp_of r_energy))
+    true
+    (edp_of r_edp <= edp_of r_energy *. 1.10);
+  Alcotest.(check bool)
+    (Printf.sprintf "edp %.3g <= delay-run %.3g" (edp_of r_edp) (edp_of r_delay))
+    true
+    (edp_of r_edp <= edp_of r_delay *. 1.10)
+
+let test_matmul_workload () =
+  (* The optimizer is not conv-specific: the paper's Fig. 1 example. *)
+  let nest = Workload.Matmul.nest ~ni:64 ~nj:64 ~nk:64 () in
+  let r = get (O.dataflow ~config:fast tech arch F.Energy nest) in
+  Alcotest.(check (result unit string))
+    "mapping valid" (Ok ())
+    (Mapping.validate nest r.O.outcome.I.mapping)
+
+let test_infeasible_arch () =
+  let nest = small_conv () in
+  let hopeless = Arch.make ~name:"hopeless" ~pes:1 ~registers:2 ~sram_words:16 in
+  match O.dataflow tech hopeless F.Energy nest with
+  | Error _ -> ()
+  | Ok r ->
+    Alcotest.failf "expected failure, got %g pJ"
+      r.O.outcome.I.metrics.Evaluate.energy_pj
+
+let test_config_knobs () =
+  let nest = small_conv () in
+  let config = { O.default_config with O.max_choices = 2; top_choices = 1 } in
+  let r = get (O.dataflow ~config tech arch F.Energy nest) in
+  Alcotest.(check bool) "choices capped" true (r.O.choices_enumerated <= 2)
+
+let () =
+  Alcotest.run "optimize"
+    [
+      ( "dataflow",
+        [
+          Alcotest.test_case "valid outcome" `Quick test_dataflow_valid;
+          Alcotest.test_case "matches mapper" `Quick test_beats_or_matches_mapper;
+          Alcotest.test_case "matmul workload" `Quick test_matmul_workload;
+          Alcotest.test_case "infeasible arch" `Quick test_infeasible_arch;
+          Alcotest.test_case "config knobs" `Quick test_config_knobs;
+        ] );
+      ( "codesign",
+        [
+          Alcotest.test_case "beats fixed at equal area" `Quick test_codesign_beats_fixed;
+        ] );
+      ( "delay",
+        [
+          Alcotest.test_case "delay objective" `Quick test_delay_objective;
+          Alcotest.test_case "edp objective" `Quick test_edp_objective;
+        ] );
+    ]

@@ -1,0 +1,127 @@
+(* Tests for the multi-layer flows behind Figs. 6 and 8: layer-wise
+   optimization, dominant-layer architecture selection, and fixed-arch
+   re-optimization. *)
+
+module Pl = Thistle.Pipeline
+module O = Thistle.Optimize
+module F = Thistle.Formulate
+module I = Thistle.Integerize
+module Arch = Archspec.Arch
+module Evaluate = Accmodel.Evaluate
+
+let tech = Archspec.Technology.table3
+
+let layers =
+  List.map Workload.Conv.to_nest
+    [
+      Workload.Conv.make ~name:"l-small" ~k:8 ~c:8 ~hw:8 ~rs:3 ();
+      Workload.Conv.make ~name:"l-large" ~k:32 ~c:32 ~hw:16 ~rs:3 ();
+      Workload.Conv.make ~name:"l-1x1" ~k:16 ~c:32 ~hw:16 ~rs:1 ();
+    ]
+
+let budget = 6.0e5
+
+let fast_config = { O.default_config with O.max_choices = 12; top_choices = 2 }
+
+let entries =
+  lazy
+    (Pl.run_layers ~config:fast_config tech
+       (F.Codesign { area_budget = budget })
+       F.Energy layers)
+
+let test_all_layers_succeed () =
+  List.iter
+    (fun (e : Pl.entry) ->
+      match e.Pl.result with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "%s failed: %s" (Workload.Nest.name e.Pl.nest) msg)
+    (Lazy.force entries)
+
+let test_dominant_arch_is_max_energy () =
+  let entries = Lazy.force entries in
+  let arch = Result.get_ok (Pl.dominant_arch F.Energy entries) in
+  (* The dominant layer is the one with the largest total energy; check
+     the returned architecture is that layer's. *)
+  let with_metrics =
+    List.filter_map
+      (fun (e : Pl.entry) ->
+        match e.Pl.result with
+        | Ok r -> Some (r.O.outcome.I.arch, r.O.outcome.I.metrics.Evaluate.energy_pj)
+        | Error _ -> None)
+      entries
+  in
+  let max_energy = List.fold_left (fun m (_, e) -> Float.max m e) 0.0 with_metrics in
+  let expected, _ = List.find (fun (_, e) -> e = max_energy) with_metrics in
+  Alcotest.(check string) "dominant arch" expected.Arch.arch_name arch.Arch.arch_name;
+  Alcotest.(check bool) "within budget" true (Arch.area tech arch <= budget)
+
+let test_fixed_arch_rerun () =
+  let entries = Lazy.force entries in
+  let arch = Result.get_ok (Pl.dominant_arch F.Energy entries) in
+  let fixed = Pl.run_layers ~config:fast_config tech (F.Fixed arch) F.Energy layers in
+  List.iter2
+    (fun (layerwise : Pl.entry) (fixed_entry : Pl.entry) ->
+      match (Pl.metrics layerwise, Pl.metrics fixed_entry) with
+      | Some lw, Some fx ->
+        (* A single shared architecture can only do as well or worse than
+           the per-layer one (up to integerization noise). *)
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: fixed %.3g >= 0.95 * layerwise %.3g"
+             (Workload.Nest.name layerwise.Pl.nest)
+             fx.Evaluate.energy_pj lw.Evaluate.energy_pj)
+          true
+          (fx.Evaluate.energy_pj >= lw.Evaluate.energy_pj *. 0.95)
+      | _ ->
+        (* The dominant-layer architecture may be infeasible for another
+           layer only if its register file cannot hold the window tiles;
+           with these layers it should always be feasible. *)
+        Alcotest.failf "missing metrics for %s" (Workload.Nest.name layerwise.Pl.nest))
+    entries fixed
+
+let test_delay_dominance () =
+  (* Under the delay objective the dominant layer is the one with the
+     largest cycle count, not the largest energy. *)
+  let entries =
+    Pl.run_layers ~config:fast_config tech
+      (F.Codesign { area_budget = budget })
+      F.Delay layers
+  in
+  let arch = Result.get_ok (Pl.dominant_arch F.Delay entries) in
+  let cycles_of (e : Pl.entry) =
+    match Pl.metrics e with Some m -> m.Evaluate.cycles | None -> neg_infinity
+  in
+  let slowest =
+    List.fold_left
+      (fun acc e -> if cycles_of e > cycles_of acc then e else acc)
+      (List.hd entries) (List.tl entries)
+  in
+  (match slowest.Pl.result with
+  | Ok r ->
+    Alcotest.(check string)
+      "dominant is the slowest layer's arch"
+      r.O.outcome.I.arch.Arch.arch_name arch.Arch.arch_name
+  | Error msg -> Alcotest.failf "slowest layer failed: %s" msg);
+  Alcotest.(check bool) "within budget" true (Arch.area tech arch <= budget)
+
+let test_dominant_arch_no_successes () =
+  let hopeless = Arch.make ~name:"hopeless" ~pes:1 ~registers:2 ~sram_words:16 in
+  let entries =
+    Pl.run_layers ~config:fast_config tech (F.Fixed hopeless) F.Energy
+      [ List.hd layers ]
+  in
+  match Pl.dominant_arch F.Energy entries with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected failure with no successful layers"
+
+let () =
+  Alcotest.run "pipeline"
+    [
+      ( "flows",
+        [
+          Alcotest.test_case "layer-wise succeeds" `Quick test_all_layers_succeed;
+          Alcotest.test_case "dominant arch" `Quick test_dominant_arch_is_max_energy;
+          Alcotest.test_case "fixed-arch rerun" `Quick test_fixed_arch_rerun;
+          Alcotest.test_case "delay dominance" `Quick test_delay_dominance;
+          Alcotest.test_case "no successes" `Quick test_dominant_arch_no_successes;
+        ] );
+    ]

@@ -1,0 +1,115 @@
+(* Tests for the reference simulator itself: enumerated footprints against
+   the closed-form span formula, and sanity of the copy-counting walk. *)
+
+module Nest = Workload.Nest
+module Sim = Refsim.Simulate
+module Mapping = Mapspace.Mapping
+
+let idx ?(stride = 1) iter = { Nest.stride; iter }
+
+let test_span_simple () =
+  let extents = function "h" -> 4 | _ -> 3 in
+  Alcotest.(check int) "single dim" 4 (Sim.projection_span ~extents [ idx "h" ]);
+  (* h + r: 4 + 3 - 1 = 6; all addresses touched. *)
+  Alcotest.(check int) "halo" 6 (Sim.projection_span ~extents [ idx "h"; idx "r" ]);
+  Alcotest.(check int) "halo distinct" 6 (Sim.projection_distinct ~extents [ idx "h"; idx "r" ])
+
+let test_span_strided () =
+  let extents = function "w" -> 4 | _ -> 3 in
+  (* 2w + s: span 2*4 + 3 - 2 = 9; distinct = 9 as stride 2 with window 3
+     covers everything. *)
+  Alcotest.(check int) "stride-2 span" 9
+    (Sim.projection_span ~extents [ idx ~stride:2 "w"; idx "s" ]);
+  Alcotest.(check int)
+    "stride-2 distinct" 9
+    (Sim.projection_distinct ~extents [ idx ~stride:2 "w"; idx "s" ])
+
+let test_span_gaps () =
+  (* 2w + s with window 1 leaves gaps: span 2*4 - 1 = 7, distinct 4. *)
+  let extents = function "w" -> 4 | _ -> 1 in
+  Alcotest.(check int) "gap span" 7
+    (Sim.projection_span ~extents [ idx ~stride:2 "w"; idx "s" ]);
+  Alcotest.(check int)
+    "gap distinct" 4
+    (Sim.projection_distinct ~extents [ idx ~stride:2 "w"; idx "s" ])
+
+(* The closed-form footprint used by both models is the span:
+   sum stride*extent - sum stride + 1. *)
+let prop_span_closed_form =
+  let gen =
+    QCheck2.Gen.(list_size (int_range 1 3) (pair (int_range 1 3) (int_range 1 5)))
+  in
+  QCheck2.Test.make ~name:"enumerated span = closed form" ~count:300 gen (fun spec ->
+      let spec = List.mapi (fun i (s, e) -> (Printf.sprintf "d%d" i, s, e)) spec in
+      let proj = List.map (fun (d, s, _) -> idx ~stride:s d) spec in
+      let extents d =
+        match List.find_opt (fun (d', _, _) -> d' = d) spec with
+        | Some (_, _, e) -> e
+        | None -> 1
+      in
+      let closed =
+        List.fold_left (fun acc (_, s, e) -> acc + (s * e)) 0 spec
+        - List.fold_left (fun acc (_, s, _) -> acc + s) 0 spec
+        + 1
+      in
+      Sim.projection_span ~extents proj = closed)
+
+let prop_distinct_le_span =
+  let gen =
+    QCheck2.Gen.(list_size (int_range 1 3) (pair (int_range 1 3) (int_range 1 5)))
+  in
+  QCheck2.Test.make ~name:"distinct <= span; equal for stride 1" ~count:300 gen
+    (fun spec ->
+      let spec = List.mapi (fun i (s, e) -> (Printf.sprintf "d%d" i, s, e)) spec in
+      let proj = List.map (fun (d, s, _) -> idx ~stride:s d) spec in
+      let extents d =
+        match List.find_opt (fun (d', _, _) -> d' = d) spec with
+        | Some (_, _, e) -> e
+        | None -> 1
+      in
+      let span = Sim.projection_span ~extents proj in
+      let distinct = Sim.projection_distinct ~extents proj in
+      distinct <= span
+      && (List.exists (fun (_, s, _) -> s > 1) spec || distinct = span))
+
+(* Copy counting: the number of copies observed must equal the product of
+   the enclosing loops, with multicast skipping absent spatial dims. *)
+let test_copy_counts () =
+  let nest = Workload.Matmul.nest ~ni:8 ~nj:8 ~nk:8 () in
+  let mapping =
+    Mapping.canonical
+      ~reg:([ ("i", 2); ("j", 2); ("k", 2) ], [ "i"; "j"; "k" ])
+      ~pe:([ ("i", 2); ("k", 2) ], [ "i"; "j"; "k" ])
+      ~spatial:[ ("j", 2) ]
+      ~dram:([ ("i", 2); ("j", 2); ("k", 2) ], [ "i"; "j"; "k" ])
+  in
+  let reports = Result.get_ok (Sim.fills nest mapping) in
+  let find tensor level =
+    List.find (fun r -> r.Sim.tensor = tensor && r.Sim.level = level) reports
+  in
+  (* A at the PE level: PE perm <i,j,k> with k innermost present (factor
+     2): copies once per PE-level i iteration (2); spatial has only j,
+     absent in A (multicast, not iterated); all 8 DRAM iterations
+     multiply: 2 * 8 = 16 copies. *)
+  let a = find "A" 1 in
+  Alcotest.(check int) "A copies" 16 a.Sim.copies;
+  (* Each union copy is (i: 2) x (k: 2*2) = 8 words. *)
+  Alcotest.(check (float 1e-9)) "A words" (16.0 *. 8.0) a.Sim.words;
+  (* B is indexed by k and j; the spatial j loop iterates for it (x2). *)
+  let b = find "B" 1 in
+  Alcotest.(check int) "B copies" 32 b.Sim.copies
+
+let () =
+  Alcotest.run "refsim"
+    [
+      ( "footprints",
+        [
+          Alcotest.test_case "simple spans" `Quick test_span_simple;
+          Alcotest.test_case "strided spans" `Quick test_span_strided;
+          Alcotest.test_case "gappy strides" `Quick test_span_gaps;
+        ] );
+      ("copies", [ Alcotest.test_case "copy counts" `Quick test_copy_counts ]);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_span_closed_form; prop_distinct_le_span ] );
+    ]

@@ -1,0 +1,262 @@
+(* Tests for the YAML subset and the Timeloop-style spec round trips. *)
+
+module Y = Specs.Yaml
+module T = Specs.Timeloop
+module Nest = Workload.Nest
+module Mapping = Mapspace.Mapping
+module Arch = Archspec.Arch
+
+let tech = Archspec.Technology.table3
+
+let yaml_testable = Alcotest.testable Y.pp ( = )
+
+(* --- YAML --- *)
+
+let test_scalars () =
+  Alcotest.(check yaml_testable) "int" (Ok (Y.Int 42) |> Result.get_ok) (Result.get_ok (Y.parse "42"));
+  Alcotest.(check yaml_testable) "float" (Y.Float 2.5) (Result.get_ok (Y.parse "2.5"));
+  Alcotest.(check yaml_testable) "bool" (Y.Bool true) (Result.get_ok (Y.parse "true"));
+  Alcotest.(check yaml_testable) "null" Y.Null (Result.get_ok (Y.parse "~"));
+  Alcotest.(check yaml_testable) "string" (Y.String "hello") (Result.get_ok (Y.parse "hello"));
+  Alcotest.(check yaml_testable)
+    "quoted keeps type" (Y.String "42")
+    (Result.get_ok (Y.parse "\"42\""))
+
+let test_map_and_list () =
+  let doc = "name: eyeriss\npes: 168\nlist:\n  - 1\n  - 2\n" in
+  let v = Result.get_ok (Y.parse doc) in
+  Alcotest.(check (option string)) "name" (Some "eyeriss") (Option.bind (Y.find v "name") Y.get_string);
+  Alcotest.(check (option int)) "pes" (Some 168) (Option.bind (Y.find v "pes") Y.get_int);
+  Alcotest.(check yaml_testable)
+    "list" (Y.List [ Y.Int 1; Y.Int 2 ])
+    (Option.get (Y.find v "list"))
+
+let test_inline_list_items () =
+  (* Timeloop style: "- name: A" with following keys aligned. *)
+  let doc = "spaces:\n  - name: A\n    rw: false\n  - name: B\n    rw: true\n" in
+  let v = Result.get_ok (Y.parse doc) in
+  match Y.find v "spaces" with
+  | Some (Y.List [ a; b ]) ->
+    Alcotest.(check (option string)) "A" (Some "A") (Option.bind (Y.find a "name") Y.get_string);
+    Alcotest.(check yaml_testable) "B rw" (Y.Bool true) (Option.get (Y.find b "rw"))
+  | _ -> Alcotest.fail "expected a two-item list"
+
+let test_comments_and_blanks () =
+  let doc = "# leading comment\nkey: 1  # trailing\n\nother: 2\n" in
+  let v = Result.get_ok (Y.parse doc) in
+  Alcotest.(check (option int)) "key" (Some 1) (Option.bind (Y.find v "key") Y.get_int);
+  Alcotest.(check (option int)) "other" (Some 2) (Option.bind (Y.find v "other") Y.get_int)
+
+let test_nested_maps () =
+  let doc = "a:\n  b:\n    c: 3\n  d: 4\ne: 5\n" in
+  let v = Result.get_ok (Y.parse doc) in
+  let a = Option.get (Y.find v "a") in
+  let b = Option.get (Y.find a "b") in
+  Alcotest.(check (option int)) "c" (Some 3) (Option.bind (Y.find b "c") Y.get_int);
+  Alcotest.(check (option int)) "d" (Some 4) (Option.bind (Y.find a "d") Y.get_int);
+  Alcotest.(check (option int)) "e" (Some 5) (Option.bind (Y.find v "e") Y.get_int)
+
+let test_parse_errors () =
+  (match Y.parse "key: 1\n\tbad: 2\n" with
+  | Error msg -> Alcotest.(check bool) "tab rejected" true (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "expected tab rejection");
+  match Y.parse "a: 1\nnot a map line with colon missing\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected error for stray scalar in map"
+
+let test_quoted_specials () =
+  (* Quoted strings may contain the characters that otherwise structure a
+     document. *)
+  let doc = "a: \"x: y # z\"\nb: 'PE[0..15]'\n" in
+  let v = Result.get_ok (Y.parse doc) in
+  Alcotest.(check (option string)) "colon and hash" (Some "x: y # z")
+    (Option.bind (Y.find v "a") Y.get_string);
+  Alcotest.(check (option string)) "bracket range" (Some "PE[0..15]")
+    (Option.bind (Y.find v "b") Y.get_string)
+
+let test_list_of_lists () =
+  let doc = "-\n  - 1\n  - 2\n-\n  - 3\n" in
+  Alcotest.(check yaml_testable)
+    "nested" (Y.List [ Y.List [ Y.Int 1; Y.Int 2 ]; Y.List [ Y.Int 3 ] ])
+    (Result.get_ok (Y.parse doc))
+
+let test_list_value_at_parent_indent () =
+  (* Block lists may sit at the same indent as their key (common YAML). *)
+  let doc = "items:\n- a\n- b\nnext: 1\n" in
+  let v = Result.get_ok (Y.parse doc) in
+  Alcotest.(check yaml_testable)
+    "items" (Y.List [ Y.String "a"; Y.String "b" ])
+    (Option.get (Y.find v "items"));
+  Alcotest.(check (option int)) "next" (Some 1) (Option.bind (Y.find v "next") Y.get_int)
+
+let test_empty_value_is_null () =
+  let doc = "a:\nb: 2\n" in
+  let v = Result.get_ok (Y.parse doc) in
+  Alcotest.(check yaml_testable) "null" Y.Null (Option.get (Y.find v "a"))
+
+let test_emit_quotes_ambiguous () =
+  (* A string that parses as a number must be quoted on emission. *)
+  let v = Y.Map [ ("k", Y.String "42"); ("s", Y.String "has: colon") ] in
+  let v' = Result.get_ok (Y.parse (Y.emit v)) in
+  Alcotest.(check yaml_testable) "string 42 survives" (Y.String "42")
+    (Option.get (Y.find v' "k"));
+  Alcotest.(check yaml_testable) "colon survives" (Y.String "has: colon")
+    (Option.get (Y.find v' "s"))
+
+let rec gen_yaml depth =
+  let open QCheck2.Gen in
+  let scalar =
+    oneof
+      [
+        return Y.Null;
+        map (fun b -> Y.Bool b) bool;
+        map (fun i -> Y.Int i) (int_range (-1000) 1000);
+        map (fun s -> Y.String s) (string_size ~gen:(char_range 'a' 'z') (int_range 1 8));
+      ]
+  in
+  if depth = 0 then scalar
+  else
+    frequency
+      [
+        (2, scalar);
+        ( 1,
+          map (fun l -> Y.List l) (list_size (int_range 1 3) (gen_yaml (depth - 1))) );
+        ( 1,
+          map
+            (fun kvs ->
+              let dedup =
+                List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) kvs
+              in
+              Y.Map dedup)
+            (list_size (int_range 1 3)
+               (pair (string_size ~gen:(char_range 'a' 'z') (int_range 1 6)) (gen_yaml (depth - 1))))
+        );
+      ]
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"parse (emit v) = v" ~count:300 (gen_yaml 3) (fun v ->
+      match Y.parse (Y.emit v) with Ok v' -> v' = v | Error _ -> false)
+
+(* --- Timeloop specs --- *)
+
+let conv_nest =
+  Workload.Conv.to_nest (Workload.Conv.make ~name:"conv" ~k:8 ~c:4 ~hw:8 ~rs:3 ~stride:2 ())
+
+let test_problem_roundtrip () =
+  let yaml = T.problem_to_yaml conv_nest in
+  let nest' = Result.get_ok (T.problem_of_yaml yaml) in
+  Alcotest.(check (list string)) "dims" (Nest.dim_names conv_nest) (Nest.dim_names nest');
+  Alcotest.(check int) "extent k" 8 (Nest.extent nest' "k");
+  let inp = Nest.tensor nest' "In" in
+  Alcotest.(check bool) "In strides preserved" true
+    (List.exists
+       (List.exists (fun { Nest.stride; iter } -> stride = 2 && iter = "h"))
+       inp.Nest.projections);
+  let out = Nest.tensor nest' "Out" in
+  Alcotest.(check bool) "Out rw" true out.Nest.read_write;
+  (* And it survives a second trip through text. *)
+  let text = Y.emit yaml in
+  let nest'' = Result.get_ok (T.problem_of_yaml (Result.get_ok (Y.parse text))) in
+  Alcotest.(check (list string)) "text roundtrip" (Nest.dim_names conv_nest) (Nest.dim_names nest'')
+
+let sample_mapping =
+  Mapping.canonical
+    ~reg:([ ("r", 3); ("s", 3); ("h", 2) ], [ "n"; "k"; "c"; "r"; "s"; "h"; "w" ])
+    ~pe:([ ("k", 4); ("c", 2) ], [ "k"; "c"; "n"; "r"; "s"; "h"; "w" ])
+    ~spatial:[ ("c", 2); ("w", 4) ]
+    ~dram:([ ("k", 2); ("h", 2) ], [ "h"; "k"; "n"; "c"; "r"; "s"; "w" ])
+
+let test_mapping_roundtrip () =
+  let yaml = T.mapping_to_yaml sample_mapping in
+  let text = Y.emit yaml in
+  let mapping' = Result.get_ok (T.mapping_of_yaml (Result.get_ok (Y.parse text))) in
+  Alcotest.(check bool) "equal" true (Mapping.equal sample_mapping mapping');
+  Alcotest.(check int) "spatial preserved" 8 (Mapping.spatial_size mapping')
+
+let test_architecture_roundtrip () =
+  let yaml = T.architecture_to_yaml tech Arch.eyeriss in
+  let text = Y.emit yaml in
+  let arch' = Result.get_ok (T.architecture_of_yaml (Result.get_ok (Y.parse text))) in
+  Alcotest.(check int) "pes" 168 arch'.Arch.pe_count;
+  Alcotest.(check int) "registers" 512 arch'.Arch.registers_per_pe;
+  Alcotest.(check int) "sram" 65536 arch'.Arch.sram_words
+
+let test_problem_error_paths () =
+  let check_error doc what =
+    match Result.bind (Y.parse doc) T.problem_of_yaml with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected %s to be rejected" what
+  in
+  check_error "not_a_problem: 1\n" "missing problem key";
+  check_error "problem:\n  name: p\n  dimensions:\n    - i\n  instance: {}\n"
+    "missing instance extent";
+  check_error
+    "problem:\n  name: p\n  dimensions:\n    - i\n  instance:\n    i: 4\n  data-spaces:\n    - name: T\n      projection:\n        - \"0*i\"\n"
+    "bad stride";
+  (* A minimal valid document parses. *)
+  let ok =
+    "problem:\n  name: p\n  dimensions:\n    - i\n  instance:\n    i: 4\n  data-spaces:\n    - name: T\n      projection:\n        - i\n"
+  in
+  match Result.bind (Y.parse ok) T.problem_of_yaml with
+  | Ok nest -> Alcotest.(check int) "extent" 4 (Nest.extent nest "i")
+  | Error msg -> Alcotest.failf "valid doc rejected: %s" msg
+
+let test_mapping_error_paths () =
+  let check_error doc what =
+    match Result.bind (Y.parse doc) T.mapping_of_yaml with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected %s to be rejected" what
+  in
+  check_error "mapping:\n  - target: DRAM\n    type: temporal\n" "missing factors";
+  check_error
+    "mapping:\n  - target: DRAM\n    type: temporal\n    factors: i=x\n"
+    "malformed factor";
+  check_error
+    "mapping:\n  - target: DRAM\n    type: temporal\n    factors: i=0\n"
+    "nonpositive factor"
+
+let test_write_bundle () =
+  let dir = Filename.temp_file "thistle" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  T.write_bundle ~dir tech Arch.eyeriss conv_nest sample_mapping;
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) (f ^ " exists") true (Sys.file_exists (Filename.concat dir f)))
+    [ "problem.yaml"; "mapping.yaml"; "arch.yaml" ];
+  (* Parse one back from disk. *)
+  let ic = open_in (Filename.concat dir "arch.yaml") in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  let arch' = Result.get_ok (T.architecture_of_yaml (Result.get_ok (Y.parse text))) in
+  Alcotest.(check int) "pes from disk" 168 arch'.Arch.pe_count
+
+let () =
+  Alcotest.run "specs"
+    [
+      ( "yaml",
+        [
+          Alcotest.test_case "scalars" `Quick test_scalars;
+          Alcotest.test_case "maps and lists" `Quick test_map_and_list;
+          Alcotest.test_case "inline list items" `Quick test_inline_list_items;
+          Alcotest.test_case "comments" `Quick test_comments_and_blanks;
+          Alcotest.test_case "nesting" `Quick test_nested_maps;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "quoted specials" `Quick test_quoted_specials;
+          Alcotest.test_case "list of lists" `Quick test_list_of_lists;
+          Alcotest.test_case "list at parent indent" `Quick test_list_value_at_parent_indent;
+          Alcotest.test_case "empty value" `Quick test_empty_value_is_null;
+          Alcotest.test_case "emit quotes ambiguous" `Quick test_emit_quotes_ambiguous;
+          QCheck_alcotest.to_alcotest prop_roundtrip;
+        ] );
+      ( "timeloop",
+        [
+          Alcotest.test_case "problem roundtrip" `Quick test_problem_roundtrip;
+          Alcotest.test_case "mapping roundtrip" `Quick test_mapping_roundtrip;
+          Alcotest.test_case "architecture roundtrip" `Quick test_architecture_roundtrip;
+          Alcotest.test_case "problem error paths" `Quick test_problem_error_paths;
+          Alcotest.test_case "mapping error paths" `Quick test_mapping_error_paths;
+          Alcotest.test_case "write bundle" `Quick test_write_bundle;
+        ] );
+    ]

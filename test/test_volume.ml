@@ -1,0 +1,424 @@
+(* Tests for the symbolic Algorithm 1: exact reproduction of the paper's
+   matmul volume expressions (Eq. 1/2), the Table I construction trace for
+   conv, and agreement with the concrete model on integer points. *)
+
+module M = Symexpr.Monomial
+module P = Symexpr.Posynomial
+module V = Thistle.Volume
+module Nest = Workload.Nest
+module Counts = Accmodel.Counts
+module Mapping = Mapspace.Mapping
+
+let approx ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps *. (1.0 +. Float.abs b)
+
+let check_posy name expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected %s, got %s" name (P.to_string expected) (P.to_string actual))
+    true (P.equal expected actual)
+
+let mono exps = P.of_monomial (M.make 1.0 (List.map (fun (v, e) -> (v, e)) exps))
+
+(* The paper's matmul with SRAM-level permutation <i,k,j> and register
+   level <i,j,k> (Fig. 1 / Eq. 1-2). *)
+let matmul_analysis () =
+  let nest = Workload.Matmul.nest ~ni:64 ~nj:64 ~nk:64 () in
+  V.analyze nest ~pe_perm:[ "i"; "j"; "k" ] ~dram_perm:[ "i"; "k"; "j" ]
+
+let tensor_volumes name analysis =
+  List.find (fun tv -> tv.V.tensor = name) analysis.V.per_tensor
+
+let test_eq1_dram_volumes () =
+  let a = matmul_analysis () in
+  (* DVol_A^{D->S} = N_i N_k: every level of i and k, nothing of j. *)
+  let full d = List.map (fun l -> (Printf.sprintf "t%d.%s" l d, 1.0)) [ 0; 1; 2; 3 ] in
+  check_posy "A" (mono (full "i" @ full "k"))
+    (V.volume_posynomial (tensor_volumes "A" a).V.dram_to_sram);
+  (* DVol_B^{D->S} = N_i N_j N_k / S_i: i contributes only its DRAM trip. *)
+  check_posy "B"
+    (mono ([ ("t3.i", 1.0) ] @ full "j" @ full "k"))
+    (V.volume_posynomial (tensor_volumes "B" a).V.dram_to_sram);
+  (* DVol_C^{D->S} = N_i N_j N_k / S_k. *)
+  check_posy "C"
+    (mono (full "i" @ full "j" @ [ ("t3.k", 1.0) ]))
+    (V.volume_posynomial (tensor_volumes "C" a).V.dram_to_sram)
+
+let test_eq2_sram_volumes () =
+  let a = matmul_analysis () in
+  let full d = List.map (fun l -> (Printf.sprintf "t%d.%s" l d, 1.0)) [ 0; 1; 2; 3 ] in
+  (* DVol_A^{S->R} = N_i N_j N_k / (R_j P_j): j misses t0 and t2. *)
+  check_posy "A"
+    (mono (full "i" @ [ ("t1.j", 1.0); ("t3.j", 1.0) ] @ full "k"))
+    (V.volume_posynomial (tensor_volumes "A" a).V.sram_to_reg);
+  (* DVol_B^{S->R} = N_i N_j N_k / (R_i P_i). *)
+  check_posy "B"
+    (mono ([ ("t1.i", 1.0); ("t3.i", 1.0) ] @ full "j" @ full "k"))
+    (V.volume_posynomial (tensor_volumes "B" a).V.sram_to_reg);
+  (* DVol_C^{S->R} = N_i N_j N_k / S_k. *)
+  check_posy "C"
+    (mono (full "i" @ full "j" @ [ ("t3.k", 1.0) ]))
+    (V.volume_posynomial (tensor_volumes "C" a).V.sram_to_reg)
+
+let test_register_footprints () =
+  let a = matmul_analysis () in
+  (* DF^0_C = R_i R_j. *)
+  check_posy "C reg tile"
+    (mono [ ("t0.i", 1.0); ("t0.j", 1.0) ])
+    (Symexpr.Footprint.to_posynomial (tensor_volumes "C" a).V.register_footprint);
+  (* SRAM footprint of C = S_i S_j = through level 2. *)
+  check_posy "C sram tile"
+    (mono
+       [ ("t0.i", 1.0); ("t1.i", 1.0); ("t2.i", 1.0); ("t0.j", 1.0); ("t1.j", 1.0); ("t2.j", 1.0) ])
+    (Symexpr.Footprint.to_posynomial (tensor_volumes "C" a).V.sram_footprint)
+
+(* Table I: level-1 construction for conv with In[n][c][h+r][2w+s] and
+   permutation <w,n,k,h,c,s,r> (outer to inner).  We check the exact
+   evaluations of DV^1 against the table's final expressions. *)
+let table1_nest =
+  let idx ?(stride = 1) iter = { Nest.stride; iter } in
+  Nest.make ~name:"table1"
+    ~dims:
+      (List.map
+         (fun (d, e) -> { Nest.dim_name = d; extent = e })
+         [ ("n", 8); ("k", 8); ("c", 8); ("r", 3); ("s", 3); ("h", 8); ("w", 8) ])
+    ~tensors:
+      [
+        {
+          Nest.tensor_name = "Out";
+          projections = [ [ idx "n" ]; [ idx "k" ]; [ idx "h" ]; [ idx "w" ] ];
+          read_write = true;
+        };
+        {
+          Nest.tensor_name = "In";
+          projections =
+            [ [ idx "n" ]; [ idx "c" ]; [ idx "h"; idx "r" ]; [ idx ~stride:2 "w"; idx "s" ] ];
+          read_write = false;
+        };
+      ]
+
+let random_env seed =
+  let rng = Random.State.make [| seed |] in
+  let table = Hashtbl.create 16 in
+  fun v ->
+    match Hashtbl.find_opt table v with
+    | Some x -> x
+    | None ->
+      let x = float_of_int (1 + Random.State.int rng 5) in
+      Hashtbl.replace table v x;
+      x
+
+let test_table1_trace () =
+  let perm = [ "w"; "n"; "k"; "h"; "c"; "s"; "r" ] in
+  let check_tensor name expected_of_env =
+    let tensor = Nest.tensor table1_nest name in
+    let df0 = V.register_tile_footprint tensor in
+    let _df1, dv = V.construct ~level:1 ~perm ~tensor df0 in
+    List.iter
+      (fun seed ->
+        let env = random_env seed in
+        let q d = env (Printf.sprintf "t1.%s" d) in
+        let r d = env (Printf.sprintf "t0.%s" d) in
+        let expected = expected_of_env q r in
+        let actual = V.volume_eval_exact env dv in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s seed %d: expected %g got %g" name seed expected actual)
+          true (approx expected actual))
+      [ 1; 2; 3; 4; 5 ]
+  in
+  (* Final row of Table I (modulo the paper's read+write factor 2, which
+     this project applies at the accounting layer):
+     DV_In = q_w q_n q_k q_h q_c q_s * r_n r_c (r_h + q_r r_r - 1)(2 r_w + r_s - 2). *)
+  check_tensor "In" (fun q r ->
+      q "w" *. q "n" *. q "k" *. q "h" *. q "c" *. q "s"
+      *. (r "n" *. r "c"
+         *. ((r "h" +. (q "r" *. r "r") -. 1.0) *. ((2.0 *. r "w") +. r "s" -. 2.0))));
+  (* DV_Out = q_w q_n q_k * (r_n r_k q_h r_h r_w). *)
+  check_tensor "Out" (fun q r ->
+      q "w" *. q "n" *. q "k" *. (r "n" *. r "k" *. q "h" *. r "h" *. r "w"))
+
+(* Hoisting stops at the innermost present iterator: for Ker-like tensors
+   the expression from the worked example in Section III-A. *)
+let test_ker_example () =
+  let idx iter = { Nest.stride = 1; iter } in
+  let nest =
+    Nest.make ~name:"ker"
+      ~dims:
+        (List.map
+           (fun (d, e) -> { Nest.dim_name = d; extent = e })
+           [ ("n", 4); ("k", 4); ("c", 4); ("r", 3); ("s", 3); ("h", 4); ("w", 4) ])
+      ~tensors:
+        [
+          {
+            Nest.tensor_name = "Ker";
+            projections = [ [ idx "k" ]; [ idx "c" ]; [ idx "r" ]; [ idx "s" ] ];
+            read_write = false;
+          };
+        ]
+  in
+  let tensor = Nest.tensor nest "Ker" in
+  let df0 = V.register_tile_footprint tensor in
+  let df1, dv = V.construct ~level:1 ~perm:[ "w"; "n"; "k"; "h"; "c"; "s"; "r" ] ~tensor df0 in
+  (* DF^1 = q_k r_k q_c r_c q_r r_r q_s r_s. *)
+  check_posy "DF1"
+    (mono
+       [
+         ("t0.k", 1.0); ("t1.k", 1.0); ("t0.c", 1.0); ("t1.c", 1.0);
+         ("t0.r", 1.0); ("t1.r", 1.0); ("t0.s", 1.0); ("t1.s", 1.0);
+       ])
+    (Symexpr.Footprint.to_posynomial df1);
+  (* DV^1 = q_w q_n q_k q_h q_c q_s (r_k r_c q_r r_r r_s). *)
+  check_posy "DV1"
+    (mono
+       [
+         ("t1.w", 1.0); ("t1.n", 1.0); ("t1.k", 1.0); ("t1.h", 1.0); ("t1.c", 1.0);
+         ("t1.s", 1.0); ("t0.k", 1.0); ("t0.c", 1.0); ("t1.r", 1.0); ("t0.r", 1.0);
+         ("t0.s", 1.0);
+       ])
+    (V.volume_posynomial dv)
+
+(* Symbolic volumes evaluated at a concrete mapping must equal the model's
+   counted fills, whenever every factor is > 1 (so syntactic and
+   trip-count hoisting coincide) and perms match. *)
+let prop_symbolic_matches_model =
+  let gen = QCheck2.Gen.int_range 0 10000 in
+  QCheck2.Test.make ~name:"symbolic volume = model counts (pow2 matmul)" ~count:100 gen
+    (fun seed ->
+      let nest = Workload.Matmul.nest ~ni:16 ~nj:16 ~nk:16 () in
+      let rng = Random.State.make [| seed |] in
+      let dims = [ "i"; "j"; "k" ] in
+      let shuffle xs =
+        List.map snd
+          (List.sort compare (List.map (fun x -> (Random.State.bits rng, x)) xs))
+      in
+      let pe_perm = shuffle dims and dram_perm = shuffle dims in
+      let analysis = V.analyze nest ~pe_perm ~dram_perm in
+      (* All factors 2 at every level: 2*2*2*2 = 16. *)
+      let factors = List.map (fun d -> (d, 2)) dims in
+      let mapping =
+        Mapping.canonical ~reg:(factors, dims) ~pe:(factors, pe_perm) ~spatial:factors
+          ~dram:(factors, dram_perm)
+      in
+      let counts = Result.get_ok (Counts.compute nest mapping) in
+      let env = Mapping.env mapping in
+      List.for_all
+        (fun tv ->
+          let tc = List.find (fun t -> t.Counts.tensor = tv.V.tensor) counts.Counts.per_tensor in
+          approx
+            (V.volume_eval_exact env tv.V.sram_to_reg)
+            (List.assoc 1 tc.Counts.fills)
+          && approx
+               (V.volume_eval_exact env tv.V.dram_to_sram)
+               (List.assoc 3 tc.Counts.fills))
+        analysis.V.per_tensor)
+
+(* The generic analysis instantiated at the canonical structure must
+   agree with the canonical analysis, symbolically. *)
+let test_general_matches_canonical () =
+  let nest = Workload.Matmul.nest ~ni:64 ~nj:64 ~nk:64 () in
+  let pe_perm = [ "i"; "j"; "k" ] and dram_perm = [ "i"; "k"; "j" ] in
+  let canonical = V.analyze nest ~pe_perm ~dram_perm in
+  let general =
+    V.analyze_general nest
+      ~levels:[ V.Temporal []; V.Temporal pe_perm; V.Spatial; V.Temporal dram_perm ]
+  in
+  List.iter
+    (fun tv ->
+      let _, rw, boundaries =
+        List.find (fun (n, _, _) -> n = tv.V.tensor) general.V.g_tensors
+      in
+      Alcotest.(check bool) "rw matches" tv.V.read_write rw;
+      let b1 = List.find (fun b -> b.V.level = 1) boundaries in
+      let b3 = List.find (fun b -> b.V.level = 3) boundaries in
+      check_posy "fill@1"
+        (V.volume_posynomial tv.V.sram_to_reg)
+        (V.volume_posynomial b1.V.fill);
+      check_posy "fill@3"
+        (V.volume_posynomial tv.V.dram_to_sram)
+        (V.volume_posynomial b3.V.fill);
+      check_posy "buf@1"
+        (Symexpr.Footprint.to_posynomial tv.V.register_footprint)
+        (Symexpr.Footprint.to_posynomial b1.V.footprint);
+      check_posy "buf@3"
+        (Symexpr.Footprint.to_posynomial tv.V.sram_footprint)
+        (Symexpr.Footprint.to_posynomial b3.V.footprint))
+    canonical.V.per_tensor
+
+(* Five tiling levels (a deeper hierarchy, as in the paper's Fig. 3(e)):
+   the symbolic volumes must match the concrete model's counts. *)
+let test_general_five_levels () =
+  let nest = Workload.Matmul.nest ~ni:32 ~nj:32 ~nk:32 () in
+  let dims = [ "i"; "j"; "k" ] in
+  let perms =
+    [
+      [ "i"; "j"; "k" ]; [ "k"; "i"; "j" ]; [ "j"; "k"; "i" ]; [ "i"; "k"; "j" ];
+    ]
+  in
+  let levels =
+    [
+      V.Temporal (List.nth perms 0);
+      V.Temporal (List.nth perms 1);
+      V.Spatial;
+      V.Temporal (List.nth perms 2);
+      V.Temporal (List.nth perms 3);
+    ]
+  in
+  let analysis = V.analyze_general nest ~levels in
+  let factors = List.map (fun d -> (d, 2)) dims in
+  let mapping =
+    Mapping.make
+      [
+        { Mapping.kind = Mapspace.Level.Temporal; factors; perm = List.nth perms 0 };
+        { Mapping.kind = Mapspace.Level.Temporal; factors; perm = List.nth perms 1 };
+        { Mapping.kind = Mapspace.Level.Spatial; factors; perm = [] };
+        { Mapping.kind = Mapspace.Level.Temporal; factors; perm = List.nth perms 2 };
+        { Mapping.kind = Mapspace.Level.Temporal; factors; perm = List.nth perms 3 };
+      ]
+  in
+  let counts = Result.get_ok (Counts.compute nest mapping) in
+  let env = Mapping.env mapping in
+  List.iter
+    (fun (name, _, boundaries) ->
+      let tc = List.find (fun t -> t.Counts.tensor = name) counts.Counts.per_tensor in
+      List.iter
+        (fun b ->
+          let symbolic = V.volume_eval_exact env b.V.fill in
+          let concrete = List.assoc b.V.level tc.Counts.fills in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s fill@%d: %g vs %g" name b.V.level symbolic concrete)
+            true
+            (approx symbolic concrete);
+          let fp_sym = Symexpr.Footprint.eval_exact env b.V.footprint in
+          let fp_conc = List.assoc b.V.level tc.Counts.footprints in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s buf@%d: %g vs %g" name b.V.level fp_sym fp_conc)
+            true
+            (approx fp_sym fp_conc))
+        boundaries)
+    analysis.V.g_tensors
+
+(* Generic levels must also handle halo (strided conv) footprints: check
+   a 5-level conv structure against the concrete model. *)
+let test_general_conv_halos () =
+  let conv = Workload.Conv.make ~name:"g" ~k:4 ~c:4 ~hw:16 ~rs:3 ~stride:2 () in
+  let nest = Workload.Conv.to_nest conv in
+  let dims = Nest.dim_names nest in
+  let tileable = [ "k"; "c"; "h"; "w" ] in
+  let perm = tileable in
+  (* Concrete mappings need full permutations; the untiled dims sit
+     innermost with factor 1 (skipped by hoisting). *)
+  let full_perm = tileable @ [ "n"; "r"; "s" ] in
+  let levels =
+    [ V.Temporal dims; V.Temporal perm; V.Spatial; V.Temporal perm; V.Temporal perm ]
+  in
+  let analysis = V.analyze_general nest ~levels in
+  (* Concrete mapping: r/s fully at the register level; each tileable dim
+     factored 2 at levels 1, 3 and 4 (extent 16 = 2*2*2*2 with reg 2 ...
+     here: reg 1, then 2 at the three temporal levels above and spatial 2
+     only for k and c to keep extents right: use 2,2,1,2,2 chains. *)
+  let factors_of spec = List.map (fun d -> (d, spec d)) dims in
+  let chain l d =
+    if not (List.mem d tileable) then
+      if l = 0 && Nest.extent nest d > 1 then Nest.extent nest d else 1
+    else
+      match (l, d) with
+      | 0, _ -> 2
+      | 2, ("k" | "c") -> 2
+      | 2, _ -> 1
+      | _, ("k" | "c") -> if l = 1 then 1 else 1
+      | _, _ -> 2
+  in
+  (* Make products match extents: k,c = 2*1*2*1*1 = 4; h,w = 2*2*1*2*... *)
+  let chain l d =
+    match d with
+    | "k" | "c" -> List.nth [ 2; 1; 2; 1; 1 ] l
+    | "h" | "w" -> List.nth [ 2; 2; 1; 2; 1 ] l
+    | _ -> chain l d
+  in
+  let mapping =
+    Mapping.make
+      [
+        { Mapping.kind = Mapspace.Level.Temporal; factors = factors_of (chain 0); perm = dims };
+        { Mapping.kind = Mapspace.Level.Temporal; factors = factors_of (chain 1); perm = full_perm };
+        { Mapping.kind = Mapspace.Level.Spatial; factors = factors_of (chain 2); perm = [] };
+        { Mapping.kind = Mapspace.Level.Temporal; factors = factors_of (chain 3); perm = full_perm };
+        { Mapping.kind = Mapspace.Level.Temporal; factors = factors_of (chain 4); perm = full_perm };
+      ]
+  in
+  (match Mapping.validate nest mapping with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "mapping invalid: %s" msg);
+  let counts = Result.get_ok (Counts.compute nest mapping) in
+  let env var =
+    match List.assoc_opt var (List.concat_map (fun d ->
+        List.init 5 (fun l -> (Mapspace.Level.trip_var ~level:l ~dim:d, float_of_int (chain l d))))
+        dims)
+    with
+    | Some v -> v
+    | None -> 1.0
+  in
+  List.iter
+    (fun (name, _, boundaries) ->
+      let tc = List.find (fun t -> t.Counts.tensor = name) counts.Counts.per_tensor in
+      List.iter
+        (fun b ->
+          (* r and s appear in the level-1/3/4 perms symbolically but have
+             factor 1 concretely, so the symbolic volume is only an exact
+             match when hoist points coincide; here every tensor's
+             innermost present tileable iterator has factor > 1, so they
+             do for the In/Out/Ker references with perm k c h w. *)
+          let symbolic = V.volume_eval_exact env b.V.fill in
+          let concrete = List.assoc b.V.level tc.Counts.fills in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s fill@%d: %g vs %g" name b.V.level symbolic concrete)
+            true
+            (approx symbolic concrete))
+        boundaries)
+    analysis.V.g_tensors
+
+let test_general_validation () =
+  let nest = Workload.Matmul.nest ~ni:8 ~nj:8 ~nk:8 () in
+  Alcotest.check_raises "spatial level 0"
+    (Invalid_argument "Volume.analyze_general: level 0 must be temporal") (fun () ->
+      ignore (V.analyze_general nest ~levels:[ V.Spatial; V.Temporal [] ]))
+
+let test_fingerprint_prunes_outer_order () =
+  (* With the PE-level permutation fixed, swapping two outermost DRAM
+     loops beyond every hoist point cannot change the cost model. *)
+  let nest = Workload.Matmul.nest ~ni:16 ~nj:16 ~nk:16 () in
+  let a = V.analyze nest ~pe_perm:[ "i"; "j"; "k" ] ~dram_perm:[ "i"; "j"; "k" ] in
+  let b = V.analyze nest ~pe_perm:[ "i"; "j"; "k" ] ~dram_perm:[ "j"; "i"; "k" ] in
+  (* dram perms <i,j,k> and <j,i,k>: every tensor's innermost present
+     iterator is unchanged (k for A and B, j vs i for C differ!).  Pick
+     instead perms where only loops above all hoist points swap: C hoists
+     at j in <i,k,j> and <k,i,j>. *)
+  ignore (a, b);
+  let a = V.analyze nest ~pe_perm:[ "i"; "j"; "k" ] ~dram_perm:[ "i"; "k"; "j" ] in
+  let b = V.analyze nest ~pe_perm:[ "i"; "j"; "k" ] ~dram_perm:[ "k"; "i"; "j" ] in
+  Alcotest.(check bool)
+    "same fingerprint" true
+    (String.equal (V.fingerprint a) (V.fingerprint b))
+
+let () =
+  Alcotest.run "volume"
+    [
+      ( "paper equations",
+        [
+          Alcotest.test_case "Eq. 1 DRAM volumes" `Quick test_eq1_dram_volumes;
+          Alcotest.test_case "Eq. 2 SRAM volumes" `Quick test_eq2_sram_volumes;
+          Alcotest.test_case "register footprints" `Quick test_register_footprints;
+          Alcotest.test_case "Table I trace" `Quick test_table1_trace;
+          Alcotest.test_case "Ker worked example" `Quick test_ker_example;
+        ] );
+      ( "consistency",
+        [
+          Alcotest.test_case "fingerprint prunes outer order" `Quick
+            test_fingerprint_prunes_outer_order;
+          QCheck_alcotest.to_alcotest prop_symbolic_matches_model;
+        ] );
+      ( "general levels",
+        [
+          Alcotest.test_case "matches canonical" `Quick test_general_matches_canonical;
+          Alcotest.test_case "five levels vs model" `Quick test_general_five_levels;
+          Alcotest.test_case "conv halos at five levels" `Quick test_general_conv_halos;
+          Alcotest.test_case "validation" `Quick test_general_validation;
+        ] );
+    ]

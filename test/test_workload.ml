@@ -1,0 +1,147 @@
+(* Tests for the loop-nest abstraction, conv builder and Table II zoo. *)
+
+module Nest = Workload.Nest
+module Conv = Workload.Conv
+
+let approx a b = Float.abs (a -. b) <= 1e-9 *. (1.0 +. Float.abs b)
+
+let test_matmul_structure () =
+  let n = Workload.Matmul.nest ~ni:4 ~nj:8 ~nk:16 () in
+  Alcotest.(check (list string)) "dims" [ "i"; "j"; "k" ] (Nest.dim_names n);
+  Alcotest.(check int) "extent j" 8 (Nest.extent n "j");
+  Alcotest.(check bool) "ops" true (approx 512.0 (Nest.ops n));
+  let c = Nest.tensor n "C" in
+  Alcotest.(check bool) "C is rw" true c.Nest.read_write;
+  Alcotest.(check (list string)) "C iters" [ "i"; "j" ] (Nest.iters_of_tensor c);
+  Alcotest.(check bool) "C words" true (approx 32.0 (Nest.tensor_words n c))
+
+let test_conv_nest () =
+  let l = Conv.make ~name:"l" ~k:8 ~c:4 ~hw:16 ~rs:3 ~stride:2 () in
+  Alcotest.(check int) "out h" 8 (Conv.out_height l);
+  let n = Conv.to_nest l in
+  Alcotest.(check (list string))
+    "dims" [ "n"; "k"; "c"; "r"; "s"; "h"; "w" ] (Nest.dim_names n);
+  Alcotest.(check bool) "macs" true (approx (Conv.macs l) (Nest.ops n));
+  Alcotest.(check bool)
+    "macs value" true
+    (approx (8.0 *. 4.0 *. 9.0 *. 64.0) (Nest.ops n));
+  let inp = Nest.tensor n "In" in
+  Alcotest.(check bool) "In mentions r" true (Nest.tensor_mentions inp "r");
+  Alcotest.(check bool) "In not rw" false inp.Nest.read_write;
+  (* The In spatial projection is 2*h + r: over the full output extent 8
+     and kernel 3, the span is 2*8 + 3 - 2 = 17 (same-padding halo). *)
+  let words = Nest.tensor_words n inp in
+  Alcotest.(check bool) (Printf.sprintf "In words %g" words) true (approx (1.0 *. 4.0 *. 17.0 *. 17.0) words)
+
+let test_conv_1x1 () =
+  let l = Conv.make ~name:"l" ~k:8 ~c:4 ~hw:16 ~rs:1 () in
+  let n = Conv.to_nest l in
+  Alcotest.(check int) "r extent 1" 1 (Nest.extent n "r");
+  Alcotest.(check bool) "macs" true (approx (8.0 *. 4.0 *. 256.0) (Nest.ops n))
+
+let test_validation () =
+  Alcotest.check_raises "bad extent"
+    (Invalid_argument "Nest.make: dimension \"i\" has extent 0") (fun () ->
+      ignore
+        (Nest.make ~name:"bad" ~dims:[ { Nest.dim_name = "i"; extent = 0 } ] ~tensors:[]));
+  Alcotest.check_raises "undeclared iter"
+    (Invalid_argument "Nest.make: tensor \"T\" references undeclared iterator \"z\"")
+    (fun () ->
+      ignore
+        (Nest.make ~name:"bad"
+           ~dims:[ { Nest.dim_name = "i"; extent = 2 } ]
+           ~tensors:
+             [
+               {
+                 Nest.tensor_name = "T";
+                 projections = [ [ { Nest.stride = 1; iter = "z" } ] ];
+                 read_write = false;
+               };
+             ]));
+  Alcotest.check_raises "duplicate dim"
+    (Invalid_argument "Nest.make: duplicate dimension \"i\"") (fun () ->
+      ignore
+        (Nest.make ~name:"bad"
+           ~dims:
+             [ { Nest.dim_name = "i"; extent = 2 }; { Nest.dim_name = "i"; extent = 3 } ]
+           ~tensors:[]))
+
+let test_zoo_shapes () =
+  Alcotest.(check int) "resnet has 12 layers" 12 (List.length Workload.Zoo.resnet18);
+  Alcotest.(check int) "yolo has 11 layers" 11 (List.length Workload.Zoo.yolo9000);
+  let r1 = Workload.Zoo.find "resnet-1" in
+  Alcotest.(check int) "resnet-1 K" 64 r1.Conv.out_channels;
+  Alcotest.(check int) "resnet-1 kernel" 7 r1.Conv.kernel;
+  Alcotest.(check int) "resnet-1 stride" 2 r1.Conv.stride;
+  Alcotest.(check int) "resnet-1 out 112" 112 (Conv.out_height r1);
+  let y11 = Workload.Zoo.find "yolo-11" in
+  Alcotest.(check int) "yolo-11 K" 28269 y11.Conv.out_channels;
+  Alcotest.(check int) "yolo-11 C" 1024 y11.Conv.in_channels;
+  let y1 = Workload.Zoo.find "yolo-1" in
+  Alcotest.(check int) "yolo-1 HW" 544 y1.Conv.in_height;
+  Alcotest.(check bool)
+    "all yolo layers stride 1" true
+    (List.for_all (fun l -> l.Conv.stride = 1) Workload.Zoo.yolo9000);
+  Alcotest.(check int)
+    "resnet stride-2 layers" 6
+    (List.length (List.filter (fun l -> l.Conv.stride = 2) Workload.Zoo.resnet18))
+
+let test_extra_pipelines () =
+  Alcotest.(check int) "alexnet has 5 conv layers" 5 (List.length Workload.Zoo.alexnet);
+  Alcotest.(check int) "vgg16 has 13 conv layers" 13 (List.length Workload.Zoo.vgg16);
+  let a1 = Workload.Zoo.find "alexnet-1" in
+  Alcotest.(check int) "alexnet-1 kernel" 11 a1.Conv.kernel;
+  Alcotest.(check int) "alexnet-1 stride" 4 a1.Conv.stride;
+  Alcotest.(check int) "alexnet-1 out" 56 (Conv.out_height a1);
+  Alcotest.(check bool)
+    "vgg all 3x3 stride 1" true
+    (List.for_all
+       (fun l -> l.Conv.kernel = 3 && l.Conv.stride = 1)
+       Workload.Zoo.vgg16);
+  Alcotest.(check int) "four pipelines" 4 (List.length Workload.Zoo.pipelines)
+
+let test_zoo_nests_valid () =
+  (* Every zoo layer must produce a well-formed nest. *)
+  List.iter
+    (fun l ->
+      let n = Conv.to_nest l in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s ops positive" l.Conv.layer_name)
+        true
+        (Nest.ops n > 0.0))
+    Workload.Zoo.all_layers
+
+let prop_conv_macs_match_nest =
+  let gen =
+    QCheck2.Gen.(
+      let* k = int_range 1 64 in
+      let* c = int_range 1 64 in
+      let* hw = int_range 1 64 in
+      let* rs = oneofl [ 1; 3; 5; 7 ] in
+      let* stride = oneofl [ 1; 2 ] in
+      let* batch = int_range 1 4 in
+      return (k, c, hw, rs, stride, batch))
+  in
+  QCheck2.Test.make ~name:"Conv.macs = Nest.ops" ~count:200 gen
+    (fun (k, c, hw, rs, stride, batch) ->
+      let l = Conv.make ~name:"p" ~batch ~k ~c ~hw ~rs ~stride () in
+      approx (Conv.macs l) (Nest.ops (Conv.to_nest l)))
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "nest",
+        [
+          Alcotest.test_case "matmul" `Quick test_matmul_structure;
+          Alcotest.test_case "conv" `Quick test_conv_nest;
+          Alcotest.test_case "1x1 conv" `Quick test_conv_1x1;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+      ( "zoo",
+        [
+          Alcotest.test_case "table II shapes" `Quick test_zoo_shapes;
+          Alcotest.test_case "extra pipelines" `Quick test_extra_pipelines;
+          Alcotest.test_case "nests valid" `Quick test_zoo_nests_valid;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_conv_macs_match_nest ]);
+    ]
