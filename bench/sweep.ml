@@ -1,0 +1,123 @@
+(* Sequential-vs-parallel wall time of the optimizer sweep.
+
+   Runs the full Optimize sweep (GP per permutation choice x window
+   placement, then integerization) on one layer for each requested jobs
+   setting, reports wall time and speedup over jobs = 1, and checks that
+   every run returns a bit-identical report — the determinism guarantee
+   of the shared domain pool (Exec.Par preserves order; ranking totally
+   orders candidates by objective).
+
+   Usage:
+     dune exec bench/sweep.exe                       # resnet-2, jobs 1,2,4
+     dune exec bench/sweep.exe -- --layer resnet-8 --jobs 1,4,8
+     dune exec bench/sweep.exe -- --codesign --repeat 3 *)
+
+module O = Thistle.Optimize
+module F = Thistle.Formulate
+module I = Thistle.Integerize
+module Arch = Archspec.Arch
+module Conv = Workload.Conv
+module Evaluate = Accmodel.Evaluate
+
+let tech = Archspec.Technology.table3
+
+type options = { layer : string; jobs : int list; codesign : bool; repeat : int }
+
+let parse_args () =
+  let layer = ref "resnet-2" in
+  let jobs = ref [ 1; 2; 4 ] in
+  let codesign = ref false in
+  let repeat = ref 1 in
+  let int_arg flag s =
+    match int_of_string_opt s with
+    | Some n when n > 0 -> n
+    | _ ->
+      Printf.eprintf "%s: invalid value %S, expected a positive integer\n" flag s;
+      exit 2
+  in
+  let rec go = function
+    | [] -> ()
+    | "--layer" :: name :: rest ->
+      layer := name;
+      go rest
+    | "--jobs" :: spec :: rest ->
+      jobs := List.map (int_arg "--jobs") (String.split_on_char ',' spec);
+      go rest
+    | "--codesign" :: rest ->
+      codesign := true;
+      go rest
+    | "--repeat" :: n :: rest ->
+      repeat := int_arg "--repeat" n;
+      go rest
+    | arg :: _ ->
+      Printf.eprintf
+        "unknown argument %s (expected --layer NAME, --jobs N,N,..., --codesign, \
+         --repeat N)\n"
+        arg;
+      exit 2
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  { layer = !layer; jobs = !jobs; codesign = !codesign; repeat = !repeat }
+
+let () =
+  let options = parse_args () in
+  let nest =
+    match Workload.Zoo.find options.layer with
+    | layer -> Conv.to_nest layer
+    | exception Not_found ->
+      Printf.eprintf "unknown layer %S; see `thistle layers'\n" options.layer;
+      exit 2
+  in
+  let run jobs =
+    let config = { O.default_config with O.jobs } in
+    let t0 = Unix.gettimeofday () in
+    let result =
+      let rec loop k last =
+        if k = 0 then last
+        else
+          let r =
+            if options.codesign then
+              O.codesign ~config tech ~area_budget:(Arch.eyeriss_area tech) F.Energy nest
+            else O.dataflow ~config tech Arch.eyeriss F.Energy nest
+          in
+          loop (k - 1) (Some r)
+      in
+      loop options.repeat None
+    in
+    let dt = (Unix.gettimeofday () -. t0) /. float_of_int options.repeat in
+    (dt, result)
+  in
+  Printf.printf "optimizer sweep: layer %s, %s, %d recognized CPU(s)%s\n" options.layer
+    (if options.codesign then "codesign" else "dataflow (Eyeriss)")
+    (Domain.recommended_domain_count ())
+    (if options.repeat > 1 then Printf.sprintf ", best-effort mean of %d runs" options.repeat
+     else "");
+  Printf.printf "%6s %12s %9s %10s\n" "jobs" "wall s" "speedup" "identical";
+  let baseline = ref None in
+  let reference = ref None in
+  List.iter
+    (fun jobs ->
+      let dt, result = run jobs in
+      let speedup =
+        match !baseline with
+        | None ->
+          baseline := Some dt;
+          1.0
+        | Some t1 -> t1 /. dt
+      in
+      let identical =
+        match (!reference, result) with
+        | None, r ->
+          reference := Some r;
+          "-"
+        | Some r0, r -> if r0 = r then "yes" else "NO"
+      in
+      Printf.printf "%6d %12.3f %9.2fx %10s\n%!" jobs dt speedup identical)
+    options.jobs;
+  match !reference with
+  | Some (Some (Ok r)) ->
+    let m = r.O.outcome.I.metrics in
+    Printf.printf "\nreport: %d choices solved, %.2f pJ/MAC, IPC %.1f\n"
+      r.O.choices_solved m.Evaluate.energy_per_mac m.Evaluate.ipc
+  | Some (Some (Error msg)) -> Printf.printf "\noptimization failed: %s\n" msg
+  | Some None | None -> ()

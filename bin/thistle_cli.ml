@@ -23,7 +23,9 @@ let tech = base_tech
 
 let setup_logs =
   let setup verbose =
-    Logs.set_reporter (Logs_fmt.reporter ());
+    (* Optimizer sweeps log from pool worker domains; serialize the
+       reporter so lines never interleave. *)
+    Logs.set_reporter (Exec.Reporter.mutexed (Logs_fmt.reporter ()));
     Logs.set_level (if verbose then Some Logs.Info else Some Logs.Warning)
   in
   Term.(const setup $ Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Verbose logging."))
@@ -76,6 +78,16 @@ let top_choices_arg =
     & opt int O.default_config.O.top_choices
     & info [ "top-choices" ] ~docv:"K"
         ~doc:"Number of best continuous solutions to integerize and model-evaluate.")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int O.default_config.O.jobs
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the optimizer sweep (default: recognized CPUs; 1 runs \
+           the exact sequential path).  The reported mapping and metrics are \
+           identical for any value.")
 
 let emit_arg =
   Arg.(
@@ -138,14 +150,14 @@ let layers_cmd =
     Term.(const (fun () () -> run ()) $ setup_logs $ const ())
 
 let optimize_cmd =
-  let run () layer objective arch top_choices emit emit_code node =
+  let run () layer objective arch top_choices emit emit_code node jobs =
     match nest_of_layer layer with
     | Error msg ->
       prerr_endline msg;
       1
     | Ok nest -> begin
       let tech = tech_of_node node in
-      let config = { O.default_config with O.top_choices } in
+      let config = { O.default_config with O.top_choices; jobs } in
       match O.dataflow ~config tech arch objective nest with
       | Error msg ->
         prerr_endline msg;
@@ -162,7 +174,7 @@ let optimize_cmd =
           setting).")
     Term.(
       const run $ setup_logs $ layer_arg $ objective_arg $ arch_args $ top_choices_arg
-      $ emit_arg $ emit_code_arg $ node_arg)
+      $ emit_arg $ emit_code_arg $ node_arg $ jobs_arg)
 
 let codesign_cmd =
   let area_arg =
@@ -172,7 +184,7 @@ let codesign_cmd =
       & info [ "area" ] ~docv:"UM2"
           ~doc:"Chip-area budget in um^2 (defaults to the Eyeriss area).")
   in
-  let run () layer objective area top_choices emit emit_code node =
+  let run () layer objective area top_choices emit emit_code node jobs =
     match nest_of_layer layer with
     | Error msg ->
       prerr_endline msg;
@@ -182,7 +194,7 @@ let codesign_cmd =
       let area_budget =
         match area with Some a -> a | None -> Arch.eyeriss_area tech
       in
-      let config = { O.default_config with O.top_choices } in
+      let config = { O.default_config with O.top_choices; jobs } in
       match O.codesign ~config tech ~area_budget objective nest with
       | Error msg ->
         prerr_endline msg;
@@ -200,7 +212,7 @@ let codesign_cmd =
           layer under an area budget (Fig. 5 setting).")
     Term.(
       const run $ setup_logs $ layer_arg $ objective_arg $ area_arg $ top_choices_arg
-      $ emit_arg $ emit_code_arg $ node_arg)
+      $ emit_arg $ emit_code_arg $ node_arg $ jobs_arg)
 
 let mapper_cmd =
   let trials_arg =
@@ -258,10 +270,11 @@ let pipeline_cmd =
       & opt (some (Arg.enum Workload.Zoo.pipelines)) None
       & info [ "pipeline" ] ~docv:"NAME" ~doc)
   in
-  let run () layers objective =
+  let run () layers objective jobs =
     let nests = List.map Conv.to_nest layers in
     let area_budget = Arch.eyeriss_area tech in
-    let entries = Pl.run_layers tech (F.Codesign { area_budget }) objective nests in
+    let config = { O.default_config with O.jobs } in
+    let entries = Pl.run_layers ~config tech (F.Codesign { area_budget }) objective nests in
     (match Pl.dominant_arch objective entries with
     | Error msg ->
       Printf.printf "dominant architecture failed: %s\n" msg
@@ -280,7 +293,7 @@ let pipeline_cmd =
             | None, _ -> "-"
           in
           let shared =
-            match O.dataflow tech arch objective e.Pl.nest with
+            match O.dataflow ~config tech arch objective e.Pl.nest with
             | Ok r -> Some r.O.outcome.I.metrics
             | Error _ -> None
           in
@@ -293,7 +306,7 @@ let pipeline_cmd =
        ~doc:
          "Layer-wise co-design of a whole DNN pipeline, then re-optimization for the \
           dominant layer's shared architecture (Fig. 6 / Fig. 8 flow).")
-    Term.(const run $ setup_logs $ pipeline_arg $ objective_arg)
+    Term.(const run $ setup_logs $ pipeline_arg $ objective_arg $ jobs_arg)
 
 let main =
   let info =

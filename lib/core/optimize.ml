@@ -6,6 +6,7 @@ type config = {
   gp_tol : float;
   explore_placements : bool;
   min_pe_utilization : float;
+  jobs : int;
 }
 
 let default_config =
@@ -17,6 +18,7 @@ let default_config =
     gp_tol = 1e-6;
     explore_placements = true;
     min_pe_utilization = 0.0;
+    jobs = Domain.recommended_domain_count ();
   }
 
 type report = {
@@ -31,32 +33,36 @@ let log_src = Logs.Src.create "thistle.optimize" ~doc:"Thistle optimizer driver"
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
 let run ?(config = default_config) tech arch_mode objective nest =
+  let jobs = Int.max 1 config.jobs in
   let plan = Permutations.enumerate ~max_choices:config.max_choices nest in
   let solved =
     (* Inner exploration: one GP per (permutation choice, window-dim
-       placement) pair. *)
+       placement) pair.  The pairs are independent — Formulate.build and
+       Gp.Solver.solve share no mutable state — so they run as one batch
+       on the shared domain pool.  Exec.Par.filter_map preserves the
+       sequential (choice-major, placement-minor) order, so the result is
+       bit-identical for any [jobs]. *)
     let placements =
       if config.explore_placements then plan.Permutations.placements
       else [ plan.Permutations.pinned ]
     in
-    List.concat_map
-      (fun choice_vol ->
-        List.filter_map
-          (fun placement ->
-            let instance =
-              Formulate.build ~placement tech arch_mode objective plan choice_vol
-            in
-            let solution =
-              Gp.Solver.solve ~tol:config.gp_tol instance.Formulate.problem
-            in
-            match solution.Gp.Solver.status with
-            | Gp.Solver.Infeasible -> None
-            | Gp.Solver.Optimal | Gp.Solver.Iteration_limit ->
-              if Float.is_finite solution.Gp.Solver.objective then
-                Some (instance, solution)
-              else None)
-          placements)
-      plan.Permutations.choices
+    let pairs =
+      List.concat_map
+        (fun choice_vol -> List.map (fun placement -> (choice_vol, placement)) placements)
+        plan.Permutations.choices
+    in
+    let solve_one (choice_vol, placement) =
+      let instance =
+        Formulate.build ~placement tech arch_mode objective plan choice_vol
+      in
+      let solution = Gp.Solver.solve ~tol:config.gp_tol instance.Formulate.problem in
+      match solution.Gp.Solver.status with
+      | Gp.Solver.Infeasible -> None
+      | Gp.Solver.Optimal | Gp.Solver.Iteration_limit ->
+        if Float.is_finite solution.Gp.Solver.objective then Some (instance, solution)
+        else None
+    in
+    Exec.Par.filter_map ~jobs solve_one pairs
   in
   Log.info (fun m ->
       m "%s: %d/%d choices solved (raw %d)" (Workload.Nest.name nest) (List.length solved)
@@ -65,6 +71,8 @@ let run ?(config = default_config) tech arch_mode objective nest =
   | [] -> Error "optimize: no permutation choice produced a feasible program"
   | _ ->
     let ranked =
+      (* List.sort is stable, and [solved] arrives in sequential order, so
+         ties keep the deterministic enumeration order. *)
       List.sort
         (fun (_, a) (_, b) ->
           Float.compare a.Gp.Solver.objective b.Gp.Solver.objective)
@@ -79,7 +87,7 @@ let run ?(config = default_config) tech arch_mode objective nest =
       match ranked with (_, s) :: _ -> s.Gp.Solver.objective | [] -> nan
     in
     let outcomes =
-      List.filter_map
+      Exec.Par.filter_map ~jobs
         (fun (instance, solution) ->
           match
             Integerize.run ~n_divisors:config.n_divisors ~n_pow2:config.n_pow2

@@ -21,6 +21,13 @@ type config = {
   min_pe_utilization : float;
       (** integer candidates using a smaller fraction of the PEs are
           rejected (paper Section IV's utilization filter); 0 disables *)
+  jobs : int;
+      (** parallelism of the GP-solve sweep and integerization shortlist,
+          run on the shared {!Exec.Pool} (default
+          [Domain.recommended_domain_count ()]).  [jobs = 1] takes the
+          exact sequential path.  Results are bit-identical for any
+          value: the sweep is order-preserving and candidate ranking
+          totally orders solutions by objective. *)
 }
 
 val default_config : config

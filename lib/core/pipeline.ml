@@ -4,7 +4,16 @@ type entry = {
 }
 
 let run_layers ?config tech arch_mode objective nests =
-  List.map
+  (* One task per layer on the shared pool; the per-layer optimizer then
+     runs its own sweep sequentially (nested parallel loops fall back, see
+     Exec.Par), so the domain budget is spent on whole layers first.
+     Exec.Par.map preserves the layer order. *)
+  let jobs =
+    match config with
+    | Some c -> c.Optimize.jobs
+    | None -> Optimize.default_config.Optimize.jobs
+  in
+  Exec.Par.map ~jobs
     (fun nest -> { nest; result = Optimize.run ?config tech arch_mode objective nest })
     nests
 
@@ -13,6 +22,10 @@ let metrics entry =
   | Ok report -> Some report.Optimize.outcome.Integerize.metrics
   | Error _ -> None
 
+(* "Dominant" follows the paper's Fig. 6/8 rule: the shared architecture
+   is the one co-designed for the layer with the LARGEST objective score
+   — worst-case-layer sizing under a minimization objective, not the best
+   score.  Ties keep the earliest layer; non-finite scores never win. *)
 let dominant_arch objective entries =
   let score m = Integerize.score objective m in
   let best =
@@ -23,7 +36,8 @@ let dominant_arch objective entries =
         | Ok report ->
           let m = report.Optimize.outcome.Integerize.metrics in
           let s = score m in
-          begin
+          if not (Float.is_finite s) then acc
+          else begin
             match acc with
             | Some (s', _) when s' >= s -> acc
             | Some _ | None -> Some (s, report.Optimize.outcome.Integerize.arch)

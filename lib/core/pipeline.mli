@@ -15,13 +15,19 @@ val run_layers :
   Formulate.objective ->
   Workload.Nest.t list ->
   entry list
-(** Optimize each layer independently; failures are recorded per layer. *)
+(** Optimize each layer independently; failures are recorded per layer.
+    Layers run in parallel on the shared pool ([config.jobs] tasks at a
+    time; each layer's own sweep then runs sequentially), and the entry
+    list keeps the input layer order — results are identical for any
+    [jobs]. *)
 
 val dominant_arch :
   Formulate.objective -> entry list -> (Archspec.Arch.t, string) result
 (** The architecture chosen by the layer-wise co-design for the layer with
-    the largest total energy (respectively delay) — the paper's rule for
-    picking the single architecture shared by all layers. *)
+    the {e largest} total energy (respectively delay, EDP) — the paper's
+    worst-case-layer rule for picking the single architecture shared by
+    all layers (Figs. 6 and 8), NOT the best-scoring layer.  Ties keep the
+    earliest layer; layers with non-finite scores are skipped. *)
 
 val metrics : entry -> Accmodel.Evaluate.t option
 (** The model metrics of an entry, when optimization succeeded. *)

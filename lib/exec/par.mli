@@ -1,0 +1,35 @@
+(** Order-preserving, exception-safe parallel list combinators on the
+    shared domain pool.
+
+    Determinism contract: for any [jobs], [map]/[filter_map] return
+    exactly the list the sequential [List.map]/[List.filter_map] would
+    — same elements, same order.  [jobs <= 1] takes the exact sequential
+    path (no pool involved); [jobs > 1] self-schedules the items over at
+    most [jobs] lanes of the shared pool.  Results are collected into a
+    pre-sized array by item index, so scheduling order never leaks into
+    the output.
+
+    Exception contract: every item's exception is caught on the worker;
+    after the whole batch finishes, the exception of the {e smallest
+    item index} is re-raised on the caller with its original backtrace
+    (mirroring which failure sequential evaluation would have surfaced).
+
+    Nested calls (from inside a pool task) run sequentially — parallelism
+    applies to the outermost loop only, which both bounds the domain
+    count and makes the fallback trivially deterministic. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val shared_pool : jobs:int -> Pool.t
+(** The process-wide pool, created on first use and grown to at least
+    [jobs - 1] workers (the calling domain is the remaining lane).  It is
+    registered with [at_exit] for an orderly shutdown. *)
+
+val map : ?pool:Pool.t -> ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] is [List.map f xs], computed on up to [jobs] lanes
+    (default {!default_jobs}).  [?pool] overrides the shared pool. *)
+
+val filter_map : ?pool:Pool.t -> ?jobs:int -> ('a -> 'b option) -> 'a list -> 'b list
+(** [filter_map ~jobs f xs] is [List.filter_map f xs] under the same
+    contract as {!map}. *)

@@ -1,0 +1,120 @@
+(* A fixed domain pool with a mutex/condition work queue.  See pool.mli
+   for the concurrency contract. *)
+
+type t = {
+  lock : Mutex.t;
+  work_available : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable workers : unit Domain.t list;
+  mutable closed : bool;
+}
+
+(* The OCaml 5 runtime hard-caps live domains (128 on 64-bit); stay well
+   under it so user code can still spawn domains of its own. *)
+let max_workers = 112
+
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let inside_worker () = Domain.DLS.get in_worker
+
+(* Runs one task with the worker flag set, restoring it afterwards so a
+   submitting domain that helps drain the queue is only "a worker" for
+   the duration of the task. *)
+let run_task task =
+  let was = Domain.DLS.get in_worker in
+  Domain.DLS.set in_worker true;
+  (try task () with _ -> ());
+  Domain.DLS.set in_worker was
+
+let worker_loop t =
+  let rec loop () =
+    Mutex.lock t.lock;
+    while Queue.is_empty t.queue && not t.closed do
+      Condition.wait t.work_available t.lock
+    done;
+    if Queue.is_empty t.queue then Mutex.unlock t.lock (* closed: exit *)
+    else begin
+      let task = Queue.pop t.queue in
+      Mutex.unlock t.lock;
+      run_task task;
+      loop ()
+    end
+  in
+  loop ()
+
+let spawn_workers t n = List.init n (fun _ -> Domain.spawn (fun () -> worker_loop t))
+
+let create ~workers =
+  if workers < 0 then invalid_arg "Exec.Pool.create: negative worker count";
+  let workers = Int.min workers max_workers in
+  let t =
+    {
+      lock = Mutex.create ();
+      work_available = Condition.create ();
+      queue = Queue.create ();
+      workers = [];
+      closed = false;
+    }
+  in
+  t.workers <- spawn_workers t workers;
+  t
+
+let size t =
+  Mutex.lock t.lock;
+  let n = List.length t.workers in
+  Mutex.unlock t.lock;
+  n
+
+let ensure_workers t n =
+  let n = Int.min n max_workers in
+  Mutex.lock t.lock;
+  let missing = if t.closed then 0 else n - List.length t.workers in
+  (* Spawned domains block on the (held) lock until we release it, so
+     registering them inside the critical section is safe and keeps
+     concurrent ensure_workers calls from overshooting. *)
+  if missing > 0 then t.workers <- spawn_workers t missing @ t.workers;
+  Mutex.unlock t.lock
+
+let run t tasks =
+  match tasks with
+  | [] -> ()
+  | _ ->
+    let remaining = ref (List.length tasks) in
+    let batch_done = Condition.create () in
+    let wrap task () =
+      run_task task;
+      Mutex.lock t.lock;
+      decr remaining;
+      if !remaining = 0 then Condition.broadcast batch_done;
+      Mutex.unlock t.lock
+    in
+    Mutex.lock t.lock;
+    List.iter (fun task -> Queue.add (wrap task) t.queue) tasks;
+    Condition.broadcast t.work_available;
+    (* The submitter helps drain the queue (any batch's tasks) and only
+       sleeps when the queue is empty but its own batch is unfinished —
+       some worker is then running the outstanding tasks. *)
+    let rec drain () =
+      if !remaining = 0 then Mutex.unlock t.lock
+      else if not (Queue.is_empty t.queue) then begin
+        let task = Queue.pop t.queue in
+        Mutex.unlock t.lock;
+        task ();
+        Mutex.lock t.lock;
+        drain ()
+      end
+      else begin
+        Condition.wait batch_done t.lock;
+        drain ()
+      end
+    in
+    drain ()
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.closed <- true;
+  let workers = t.workers in
+  t.workers <- [];
+  Condition.broadcast t.work_available;
+  Mutex.unlock t.lock;
+  List.iter Domain.join workers

@@ -1,0 +1,12 @@
+let mutexed (reporter : Logs.reporter) =
+  let lock = Mutex.create () in
+  let report :
+      type a b.
+      Logs.src -> Logs.level -> over:(unit -> unit) -> (unit -> b) -> (a, b) Logs.msgf -> b =
+   fun src level ~over k msgf ->
+    Mutex.lock lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock lock)
+      (fun () -> reporter.Logs.report src level ~over k msgf)
+  in
+  { Logs.report }

@@ -1,0 +1,11 @@
+(** Domain-safety shim for [Logs] reporters.
+
+    [Logs] itself performs no locking, and the formatting reporters
+    ([Logs_fmt.reporter]) interleave output when called from several
+    domains at once.  Wrap any reporter before installing it in a program
+    that uses [Exec.Par]. *)
+
+val mutexed : Logs.reporter -> Logs.reporter
+(** [mutexed r] serializes every [report] call through one mutex.  The
+    wrapped reporter (including the message continuation) runs while the
+    mutex is held, so reporters must not log recursively. *)

@@ -92,24 +92,26 @@ let search_parallel ?(config = default_config)
   in
   if domains = 1 then search ~config ~constraints tech arch criterion nest
   else begin
-    (* Split the budgets; each domain searches an independent seeded
-       stream, exactly as Timeloop's threads partition the space. *)
+    (* Split the budgets; each stream searches an independent seeded
+       slice, exactly as Timeloop's threads partition the space.  The
+       streams run as one batch on the shared domain pool; each stream is
+       deterministic in its seed and the merge below visits them in
+       stream order, so the result does not depend on scheduling. *)
     let share total k =
       (* Distribute [total] over [domains], remainder to the first ones. *)
       (total / domains) + if k < total mod domains then 1 else 0
     in
-    let worker k =
-      Domain.spawn (fun () ->
-          let config =
-            {
-              max_trials = share config.max_trials k;
-              victory_condition = Int.max 1 (share config.victory_condition k);
-              seed = config.seed + (7919 * k);
-            }
-          in
-          search ~config ~constraints tech arch criterion nest)
+    let stream k =
+      let config =
+        {
+          max_trials = share config.max_trials k;
+          victory_condition = Int.max 1 (share config.victory_condition k);
+          seed = config.seed + (7919 * k);
+        }
+      in
+      search ~config ~constraints tech arch criterion nest
     in
-    let results = List.map Domain.join (List.init domains worker) in
+    let results = Exec.Par.map ~jobs:domains stream (List.init domains Fun.id) in
     List.fold_left
       (fun acc r ->
         let best =

@@ -58,9 +58,11 @@ val search_parallel :
 (** Multi-threaded exploration, as Timeloop's Mapper runs it (Section IV:
     "spawns a given number of threads and each thread explores parts of
     the search space"): the trial budget is split across [domains]
-    OCaml 5 domains with derived seeds, and the per-domain incumbents are
-    merged.  Deterministic for a fixed [(config, domains)] pair.
-    [domains] defaults to the number of recognized CPUs, capped at 8. *)
+    independently seeded streams run as a batch on the shared
+    {!Exec.Pool}, and the per-stream incumbents are merged in stream
+    order.  Deterministic for a fixed [(config, domains)] pair regardless
+    of scheduling.  [domains] defaults to the number of recognized CPUs,
+    capped at 8. *)
 
 val exhaustive :
   Archspec.Technology.t ->

@@ -30,16 +30,24 @@ let closest n ~target ~count =
   |> List.sort_uniq Int.compare
 
 let closest_powers_of_two ~target ~count =
+  if count < 1 then invalid_arg "Divisors.closest_powers_of_two: count must be positive";
   let target = Float.max target 1.0 in
   let exact = log target /. log 2.0 in
-  let base = int_of_float (Float.round exact) in
-  let candidates =
-    List.init (count + 2) (fun i ->
-        let off = ((i + 1) / 2) * if i mod 2 = 0 then 1 else -1 in
-        Int.max 0 (base + off))
+  (* Symmetric window around the real-valued exponent: [count + 2]
+     candidates on each side of the bracketing pair (floor, ceil), so
+     upward candidates like [base + 2] are reachable and the exponent-0
+     clamp (deduplicated BEFORE the distance sort and truncation) cannot
+     shrink the window below [count] distinct values. *)
+  let lo = int_of_float (Float.floor exact) in
+  let hi = int_of_float (Float.ceil exact) in
+  let exponents =
+    List.init (count + 2) (fun i -> lo - i)
+    @ List.init (count + 2) (fun i -> hi + i)
+    |> List.filter (fun e -> e >= 0)
+    |> List.sort_uniq Int.compare
   in
   let pow2 e = 1 lsl e in
-  List.map pow2 candidates |> List.sort_uniq Int.compare
+  List.map pow2 exponents
   |> List.stable_sort (fun a b ->
          let dist d = Float.abs (log (float_of_int d) -. log target) in
          Float.compare (dist a) (dist b))

@@ -13,8 +13,11 @@ val closest : int -> target:float -> count:int -> int list
     multiplicatively), de-duplicated, ascending. *)
 
 val closest_powers_of_two : target:float -> count:int -> int list
-(** Up to [count] powers of two nearest to [target] in log space; always at
-    least 1. *)
+(** The [count] powers of two nearest to [target] in log space, drawn from
+    a window symmetric around the real-valued exponent (so candidates
+    above {e and} below the target are always reachable), de-duplicated,
+    ascending; every value is at least 1.  Raises [Invalid_argument] for
+    [count < 1]. *)
 
 val factorizations : int -> parts:int -> int list list
 (** All ordered ways to write [n] as a product of [parts] positive factors.

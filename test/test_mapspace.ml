@@ -21,7 +21,33 @@ let test_closest_pow2 () =
   Alcotest.(check (list int)) "near 12" [ 8; 16 ] (D.closest_powers_of_two ~target:12.0 ~count:2);
   Alcotest.(check (list int))
     "near 0.3 stays >= 1" [ 1; 2 ]
-    (D.closest_powers_of_two ~target:0.3 ~count:2)
+    (D.closest_powers_of_two ~target:0.3 ~count:2);
+  (* Regression: the candidate window used to be biased downward, so a
+     target at the clamp returned fewer than [count] values. *)
+  Alcotest.(check (list int))
+    "full ladder above a clamped target" [ 1; 2; 4; 8 ]
+    (D.closest_powers_of_two ~target:1.0 ~count:4);
+  Alcotest.(check (list int))
+    "upward candidates stay reachable" [ 1; 2; 4; 8; 16 ]
+    (D.closest_powers_of_two ~target:2.0 ~count:5);
+  Alcotest.(check (list int))
+    "window centred on the real-valued target" [ 16; 32; 64 ]
+    (D.closest_powers_of_two ~target:33.0 ~count:3)
+
+let prop_closest_pow2_window =
+  let gen = QCheck2.Gen.(pair (float_range 0.1 1.0e6) (int_range 1 6)) in
+  QCheck2.Test.make ~name:"closest_powers_of_two fills count and brackets target" ~count:300
+    gen
+    (fun (target, count) ->
+      let ds = D.closest_powers_of_two ~target ~count in
+      let is_pow2 d = d > 0 && d land (d - 1) = 0 in
+      let t = Float.max target 1.0 in
+      List.length ds = count
+      && List.for_all is_pow2 ds
+      && List.sort_uniq Int.compare ds = ds
+      && (count < 2
+         || List.exists (fun d -> float_of_int d <= t) ds
+            && List.exists (fun d -> float_of_int d >= t) ds))
 
 let test_factorizations () =
   let fs = D.factorizations 4 ~parts:2 in
@@ -130,5 +156,10 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_random_factorization; prop_closest_are_divisors; prop_extent_product ] );
+          [
+            prop_random_factorization;
+            prop_closest_are_divisors;
+            prop_closest_pow2_window;
+            prop_extent_product;
+          ] );
     ]

@@ -128,6 +128,23 @@ let test_infeasible_arch () =
     Alcotest.failf "expected failure, got %g pJ"
       r.O.outcome.I.metrics.Evaluate.energy_pj
 
+(* The parallel sweep must be a pure scheduling change: whatever [jobs]
+   is, the report (mapping, metrics, counters) is bit-identical to the
+   sequential path.  Checked on two real zoo layers. *)
+let test_jobs_determinism () =
+  List.iter
+    (fun layer_name ->
+      let nest = Workload.Conv.to_nest (Workload.Zoo.find layer_name) in
+      let run jobs =
+        let config = { O.default_config with O.max_choices = 8; top_choices = 2; jobs } in
+        get (O.dataflow ~config tech arch F.Energy nest)
+      in
+      Alcotest.(check bool)
+        (layer_name ^ ": jobs=4 report = jobs=1 report")
+        true
+        (run 4 = run 1))
+    [ "resnet-2"; "yolo-2" ]
+
 let test_config_knobs () =
   let nest = small_conv () in
   let config = { O.default_config with O.max_choices = 2; top_choices = 1 } in
@@ -144,6 +161,7 @@ let () =
           Alcotest.test_case "matmul workload" `Quick test_matmul_workload;
           Alcotest.test_case "infeasible arch" `Quick test_infeasible_arch;
           Alcotest.test_case "config knobs" `Quick test_config_knobs;
+          Alcotest.test_case "jobs determinism" `Quick test_jobs_determinism;
         ] );
       ( "codesign",
         [

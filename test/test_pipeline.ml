@@ -103,6 +103,31 @@ let test_delay_dominance () =
   | Error msg -> Alcotest.failf "slowest layer failed: %s" msg);
   Alcotest.(check bool) "within budget" true (Arch.area tech arch <= budget)
 
+(* Lock in the selection rule: the layer with the LARGEST finite score
+   wins (the worst-case layer, not the best one), ties keep the earliest
+   layer, and non-finite scores never win.  Entries are fabricated from a
+   real report so only the scoring inputs vary. *)
+let test_dominant_arch_semantics () =
+  let base =
+    match Lazy.force entries with
+    | ({ Pl.result = Ok _; _ } as e) :: _ -> e
+    | _ -> Alcotest.fail "fixture: first layer failed"
+  in
+  let r = Result.get_ok base.Pl.result in
+  let entry name energy =
+    let o = r.O.outcome in
+    let metrics = { o.I.metrics with Evaluate.energy_pj = energy } in
+    let arch = { o.I.arch with Arch.arch_name = name } in
+    { base with Pl.result = Ok { r with O.outcome = { o with I.metrics; I.arch } } }
+  in
+  let pick es = (Result.get_ok (Pl.dominant_arch F.Energy es)).Arch.arch_name in
+  Alcotest.(check string) "largest energy wins" "worst"
+    (pick [ entry "low" 1.0; entry "worst" 9.0; entry "mid" 3.0 ]);
+  Alcotest.(check string) "tie keeps the earliest layer" "first"
+    (pick [ entry "first" 9.0; entry "second" 9.0; entry "third" 1.0 ]);
+  Alcotest.(check string) "non-finite scores never win" "real"
+    (pick [ entry "nan" Float.nan; entry "real" 2.0; entry "inf" Float.infinity ])
+
 let test_dominant_arch_no_successes () =
   let hopeless = Arch.make ~name:"hopeless" ~pes:1 ~registers:2 ~sram_words:16 in
   let entries =
@@ -122,6 +147,7 @@ let () =
           Alcotest.test_case "dominant arch" `Quick test_dominant_arch_is_max_energy;
           Alcotest.test_case "fixed-arch rerun" `Quick test_fixed_arch_rerun;
           Alcotest.test_case "delay dominance" `Quick test_delay_dominance;
+          Alcotest.test_case "dominant-arch semantics" `Quick test_dominant_arch_semantics;
           Alcotest.test_case "no successes" `Quick test_dominant_arch_no_successes;
         ] );
     ]
