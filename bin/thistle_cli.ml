@@ -6,6 +6,7 @@ module O = Thistle.Optimize
 module F = Thistle.Formulate
 module I = Thistle.Integerize
 module Pl = Thistle.Pipeline
+module An = Analysis
 module S = Mapper.Search
 module Arch = Archspec.Arch
 module Conv = Workload.Conv
@@ -89,6 +90,16 @@ let jobs_arg =
            the exact sequential path).  The reported mapping and metrics are \
            identical for any value.")
 
+let lint_mode_arg =
+  Arg.(
+    value
+    & opt (Arg.enum An.Lint.modes) An.Lint.Enforce
+    & info [ "lint" ] ~docv:"MODE"
+        ~doc:
+          "Static-analysis gate over every formulated program: $(b,enforce) fails the \
+           run on any discipline or unit error, $(b,warn) logs and continues, \
+           $(b,off) skips the checks.")
+
 let emit_arg =
   Arg.(
     value
@@ -150,14 +161,14 @@ let layers_cmd =
     Term.(const (fun () () -> run ()) $ setup_logs $ const ())
 
 let optimize_cmd =
-  let run () layer objective arch top_choices emit emit_code node jobs =
+  let run () layer objective arch top_choices emit emit_code node jobs lint =
     match nest_of_layer layer with
     | Error msg ->
       prerr_endline msg;
       1
     | Ok nest -> begin
       let tech = tech_of_node node in
-      let config = { O.default_config with O.top_choices; jobs } in
+      let config = { O.default_config with O.top_choices; jobs; lint } in
       match O.dataflow ~config tech arch objective nest with
       | Error msg ->
         prerr_endline msg;
@@ -174,7 +185,7 @@ let optimize_cmd =
           setting).")
     Term.(
       const run $ setup_logs $ layer_arg $ objective_arg $ arch_args $ top_choices_arg
-      $ emit_arg $ emit_code_arg $ node_arg $ jobs_arg)
+      $ emit_arg $ emit_code_arg $ node_arg $ jobs_arg $ lint_mode_arg)
 
 let codesign_cmd =
   let area_arg =
@@ -184,7 +195,7 @@ let codesign_cmd =
       & info [ "area" ] ~docv:"UM2"
           ~doc:"Chip-area budget in um^2 (defaults to the Eyeriss area).")
   in
-  let run () layer objective area top_choices emit emit_code node jobs =
+  let run () layer objective area top_choices emit emit_code node jobs lint =
     match nest_of_layer layer with
     | Error msg ->
       prerr_endline msg;
@@ -194,7 +205,7 @@ let codesign_cmd =
       let area_budget =
         match area with Some a -> a | None -> Arch.eyeriss_area tech
       in
-      let config = { O.default_config with O.top_choices; jobs } in
+      let config = { O.default_config with O.top_choices; jobs; lint } in
       match O.codesign ~config tech ~area_budget objective nest with
       | Error msg ->
         prerr_endline msg;
@@ -212,7 +223,7 @@ let codesign_cmd =
           layer under an area budget (Fig. 5 setting).")
     Term.(
       const run $ setup_logs $ layer_arg $ objective_arg $ area_arg $ top_choices_arg
-      $ emit_arg $ emit_code_arg $ node_arg $ jobs_arg)
+      $ emit_arg $ emit_code_arg $ node_arg $ jobs_arg $ lint_mode_arg)
 
 let mapper_cmd =
   let trials_arg =
@@ -262,6 +273,104 @@ let mapper_cmd =
       const run $ setup_logs $ layer_arg $ objective_arg $ arch_args $ trials_arg
       $ victory_arg $ seed_arg $ domains_arg)
 
+let lint_cmd =
+  let layer_filter_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "layer" ] ~docv:"NAME"
+          ~doc:"Audit only this layer (default: the whole Table II zoo).")
+  in
+  let max_choices_arg =
+    Arg.(
+      value
+      & opt int 32
+      & info [ "max-choices" ] ~docv:"N"
+          ~doc:"Cap on permutation choices audited per layer and mode.")
+  in
+  let certify_arg =
+    Arg.(
+      value & flag
+      & info [ "certify" ]
+          ~doc:
+            "Also solve every audited program and check the solution certificate \
+             (KKT residual, constraint violations) — much slower.")
+  in
+  let run () layer max_choices certify node jobs =
+    let tech = tech_of_node node in
+    let layers =
+      match layer with
+      | None -> Ok (List.map Conv.to_nest Workload.Zoo.all_layers)
+      | Some name -> Result.map (fun n -> [ n ]) (nest_of_layer name)
+    in
+    match layers with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok nests ->
+      let arch = Arch.make ~name:"lint" ~pes:168 ~registers:512 ~sram_words:65536 in
+      let modes =
+        [ F.Fixed arch; F.Codesign { area_budget = Arch.eyeriss_area tech } ]
+      in
+      let objectives = [ F.Energy; F.Delay; F.Edp ] in
+      let certify_diags (instance : F.instance) =
+        let solution = Gp.Solver.solve instance.F.problem in
+        match solution.Gp.Solver.status with
+        | Gp.Solver.Infeasible -> []
+        | Gp.Solver.Optimal | Gp.Solver.Iteration_limit ->
+          let cert =
+            An.Certificate.check ~provenance:instance.F.provenance
+              instance.F.problem
+              (F.solution_env instance solution)
+          in
+          cert.An.Certificate.diagnostics
+      in
+      let audit nest =
+        (* Every (mode, objective, choice, placement) combination the
+           optimizer would formulate, within the choice cap. *)
+        let plan = Thistle.Permutations.enumerate ~max_choices nest in
+        let count = ref 0 in
+        let diags = ref [] in
+        List.iter
+          (fun mode ->
+            List.iter
+              (fun objective ->
+                List.iter
+                  (fun choice_vol ->
+                    List.iter
+                      (fun placement ->
+                        let instance =
+                          F.build ~placement tech mode objective plan choice_vol
+                        in
+                        incr count;
+                        let ds = F.lint instance in
+                        let ds = if certify then ds @ certify_diags instance else ds in
+                        diags := List.rev_append ds !diags)
+                      plan.Thistle.Permutations.placements)
+                  plan.Thistle.Permutations.choices)
+              objectives)
+          modes;
+        (!count, List.rev !diags)
+      in
+      let results = Exec.Par.map ~jobs audit nests in
+      let total = List.fold_left (fun acc (n, _) -> acc + n) 0 results in
+      let diags = List.concat_map snd results in
+      let errors, warnings = An.Diagnostic.count diags in
+      if diags <> [] then Format.printf "%a@." An.Diagnostic.pp_table diags;
+      Format.printf "linted %d formulations across %d layers: %d errors, %d warnings@."
+        total (List.length nests) errors warnings;
+      if errors > 0 then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Audit the formulation layer: build every program the optimizer would (all \
+          modes, objectives, permutation choices and placements, per layer) and run \
+          the DGP discipline and unit checks without solving.")
+    Term.(
+      const run $ setup_logs $ layer_filter_arg $ max_choices_arg $ certify_arg
+      $ node_arg $ jobs_arg)
+
 let pipeline_cmd =
   let pipeline_arg =
     let doc = "DNN pipeline: $(b,resnet18), $(b,yolo9000), $(b,alexnet) or $(b,vgg16)." in
@@ -270,10 +379,10 @@ let pipeline_cmd =
       & opt (some (Arg.enum Workload.Zoo.pipelines)) None
       & info [ "pipeline" ] ~docv:"NAME" ~doc)
   in
-  let run () layers objective jobs =
+  let run () layers objective jobs lint =
     let nests = List.map Conv.to_nest layers in
     let area_budget = Arch.eyeriss_area tech in
-    let config = { O.default_config with O.jobs } in
+    let config = { O.default_config with O.jobs; lint } in
     let entries = Pl.run_layers ~config tech (F.Codesign { area_budget }) objective nests in
     (match Pl.dominant_arch objective entries with
     | Error msg ->
@@ -306,7 +415,7 @@ let pipeline_cmd =
        ~doc:
          "Layer-wise co-design of a whole DNN pipeline, then re-optimization for the \
           dominant layer's shared architecture (Fig. 6 / Fig. 8 flow).")
-    Term.(const run $ setup_logs $ pipeline_arg $ objective_arg $ jobs_arg)
+    Term.(const run $ setup_logs $ pipeline_arg $ objective_arg $ jobs_arg $ lint_mode_arg)
 
 let main =
   let info =
@@ -315,6 +424,6 @@ let main =
         "Comprehensive accelerator-dataflow co-design for CNNs via geometric \
          programming (CGO 2022 reproduction)."
   in
-  Cmd.group info [ layers_cmd; optimize_cmd; codesign_cmd; mapper_cmd; pipeline_cmd ]
+  Cmd.group info [ layers_cmd; optimize_cmd; codesign_cmd; mapper_cmd; pipeline_cmd; lint_cmd ]
 
 let () = exit (Cmd.eval' main)

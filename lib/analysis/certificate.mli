@@ -1,0 +1,44 @@
+(** Post-solve solution certificates.
+
+    After the interior-point solver returns a point, this pass certifies
+    it independently of the solver's own bookkeeping:
+
+    - the objective value and every variable must be finite and positive;
+    - constraint violations come from {!Gp.Problem.violations}, which
+      reports non-finite evaluations as infinite violations — those are
+      hard failures (errors); finite violations beyond the tolerance are
+      warnings (interior-point output is approximate by construction);
+    - a stationarity (KKT) residual in log space: the norm of
+      [grad f0 + sum lambda_i grad f_i + sum nu_j grad g_j] at the point,
+      with multipliers fitted by least squares over the near-active
+      constraints and negative inequality multipliers clamped to zero.
+      A small residual certifies (approximate) optimality, not just
+      feasibility; it is reported, never gated on, because iteration-limit
+      points are legitimately sub-optimal. *)
+
+type t = {
+  objective_value : float;
+  violations : (string * float) list;
+      (** violated constraints at the point (non-finite evaluations
+          included as [infinity]) *)
+  max_violation : float;  (** [0.] when feasible *)
+  kkt_residual : float option;
+      (** relative stationarity residual; [None] when the least-squares
+          system is singular or the point is unusable *)
+  diagnostics : Diagnostic.t list;
+}
+
+val check :
+  ?tol:float ->
+  ?provenance:string ->
+  Gp.Problem.t ->
+  (string -> float) ->
+  t
+(** [check problem env] certifies the point [env].  [tol] (default 1e-4)
+    is the violation tolerance above which warnings are emitted. *)
+
+val hard_failure : t -> bool
+(** True when any diagnostic is an error (non-finite objective, variable
+    or constraint evaluation) — such a point must not be ranked. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,76 @@
+type severity = Error | Warning
+
+type t = {
+  severity : severity;
+  pass : string;
+  constraint_name : string option;
+  message : string;
+  provenance : string option;
+}
+
+let make severity ~pass ?constraint_name ?provenance message =
+  { severity; pass; constraint_name; message; provenance }
+
+let error ~pass ?constraint_name ?provenance message =
+  make Error ~pass ?constraint_name ?provenance message
+
+let warning ~pass ?constraint_name ?provenance message =
+  make Warning ~pass ?constraint_name ?provenance message
+
+let is_error d = d.severity = Error
+
+let errors ds = List.filter is_error ds
+
+let count ds =
+  List.fold_left
+    (fun (e, w) d -> if is_error d then (e + 1, w) else (e, w + 1))
+    (0, 0) ds
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let summary ds =
+  let e, w = count ds in
+  let head =
+    match List.find_opt is_error ds with
+    | Some d -> Printf.sprintf "; first: %s" d.message
+    | None -> (
+      match ds with
+      | d :: _ -> Printf.sprintf "; first: %s" d.message
+      | [] -> "")
+  in
+  Printf.sprintf "%d error%s, %d warning%s%s" e
+    (if e = 1 then "" else "s")
+    w
+    (if w = 1 then "" else "s")
+    head
+
+let pp ppf d =
+  Format.fprintf ppf "%s[%s]" (severity_name d.severity) d.pass;
+  (match d.constraint_name with
+  | Some c -> Format.fprintf ppf " %s:" c
+  | None -> ());
+  Format.fprintf ppf " %s" d.message;
+  match d.provenance with
+  | Some p -> Format.fprintf ppf " (%s)" p
+  | None -> ()
+
+let pp_table ppf ds =
+  let ordered = errors ds @ List.filter (fun d -> not (is_error d)) ds in
+  let width f = List.fold_left (fun acc d -> Int.max acc (String.length (f d))) 0 ordered in
+  let sev d = severity_name d.severity in
+  let con d = Option.value ~default:"-" d.constraint_name in
+  let prov d = Option.value ~default:"-" d.provenance in
+  let w_sev = Int.max 8 (width sev)
+  and w_pass = Int.max 4 (width (fun d -> d.pass))
+  and w_con = Int.max 10 (width con)
+  and w_prov = Int.max 10 (width prov) in
+  Format.fprintf ppf "@[<v>%-*s %-*s %-*s %-*s %s" w_sev "severity" w_pass
+    "pass" w_con "constraint" w_prov "provenance" "message";
+  List.iter
+    (fun d ->
+      Format.fprintf ppf "@,%-*s %-*s %-*s %-*s %s" w_sev (sev d) w_pass d.pass
+        w_con (con d) w_prov (prov d) d.message)
+    ordered;
+  Format.fprintf ppf "@]"
+
+let to_string d = Format.asprintf "%a" pp d

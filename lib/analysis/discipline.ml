@@ -1,0 +1,137 @@
+module M = Symexpr.Monomial
+module P = Symexpr.Posynomial
+
+let pass = "discipline"
+
+let check ?provenance problem =
+  let diags = ref [] in
+  let emit mk ?constraint_name fmt =
+    Printf.ksprintf
+      (fun message ->
+        diags := mk ~pass ?constraint_name ?provenance message :: !diags)
+      fmt
+  in
+  let error ?constraint_name fmt = emit Diagnostic.error ?constraint_name fmt in
+  let warning ?constraint_name fmt =
+    emit Diagnostic.warning ?constraint_name fmt
+  in
+  let ineqs = Gp.Problem.ineqs problem in
+  let eqs = Gp.Problem.eqs problem in
+  (* Monomial well-formedness: finite positive coefficients, finite
+     exponents.  The constructors enforce this, but the pass stands on its
+     own so that problems assembled by other frontends are covered too. *)
+  let check_mono ?constraint_name where m =
+    let c = M.coeff m in
+    if not (Float.is_finite c && c > 0.0) then
+      error ?constraint_name "%s: coefficient %g of %s is not finite positive"
+        where c (M.to_string m);
+    List.iter
+      (fun (x, e) ->
+        if not (Float.is_finite e) then
+          error ?constraint_name "%s: exponent %g of %s is not finite" where e
+            x)
+      (M.exponents m)
+  in
+  let check_posy ?constraint_name where p =
+    if P.is_zero p then error ?constraint_name "%s: empty posynomial" where
+    else List.iter (check_mono ?constraint_name where) (P.terms p)
+  in
+  check_posy "objective" (Gp.Problem.objective problem);
+  List.iter (fun (name, p) -> check_posy ~constraint_name:name "inequality" p) ineqs;
+  List.iter (fun (name, m) -> check_mono ~constraint_name:name "equality" m) eqs;
+  (* Constraint-name hygiene. *)
+  let names = List.map fst ineqs @ List.map fst eqs in
+  List.iter
+    (fun n -> if String.length n = 0 then error "empty constraint name")
+    names;
+  let rec dups seen = function
+    | [] -> []
+    | n :: rest ->
+      if List.mem n seen then n :: dups seen rest else dups (n :: seen) rest
+  in
+  List.iter
+    (fun n -> error ~constraint_name:n "duplicate constraint name")
+    (List.sort_uniq String.compare (dups [] names));
+  (* Constant constraints: infeasible ones can never be repaired by the
+     solver; feasible ones are vacuous. *)
+  let ones _ = 1.0 in
+  List.iter
+    (fun (name, p) ->
+      if (not (P.is_zero p)) && List.for_all M.is_constant (P.terms p) then begin
+        let v = P.eval ones p in
+        if v > 1.0 +. 1e-9 then
+          error ~constraint_name:name
+            "constant constraint %g <= 1 is infeasible" v
+        else
+          warning ~constraint_name:name "constant constraint %g <= 1 is vacuous"
+            v
+      end)
+    ineqs;
+  List.iter
+    (fun (name, m) ->
+      if M.is_constant m then begin
+        let c = M.coeff m in
+        if Float.abs (c -. 1.0) > 1e-9 then
+          error ~constraint_name:name "constant equality %g = 1 is infeasible"
+            c
+        else
+          warning ~constraint_name:name "constant equality 1 = 1 is vacuous"
+      end)
+    eqs;
+  (* Boundedness in log space.  Minimizing pushes a variable toward 0 when
+     all its objective exponents are positive (toward infinity when all
+     negative); unless some constraint blocks that direction — a negative
+     (resp. positive) exponent in an inequality [f <= 1], or membership in
+     a monomial equality, which ties the variable to the others — the
+     infimum is approached only in the limit and the solver diverges. *)
+  let bounded_below = Hashtbl.create 16 and bounded_above = Hashtbl.create 16 in
+  List.iter
+    (fun (_, p) ->
+      List.iter
+        (fun m ->
+          List.iter
+            (fun (x, e) ->
+              if e < 0.0 then Hashtbl.replace bounded_below x ()
+              else if e > 0.0 then Hashtbl.replace bounded_above x ())
+            (M.exponents m))
+        (P.terms p))
+    ineqs;
+  List.iter
+    (fun (_, m) ->
+      List.iter
+        (fun x ->
+          Hashtbl.replace bounded_below x ();
+          Hashtbl.replace bounded_above x ())
+        (M.variables m))
+    eqs;
+  let objective_signs = Hashtbl.create 16 in
+  List.iter
+    (fun m ->
+      List.iter
+        (fun (x, e) ->
+          let pos, neg =
+            Option.value ~default:(false, false)
+              (Hashtbl.find_opt objective_signs x)
+          in
+          Hashtbl.replace objective_signs x (pos || e > 0.0, neg || e < 0.0))
+        (M.exponents m))
+    (P.terms (Gp.Problem.objective problem));
+  let in_objective =
+    List.sort
+      (fun (a, _) (b, _) -> String.compare a b)
+      (Hashtbl.fold (fun x s acc -> (x, s) :: acc) objective_signs [])
+  in
+  List.iter
+    (fun (x, (pos, neg)) ->
+      if pos && (not neg) && not (Hashtbl.mem bounded_below x) then
+        error
+          "objective is unbounded below in log space: no constraint bounds %s \
+           away from 0"
+          x
+      else if neg && (not pos) && not (Hashtbl.mem bounded_above x) then
+        error
+          "objective is unbounded below in log space: no constraint bounds %s \
+           away from infinity"
+          x)
+    in_objective;
+  List.rev !diags

@@ -1,0 +1,31 @@
+(** The DGP discipline checker — static validation of a formulated
+    geometric program before it reaches the solver (the role CVXPY's DGP
+    ruleset plays for the paper's implementation).
+
+    Checks, each reported as a {!Diagnostic.t}:
+
+    - every monomial coefficient is finite and strictly positive, and
+      every exponent finite, in the objective, every inequality and every
+      equality (errors);
+    - the objective and each inequality are non-empty posynomials
+      (errors);
+    - constraint names are non-empty and unique across inequalities and
+      equalities (errors) — duplicate names make violation reports and
+      diagnostics ambiguous;
+    - trivially infeasible constant constraints: an all-constant
+      inequality with value [> 1] or a constant equality [<> 1] can never
+      be satisfied (errors); satisfiable constant constraints are vacuous
+      and reported as warnings;
+    - unbounded-below-in-log-space objectives: a variable whose objective
+      exponents are all positive needs a lower bound from some constraint
+      (a negative exponent in an inequality, or membership in an
+      equality), and symmetrically for all-negative exponents — otherwise
+      the infimum is approached only as the variable escapes to [0] or
+      [infinity] and the solver diverges (errors);
+    - a variable mentioned by no constraint at all, unless its objective
+      exponents self-bound it (mixed signs), is reported with the above;
+      constraint-only variables are never flagged (one-sided bounds are
+      fine when the objective is indifferent). *)
+
+val check : ?provenance:string -> Gp.Problem.t -> Diagnostic.t list
+(** Empty on a well-formed program. *)

@@ -1,0 +1,78 @@
+type base = Elements | Bytes | Picojoules | Cycles | Square_microns
+
+let base_rank = function
+  | Elements -> 0
+  | Bytes -> 1
+  | Picojoules -> 2
+  | Cycles -> 3
+  | Square_microns -> 4
+
+let base_name = function
+  | Elements -> "elem"
+  | Bytes -> "B"
+  | Picojoules -> "pJ"
+  | Cycles -> "cyc"
+  | Square_microns -> "um^2"
+
+type t = (base * float) list (* sorted by base rank, no zero exponents *)
+
+let normalize l =
+  let sorted =
+    List.sort (fun (a, _) (b, _) -> compare (base_rank a) (base_rank b)) l
+  in
+  let rec merge = function
+    | (a, x) :: (b, y) :: rest when a = b -> merge ((a, x +. y) :: rest)
+    | pair :: rest -> pair :: merge rest
+    | [] -> []
+  in
+  List.filter (fun (_, e) -> Float.abs e > 1e-12) (merge sorted)
+
+let dimensionless = []
+
+let of_base b = [ (b, 1.0) ]
+
+let elements = of_base Elements
+
+let bytes = of_base Bytes
+
+let pj = of_base Picojoules
+
+let cycles = of_base Cycles
+
+let um2 = of_base Square_microns
+
+let mul a b = normalize (a @ b)
+
+let pow u a =
+  if not (Float.is_finite a) then invalid_arg "Units.pow: non-finite power";
+  if a = 0.0 then [] else List.map (fun (b, e) -> (b, e *. a)) u
+
+let inv u = pow u (-1.0)
+
+let div a b = mul a (inv b)
+
+let exponents u = u
+
+let is_dimensionless u = u = []
+
+let equal a b =
+  let rec go = function
+    | [], [] -> true
+    | (ba, ea) :: ra, (bb, eb) :: rb ->
+      ba = bb && Float.abs (ea -. eb) <= 1e-9 && go (ra, rb)
+    | _ -> false
+  in
+  go (a, b)
+
+let pp ppf u =
+  match u with
+  | [] -> Format.fprintf ppf "1"
+  | _ ->
+    List.iteri
+      (fun i (b, e) ->
+        if i > 0 then Format.fprintf ppf "*";
+        if e = 1.0 then Format.fprintf ppf "%s" (base_name b)
+        else Format.fprintf ppf "%s^%g" (base_name b) e)
+      u
+
+let to_string u = Format.asprintf "%a" pp u

@@ -4,6 +4,8 @@ module Arch = Archspec.Arch
 module Level = Mapspace.Level
 module M = Symexpr.Monomial
 module P = Symexpr.Posynomial
+module U = Analysis.Units
+module D = Analysis.Dimexpr
 
 type objective = Energy | Delay | Edp
 
@@ -18,6 +20,8 @@ type instance = {
   arch_mode : arch_mode;
   tileable : string list;
   pinned : (string * float) list;
+  provenance : string;
+  unit_diagnostics : Analysis.Diagnostic.t list;
 }
 
 let var_arch_regs = "arch.regs"
@@ -28,6 +32,44 @@ let var_arch_pes = "arch.pes"
 
 let var_delay = "delay.T"
 
+(* The unit model of the formulation: trip counts are dimensionless, the
+   register-file and SRAM capacities are word counts, the PE count a bare
+   count, the delay epigraph variable a cycle count. *)
+let unit_of_var v =
+  if String.equal v var_delay then Some U.cycles
+  else if String.equal v var_arch_regs || String.equal v var_arch_sram then
+    Some U.elements
+  else if String.equal v var_arch_pes then Some U.dimensionless
+  else Option.map (fun _ -> U.dimensionless) (Level.parse_trip_var v)
+
+(* Per-access energies (Eq. 4) are pJ per word moved. *)
+let unit_access_energy = U.div U.pj U.elements
+
+let objective_name = function Energy -> "energy" | Delay -> "delay" | Edp -> "edp"
+
+let objective_unit = function
+  | Energy -> U.pj
+  | Delay -> U.cycles
+  | Edp -> U.mul U.pj U.cycles
+
+let provenance_of objective nest (choice : Permutations.choice) pinned =
+  let spatial =
+    List.filter_map
+      (fun (v, value) ->
+        match Level.parse_trip_var v with
+        | Some (l, d) when l = Level.spatial_level && value > 1.0 ->
+          Some (Printf.sprintf "%s=%g" d value)
+        | _ -> None)
+      pinned
+  in
+  Printf.sprintf "%s %s pe=[%s] dram=[%s]%s" (Nest.name nest)
+    (objective_name objective)
+    (String.concat "," choice.Permutations.pe_perm)
+    (String.concat "," choice.Permutations.dram_perm)
+    (match spatial with
+    | [] -> ""
+    | l -> " spatial{" ^ String.concat "," l ^ "}")
+
 let bind_pinned pinned p =
   List.fold_left (fun acc (x, v) -> P.bind x v acc) p pinned
 
@@ -37,34 +79,42 @@ let build ?placement tech arch_mode objective (plan : Permutations.plan) (choice
     match placement with Some p -> p | None -> plan.Permutations.pinned
   in
   let tileable = plan.Permutations.tileable in
+  let provenance = provenance_of objective nest choice pinned in
+  let ctx = D.ctx ~provenance () in
   let bind = bind_pinned pinned in
   let macs = Nest.ops nest in
-  (* Data volumes and buffer footprints, summed over tensors. *)
-  let volume_sum select =
-    P.sum
+  (* Data volumes and buffer footprints, summed over tensors; both count
+     16-bit data words, so they carry the [elem] unit. *)
+  let volume_sum what select =
+    D.sum ctx ~what U.elements
       (List.filter_map
          (fun tv ->
            Option.map
-             (fun v -> bind (Volume.volume_posynomial v))
+             (fun v ->
+               D.of_posynomial U.elements (bind (Volume.volume_posynomial v)))
              (select tv))
          analysis.Volume.per_tensor)
   in
-  let sram_to_reg = volume_sum (fun tv -> Some tv.Volume.sram_to_reg) in
+  let sram_to_reg = volume_sum "sram-to-reg volume" (fun tv -> Some tv.Volume.sram_to_reg) in
   let reg_to_sram =
-    volume_sum (fun tv -> if tv.Volume.read_write then Some tv.Volume.sram_to_reg else None)
+    volume_sum "reg-to-sram volume" (fun tv ->
+        if tv.Volume.read_write then Some tv.Volume.sram_to_reg else None)
   in
-  let dram_to_sram = volume_sum (fun tv -> Some tv.Volume.dram_to_sram) in
+  let dram_to_sram = volume_sum "dram-to-sram volume" (fun tv -> Some tv.Volume.dram_to_sram) in
   let sram_to_dram =
-    volume_sum (fun tv -> if tv.Volume.read_write then Some tv.Volume.dram_to_sram else None)
+    volume_sum "sram-to-dram volume" (fun tv ->
+        if tv.Volume.read_write then Some tv.Volume.dram_to_sram else None)
   in
-  let footprint_sum select =
-    P.sum
+  let footprint_sum what select =
+    D.sum ctx ~what U.elements
       (List.map
-         (fun tv -> bind (Symexpr.Footprint.to_posynomial (select tv)))
+         (fun tv ->
+           D.of_posynomial U.elements
+             (bind (Symexpr.Footprint.to_posynomial (select tv))))
          analysis.Volume.per_tensor)
   in
-  let reg_footprint = footprint_sum (fun tv -> tv.Volume.register_footprint) in
-  let sram_footprint = footprint_sum (fun tv -> tv.Volume.sram_footprint) in
+  let reg_footprint = footprint_sum "register footprint" (fun tv -> tv.Volume.register_footprint) in
+  let sram_footprint = footprint_sum "SRAM footprint" (fun tv -> tv.Volume.sram_footprint) in
   let spatial_product =
     (* Over every dim: pinned spatial placements (e.g. a window dim spread
        across PE rows) contribute their constant factor after binding. *)
@@ -75,19 +125,25 @@ let build ?placement tech arch_mode objective (plan : Permutations.plan) (choice
     in
     List.fold_left (fun acc (x, v) -> M.bind x v acc) raw pinned
   in
+  let spatial = D.mono U.dimensionless spatial_product in
   (* Per-access energies: constants for a fixed architecture, monomials in
-     the architectural variables in co-design mode (Eq. 4). *)
+     the architectural variables in co-design mode (Eq. 4).  In co-design
+     mode the Table III constants sigma_R / sigma_S absorb the extra
+     capacity factor, so the products below still come out in pJ/elem. *)
   let eps_r, eps_s =
     match arch_mode with
-    | Fixed arch -> (M.const (Arch.register_energy tech arch), M.const (Arch.sram_energy tech arch))
+    | Fixed arch ->
+      ( D.mono unit_access_energy (M.const (Arch.register_energy tech arch)),
+        D.mono unit_access_energy (M.const (Arch.sram_energy tech arch)) )
     | Codesign _ ->
-      ( M.scale tech.Tech.sigma_register (M.var var_arch_regs),
-        M.scale tech.Tech.sigma_sram (M.var_pow var_arch_sram 0.5) )
+      ( D.mono unit_access_energy
+          (M.scale tech.Tech.sigma_register (M.var var_arch_regs)),
+        D.mono unit_access_energy
+          (M.scale tech.Tech.sigma_sram (M.var_pow var_arch_sram 0.5)) )
   in
-  let eps_d = tech.Tech.energy_dram in
-  let register_side = P.add sram_to_reg reg_to_sram in
-  let dram_side = P.add dram_to_sram sram_to_dram in
-  let sram_side = P.add register_side dram_side in
+  let register_side = D.add ctx ~what:"register-side traffic" sram_to_reg reg_to_sram in
+  let dram_side = D.add ctx ~what:"DRAM-side traffic" dram_to_sram sram_to_dram in
+  let sram_side = D.add ctx ~what:"SRAM-side traffic" register_side dram_side in
   (* Capacity / resource constraints shared by both objectives.
 
      The posynomial footprints over-approximate the exact halo extents
@@ -110,49 +166,71 @@ let build ?placement tech arch_mode objective (plan : Permutations.plan) (choice
         -. Symexpr.Footprint.eval_exact ones_env fp)
       0.0 analysis.Volume.per_tensor
   in
-  let capacity name posy bound_monomial = (name, Gp.Problem.le posy bound_monomial) in
+  let capacity name posy bound_mono = (name, D.le ctx ~name posy bound_mono) in
   let base_constraints =
     match arch_mode with
     | Fixed arch ->
       [
         capacity "reg-capacity" reg_footprint
-          (M.const
+          (D.mconst U.elements
              (float_of_int arch.Arch.registers_per_pe
              +. capacity_slack (fun tv -> tv.Volume.register_footprint)));
         capacity "sram-capacity" sram_footprint
-          (M.const
+          (D.mconst U.elements
              (float_of_int arch.Arch.sram_words
              +. capacity_slack (fun tv -> tv.Volume.sram_footprint)));
-        capacity "pe-count" (P.of_monomial spatial_product)
-          (M.const (float_of_int arch.Arch.pe_count));
+        capacity "pe-count" (D.of_mono spatial)
+          (D.mconst U.dimensionless (float_of_int arch.Arch.pe_count));
       ]
     | Codesign { area_budget } ->
+      let area_per_word = U.div U.um2 U.elements in
       let area =
-        P.of_monomials
+        D.sum ctx ~what:"chip area" U.um2
           [
-            M.scale tech.Tech.area_register (M.mul (M.var var_arch_regs) (M.var var_arch_pes));
-            M.scale tech.Tech.area_mac (M.var var_arch_pes);
-            M.scale tech.Tech.area_sram_word (M.var var_arch_sram);
+            D.of_mono
+              (D.mmul
+                 (D.mconst area_per_word tech.Tech.area_register)
+                 (D.mmul (D.mvar U.elements var_arch_regs)
+                    (D.mvar U.dimensionless var_arch_pes)));
+            D.of_mono
+              (D.mscale U.um2 tech.Tech.area_mac
+                 (D.mvar U.dimensionless var_arch_pes));
+            D.of_mono
+              (D.mmul
+                 (D.mconst area_per_word tech.Tech.area_sram_word)
+                 (D.mvar U.elements var_arch_sram));
           ]
       in
       [
-        capacity "reg-capacity" reg_footprint (M.var var_arch_regs);
-        capacity "sram-capacity" sram_footprint (M.var var_arch_sram);
-        capacity "pe-count" (P.of_monomial spatial_product) (M.var var_arch_pes);
-        ("area", Gp.Problem.le_const area area_budget);
+        capacity "reg-capacity" reg_footprint (D.mvar U.elements var_arch_regs);
+        capacity "sram-capacity" sram_footprint (D.mvar U.elements var_arch_sram);
+        capacity "pe-count" (D.of_mono spatial)
+          (D.mvar U.dimensionless var_arch_pes);
+        ("area", D.le ctx ~name:"area" area (D.mconst U.um2 area_budget));
       ]
   in
   let lower_bounds =
-    let bound v = (Printf.sprintf "bound:%s" v, P.of_monomial (M.var_pow v (-1.0))) in
+    let bound (v, u) =
+      let name = Printf.sprintf "bound:%s" v in
+      (name, D.le ctx ~name (D.of_mono (D.mconst u 1.0)) (D.mvar u v))
+    in
     let trip_vars =
       List.concat_map
-        (fun d -> List.map (fun level -> Level.trip_var ~level ~dim:d) [ 0; 1; 2; 3 ])
+        (fun d ->
+          List.map
+            (fun level -> (Level.trip_var ~level ~dim:d, U.dimensionless))
+            [ 0; 1; 2; 3 ])
         tileable
     in
     let arch_vars =
       match arch_mode with
       | Fixed _ -> []
-      | Codesign _ -> [ var_arch_regs; var_arch_sram; var_arch_pes ]
+      | Codesign _ ->
+        [
+          (var_arch_regs, U.elements);
+          (var_arch_sram, U.elements);
+          (var_arch_pes, U.dimensionless);
+        ]
     in
     List.map bound (trip_vars @ arch_vars)
   in
@@ -164,53 +242,93 @@ let build ?placement tech arch_mode objective (plan : Permutations.plan) (choice
             (fun acc level -> M.mul acc (M.var (Level.trip_var ~level ~dim:d)))
             M.one [ 0; 1; 2; 3 ]
         in
-        ( Printf.sprintf "extent:%s" d,
-          Gp.Problem.eq product (M.const (float_of_int (Nest.extent nest d))) ))
+        let name = Printf.sprintf "extent:%s" d in
+        ( name,
+          D.eq ctx ~name
+            (D.mono U.dimensionless product)
+            (D.mconst U.dimensionless (float_of_int (Nest.extent nest d))) ))
       tileable
   in
   let energy =
+    (* Each MAC makes 4 register accesses (two operand reads, an
+       accumulator read and write), so [4 * macs] counts words moved. *)
     let mac_term =
-      P.of_monomials [ M.scale (4.0 *. macs) eps_r; M.const (tech.Tech.energy_mac *. macs) ]
+      D.add ctx ~what:"MAC energy"
+        (D.of_mono (D.mmul eps_r (D.mconst U.elements (4.0 *. macs))))
+        (D.of_mono (D.mconst U.pj (tech.Tech.energy_mac *. macs)))
     in
-    P.sum
+    D.sum ctx ~what:"energy" U.pj
       [
         mac_term;
-        P.mul_monomial eps_r register_side;
-        P.mul_monomial eps_s sram_side;
-        P.scale eps_d dram_side;
+        D.mul_mono eps_r register_side;
+        D.mul_mono eps_s sram_side;
+        D.scale unit_access_energy tech.Tech.energy_dram dram_side;
       ]
   in
   let delay_constraints () =
-    let t = M.var var_delay in
+    let t = D.mvar U.cycles var_delay in
     let compute_delay =
-      (* macs / (PEs used): one MAC per PE per cycle. *)
-      P.of_monomial (M.scale macs (M.pow spatial_product (-1.0)))
+      (* macs / (PEs used): one MAC per PE per cycle, so the quotient is a
+         cycle count. *)
+      D.of_mono
+        (D.mono U.cycles (M.scale macs (M.pow spatial_product (-1.0))))
     in
+    (* Bandwidths are words per cycle; dividing traffic by them yields
+       cycles. *)
+    let per_word = U.div U.cycles U.elements in
     [
-      ("delay-compute", Gp.Problem.le compute_delay t);
-      ("delay-sram", Gp.Problem.le (P.scale (1.0 /. tech.Tech.sram_bandwidth) sram_side) t);
-      ("delay-dram", Gp.Problem.le (P.scale (1.0 /. tech.Tech.dram_bandwidth) dram_side) t);
+      ("delay-compute", D.le ctx ~name:"delay-compute" compute_delay t);
+      ( "delay-sram",
+        D.le ctx ~name:"delay-sram"
+          (D.scale per_word (1.0 /. tech.Tech.sram_bandwidth) sram_side)
+          t );
+      ( "delay-dram",
+        D.le ctx ~name:"delay-dram"
+          (D.scale per_word (1.0 /. tech.Tech.dram_bandwidth) dram_side)
+          t );
     ]
   in
+  let lower ~expected d = D.objective ctx ~expected d in
   let problem =
     match objective with
     | Energy ->
-      Gp.Problem.make ~objective:energy
+      Gp.Problem.make
+        ~objective:(lower ~expected:(objective_unit Energy) energy)
         ~ineqs:(base_constraints @ lower_bounds)
         ~eqs:extent_eqs ()
     | Delay ->
-      Gp.Problem.make ~objective:(P.var var_delay)
+      Gp.Problem.make
+        ~objective:
+          (lower ~expected:(objective_unit Delay)
+             (D.of_mono (D.mvar U.cycles var_delay)))
         ~ineqs:(delay_constraints () @ base_constraints @ lower_bounds)
         ~eqs:extent_eqs ()
     | Edp ->
       (* Energy-delay product: posynomial times the epigraph variable is
          still a posynomial, so EDP stays inside DGP. *)
       Gp.Problem.make
-        ~objective:(P.mul_monomial (M.var var_delay) energy)
+        ~objective:
+          (lower ~expected:(objective_unit Edp)
+             (D.mul_mono (D.mvar U.cycles var_delay) energy))
         ~ineqs:(delay_constraints () @ base_constraints @ lower_bounds)
         ~eqs:extent_eqs ()
   in
-  { problem; nest; choice; analysis; objective; arch_mode; tileable; pinned }
+  {
+    problem;
+    nest;
+    choice;
+    analysis;
+    objective;
+    arch_mode;
+    tileable;
+    pinned;
+    provenance;
+    unit_diagnostics = D.diagnostics ctx;
+  }
+
+let lint instance =
+  instance.unit_diagnostics
+  @ Analysis.Discipline.check ~provenance:instance.provenance instance.problem
 
 let solution_env instance solution var =
   match List.assoc_opt var instance.pinned with

@@ -8,7 +8,14 @@
 
     Constraints: per-dim trip-count products equal to extents; [>= 1]
     bounds; register / SRAM capacity; PE count; the Eq. 5 area budget in
-    co-design mode; per-component delay bounds for the delay objective. *)
+    co-design mode; per-component delay bounds for the delay objective.
+
+    The formulation is built through {!Analysis.Dimexpr}, so every
+    intermediate quantity carries a unit (data words, pJ, cycles, um2)
+    and mixing them records a diagnostic instead of silently producing a
+    dimensionally-nonsensical model.  The tagging is erased before the
+    problem reaches the solver — the emitted {!Gp.Problem.t} is
+    bit-identical to what the untagged construction produced. *)
 
 type objective =
   | Energy
@@ -33,12 +40,24 @@ type instance = {
   arch_mode : arch_mode;
   tileable : string list;
   pinned : (string * float) list;
+  provenance : string;
+      (** human-readable origin — layer, objective, permutations, spatial
+          placement — threaded into every diagnostic about this instance *)
+  unit_diagnostics : Analysis.Diagnostic.t list;
+      (** unit mismatches recorded while building; empty for a
+          well-formed model *)
 }
 
 val var_arch_regs : string
 val var_arch_sram : string
 val var_arch_pes : string
 val var_delay : string
+
+val unit_of_var : string -> Analysis.Units.t option
+(** The unit model of the formulation's variables: trip counts are
+    dimensionless, [arch.regs] / [arch.sram] count data words,
+    [arch.pes] is a bare count, [delay.T] counts cycles.  [None] for
+    names outside the model. *)
 
 val build :
   ?placement:(string * float) list ->
@@ -51,6 +70,11 @@ val build :
 (** [placement] selects one of the plan's window-dim placements
     ({!Permutations.plan.placements}); defaults to the plan's default
     pinned assignment (window dims at the register level). *)
+
+val lint : instance -> Analysis.Diagnostic.t list
+(** The instance's unit diagnostics followed by the DGP discipline
+    check ({!Analysis.Discipline.check}) of its problem; empty when the
+    formulation passes both. *)
 
 val solution_env : instance -> Gp.Solver.solution -> string -> float
 (** Evaluation environment combining the plan's pinned trip counts with

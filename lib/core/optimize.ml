@@ -7,6 +7,7 @@ type config = {
   explore_placements : bool;
   min_pe_utilization : float;
   jobs : int;
+  lint : Analysis.Lint.mode;
 }
 
 let default_config =
@@ -19,6 +20,7 @@ let default_config =
     explore_placements = true;
     min_pe_utilization = 0.0;
     jobs = Domain.recommended_domain_count ();
+    lint = Analysis.Lint.Enforce;
   }
 
 type report = {
@@ -55,21 +57,52 @@ let run ?(config = default_config) tech arch_mode objective nest =
       let instance =
         Formulate.build ~placement tech arch_mode objective plan choice_vol
       in
+      Analysis.Lint.gate config.lint (Formulate.lint instance);
       let solution = Gp.Solver.solve ~tol:config.gp_tol instance.Formulate.problem in
       match solution.Gp.Solver.status with
       | Gp.Solver.Infeasible -> None
       | Gp.Solver.Optimal | Gp.Solver.Iteration_limit ->
-        if Float.is_finite solution.Gp.Solver.objective then Some (instance, solution)
-        else None
+        if not (Float.is_finite solution.Gp.Solver.objective) then None
+        else begin
+          (* Post-solve certificate: a point with non-finite coordinates
+             or constraint evaluations is discarded even when the solver
+             reported a finite objective for it. *)
+          let cert =
+            Analysis.Certificate.check ~provenance:instance.Formulate.provenance
+              instance.Formulate.problem
+              (Formulate.solution_env instance solution)
+          in
+          if Analysis.Certificate.hard_failure cert then begin
+            Log.debug (fun m ->
+                m "%s: certificate rejected solution: %s"
+                  instance.Formulate.provenance
+                  (Analysis.Diagnostic.summary cert.Analysis.Certificate.diagnostics));
+            None
+          end
+          else Some (instance, solution)
+        end
     in
-    Exec.Par.filter_map ~jobs solve_one pairs
+    (* A lint rejection aborts the whole sweep: every pair of one layer
+       shares the formulation code, so one malformed instance means the
+       model itself is wrong, not that one choice is unlucky. *)
+    try Ok (Exec.Par.filter_map ~jobs solve_one pairs)
+    with Analysis.Lint.Rejected diags ->
+      Error
+        (Printf.sprintf "optimize: lint rejected formulation: %s"
+           (Analysis.Diagnostic.summary diags))
   in
-  Log.info (fun m ->
-      m "%s: %d/%d choices solved (raw %d)" (Workload.Nest.name nest) (List.length solved)
-        (List.length plan.Permutations.choices) plan.Permutations.raw_count);
   match solved with
-  | [] -> Error "optimize: no permutation choice produced a feasible program"
-  | _ ->
+  | Error _ as e -> e
+  | Ok [] ->
+    Log.info (fun m ->
+        m "%s: 0/%d choices solved (raw %d)" (Workload.Nest.name nest)
+          (List.length plan.Permutations.choices) plan.Permutations.raw_count);
+    Error "optimize: no permutation choice produced a feasible program"
+  | Ok solved ->
+    Log.info (fun m ->
+        m "%s: %d/%d choices solved (raw %d)" (Workload.Nest.name nest)
+          (List.length solved) (List.length plan.Permutations.choices)
+          plan.Permutations.raw_count);
     let ranked =
       (* List.sort is stable, and [solved] arrives in sequential order, so
          ties keep the deterministic enumeration order. *)

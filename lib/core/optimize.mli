@@ -28,6 +28,15 @@ type config = {
           exact sequential path.  Results are bit-identical for any
           value: the sweep is order-preserving and candidate ranking
           totally orders solutions by objective. *)
+  lint : Analysis.Lint.mode;
+      (** static-analysis gate over every formulated GP
+          ({!Formulate.lint}): [Enforce] (default) turns the whole run
+          into an [Error] on any lint error — a malformed instance means
+          the formulation code is wrong, not that one choice is unlucky;
+          [Warn] logs and continues; [Off] skips the checks.  Solutions
+          are additionally certified post-solve
+          ({!Analysis.Certificate.check}); points with non-finite
+          coordinates or constraint values are discarded in every mode. *)
 }
 
 val default_config : config

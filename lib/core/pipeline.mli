@@ -19,7 +19,9 @@ val run_layers :
     Layers run in parallel on the shared pool ([config.jobs] tasks at a
     time; each layer's own sweep then runs sequentially), and the entry
     list keeps the input layer order — results are identical for any
-    [jobs]. *)
+    [jobs].  The static-analysis gate ([config.lint]) applies per layer
+    through {!Optimize.run}: under [Enforce] a lint rejection shows up as
+    that layer's [Error] entry rather than aborting the other layers. *)
 
 val dominant_arch :
   Formulate.objective -> entry list -> (Archspec.Arch.t, string) result

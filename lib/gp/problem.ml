@@ -14,6 +14,33 @@ let make ~objective ?(ineqs = []) ?(eqs = []) () =
       if P.is_zero p then
         invalid_arg (Printf.sprintf "Gp.Problem.make: zero inequality %S" name))
     ineqs;
+  List.iter
+    (fun (name, m) ->
+      (* The monomial constructors enforce finite positive coefficients,
+         but equality right-hand sides arrive pre-divided — re-check so a
+         degenerate [g = 1] cannot slip into the KKT system. *)
+      let c = M.coeff m in
+      if not (Float.is_finite c && c > 0.0) then
+        invalid_arg
+          (Printf.sprintf
+             "Gp.Problem.make: equality %S has non-finite or non-positive coefficient %g"
+             name c))
+    eqs;
+  let names = List.map fst ineqs @ List.map fst eqs in
+  List.iter
+    (fun name ->
+      if String.length name = 0 then
+        invalid_arg "Gp.Problem.make: empty constraint name")
+    names;
+  (let rec dup = function
+     | a :: (b :: _ as rest) ->
+       if String.equal a b then
+         invalid_arg
+           (Printf.sprintf "Gp.Problem.make: duplicate constraint name %S" a)
+       else dup rest
+     | _ -> ()
+   in
+   dup (List.sort String.compare names));
   { objective; ineqs; eqs }
 
 let objective p = p.objective
@@ -39,13 +66,24 @@ let variables prob =
     @ List.concat_map of_eq prob.eqs)
 
 let violations ?(tol = 1e-6) prob env =
+  (* Non-finite evaluations are violations, not noise: [nan > tol] is
+     [false], so without the explicit classification a constraint that
+     evaluates to NaN (e.g. [log] of a non-positive equality value) would
+     silently report as feasible. *)
   let ineq_violation (name, p) =
-    let v = P.eval env p -. 1.0 in
-    if v > tol then Some (name, v) else None
+    let value = P.eval env p in
+    if not (Float.is_finite value) then Some (name, Float.infinity)
+    else
+      let v = value -. 1.0 in
+      if v > tol then Some (name, v) else None
   in
   let eq_violation (name, m) =
-    let v = Float.abs (log (M.eval env m)) in
-    if v > tol then Some (name, v) else None
+    let value = M.eval env m in
+    if not (Float.is_finite value && value > 0.0) then
+      Some (name, Float.infinity)
+    else
+      let v = Float.abs (log value) in
+      if v > tol then Some (name, v) else None
   in
   List.filter_map ineq_violation prob.ineqs
   @ List.filter_map eq_violation prob.eqs

@@ -16,7 +16,11 @@ val make :
   unit ->
   t
 (** Raises [Invalid_argument] if the objective or any inequality is the
-    zero posynomial. *)
+    zero posynomial, if an equality monomial has a non-finite or
+    non-positive coefficient, if any constraint name is empty, or if a
+    name is used by more than one constraint (inequalities and equalities
+    share one namespace) — diagnostics and violation reports key on
+    unique names. *)
 
 val objective : t -> Symexpr.Posynomial.t
 
@@ -39,8 +43,10 @@ val variables : t -> string list
 val violations : ?tol:float -> t -> (string -> float) -> (string * float) list
 (** Constraints violated at the given point, with their violation
     magnitude: [f_i(t) - 1] for inequalities, [|log g_j(t)|] for
-    equalities.  Empty when the point is feasible within [tol]
-    (default 1e-6, relative). *)
+    equalities.  A constraint whose evaluation is non-finite (or, for an
+    equality, non-positive, whose log would be NaN) is reported with
+    magnitude [infinity] — never as feasible.  Empty when the point is
+    feasible within [tol] (default 1e-6, relative). *)
 
 val is_feasible : ?tol:float -> t -> (string -> float) -> bool
 

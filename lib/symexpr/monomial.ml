@@ -4,10 +4,19 @@ type t = {
 }
 
 let check_coeff who c =
-  if not (c > 0.0) then
-    invalid_arg (Printf.sprintf "Monomial.%s: coefficient must be positive (got %g)" who c)
+  (* [infinity > 0.0] holds and [nan <> 0.0] holds, so both checks must be
+     explicit about finiteness or poisoned expressions build silently. *)
+  if not (Float.is_finite c && c > 0.0) then
+    invalid_arg
+      (Printf.sprintf "Monomial.%s: coefficient must be finite positive (got %g)" who c)
 
-let normalize exps =
+let check_exp who (x, a) =
+  if not (Float.is_finite a) then
+    invalid_arg
+      (Printf.sprintf "Monomial.%s: exponent of %s must be finite (got %g)" who x a)
+
+let normalize who exps =
+  List.iter (check_exp who) exps;
   let sorted = List.sort (fun (x, _) (y, _) -> String.compare x y) exps in
   (* Merge duplicate variables by adding exponents, then drop zeros. *)
   let rec merge = function
@@ -25,11 +34,11 @@ let const c =
 
 let var x = { coeff = 1.0; exps = [ (x, 1.0) ] }
 
-let var_pow x a = { coeff = 1.0; exps = normalize [ (x, a) ] }
+let var_pow x a = { coeff = 1.0; exps = normalize "var_pow" [ (x, a) ] }
 
 let make c exps =
   check_coeff "make" c;
-  { coeff = c; exps = normalize exps }
+  { coeff = c; exps = normalize "make" exps }
 
 let coeff m = m.coeff
 
@@ -41,14 +50,18 @@ let mentions m x = List.mem_assoc x m.exps
 
 let variables m = List.map fst m.exps
 
-let mul a b = { coeff = a.coeff *. b.coeff; exps = normalize (a.exps @ b.exps) }
+let mul a b = { coeff = a.coeff *. b.coeff; exps = normalize "mul" (a.exps @ b.exps) }
 
 let div a b =
   let inv = List.map (fun (x, e) -> (x, -.e)) b.exps in
-  { coeff = a.coeff /. b.coeff; exps = normalize (a.exps @ inv) }
+  { coeff = a.coeff /. b.coeff; exps = normalize "div" (a.exps @ inv) }
 
 let pow m a =
-  { coeff = Float.pow m.coeff a; exps = normalize (List.map (fun (x, e) -> (x, e *. a)) m.exps) }
+  if not (Float.is_finite a) then
+    invalid_arg (Printf.sprintf "Monomial.pow: power must be finite (got %g)" a);
+  let coeff = Float.pow m.coeff a in
+  check_coeff "pow" coeff;
+  { coeff; exps = normalize "pow" (List.map (fun (x, e) -> (x, e *. a)) m.exps) }
 
 let scale c m =
   check_coeff "scale" c;
@@ -62,7 +75,8 @@ let subst x m' m =
     mul { m with exps = without } (pow m' a)
 
 let bind x v m =
-  if not (v > 0.0) then invalid_arg "Monomial.bind: value must be positive";
+  if not (Float.is_finite v && v > 0.0) then
+    invalid_arg "Monomial.bind: value must be finite positive";
   subst x (const v) m
 
 let eval env m =

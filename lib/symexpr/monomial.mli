@@ -12,17 +12,20 @@ type t
 val one : t
 
 val const : float -> t
-(** [const c] is the constant monomial [c].  Raises [Invalid_argument] if
-    [c <= 0]. *)
+(** [const c] is the constant monomial [c].  Raises [Invalid_argument]
+    unless [c] is finite and positive ([infinity > 0.0] holds, so the
+    finiteness check is explicit — a non-finite coefficient would poison
+    every expression built on top). *)
 
 val var : string -> t
 (** [var x] is the monomial [x^1]. *)
 
 val var_pow : string -> float -> t
+(** Raises [Invalid_argument] on a non-finite exponent. *)
 
 val make : float -> (string * float) list -> t
-(** [make c exps] is [c * prod x^a].  Raises [Invalid_argument] if
-    [c <= 0]. *)
+(** [make c exps] is [c * prod x^a].  Raises [Invalid_argument] unless
+    [c] is finite positive and every exponent finite. *)
 
 val coeff : t -> float
 
@@ -41,6 +44,9 @@ val mul : t -> t -> t
 val div : t -> t -> t
 
 val pow : t -> float -> t
+(** Raises [Invalid_argument] if the power is not finite, or if the
+    resulting coefficient leaves the finite positive range (overflow or
+    underflow to 0). *)
 
 val scale : float -> t -> t
 (** Raises [Invalid_argument] if the factor is not positive. *)
@@ -52,7 +58,8 @@ val subst : string -> t -> t -> t
 
 val bind : string -> float -> t -> t
 (** [bind x v m] folds the variable [x] into the coefficient at value [v]
-    (partial evaluation).  Raises [Invalid_argument] if [v <= 0]. *)
+    (partial evaluation).  Raises [Invalid_argument] unless [v] is finite
+    positive. *)
 
 val eval : (string -> float) -> t -> float
 

@@ -52,12 +52,12 @@ let test_monomial_bind () =
   let m' = M.bind "x" 3.0 m in
   Alcotest.(check bool) "bound" true (M.equal m' (M.make 18.0 [ ("y", 1.0) ]));
   Alcotest.check_raises "nonpositive"
-    (Invalid_argument "Monomial.bind: value must be positive") (fun () ->
+    (Invalid_argument "Monomial.bind: value must be finite positive") (fun () ->
       ignore (M.bind "x" 0.0 m))
 
 let test_monomial_positive_coeff () =
   Alcotest.check_raises "nonpositive coeff"
-    (Invalid_argument "Monomial.make: coefficient must be positive (got -1)") (fun () ->
+    (Invalid_argument "Monomial.make: coefficient must be finite positive (got -1)") (fun () ->
       ignore (M.make (-1.0) []))
 
 (* --- Posynomial --- *)
