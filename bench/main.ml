@@ -6,7 +6,8 @@
      dune exec bench/main.exe                 # everything, full settings
      dune exec bench/main.exe -- --quick      # reduced trial counts
      dune exec bench/main.exe -- --only fig4,fig7
-     dune exec bench/main.exe -- --no-bechamel *)
+     dune exec bench/main.exe -- --no-bechamel
+     dune exec bench/main.exe -- --metrics m.json   # counter/histogram dump *)
 
 module O = Thistle.Optimize
 module F = Thistle.Formulate
@@ -27,12 +28,18 @@ let area_budget = Arch.eyeriss_area tech
 (* Command line                                                       *)
 (* ------------------------------------------------------------------ *)
 
-type options = { quick : bool; only : string list option; bechamel : bool }
+type options = {
+  quick : bool;
+  only : string list option;
+  bechamel : bool;
+  metrics : string option;
+}
 
 let parse_args () =
   let quick = ref false in
   let only = ref None in
   let bechamel = ref true in
+  let metrics = ref None in
   let rec go = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -44,12 +51,15 @@ let parse_args () =
     | "--only" :: spec :: rest ->
       only := Some (String.split_on_char ',' spec);
       go rest
+    | "--metrics" :: file :: rest ->
+      metrics := Some file;
+      go rest
     | arg :: _ ->
       Printf.eprintf "unknown argument %s\n" arg;
       exit 2
   in
   go (List.tl (Array.to_list Sys.argv));
-  { quick = !quick; only = !only; bechamel = !bechamel }
+  { quick = !quick; only = !only; bechamel = !bechamel; metrics = !metrics }
 
 let options = parse_args ()
 
@@ -539,6 +549,10 @@ let bechamel () =
 let () =
   Printf.printf "thistle reproduction harness%s\n"
     (if options.quick then " (quick mode)" else "");
+  if options.metrics <> None then begin
+    Obs.Metrics.reset ();
+    Obs.Metrics.enable ()
+  end;
   let t0 = Unix.gettimeofday () in
   if wants "table2" then table2 ();
   if wants "table3" then table3 ();
@@ -555,4 +569,13 @@ let () =
   if wants "ablation-gridsearch" then ablation_gridsearch ();
   if wants "ablation-technology" then ablation_technology ();
   if options.bechamel && wants "bechamel" then bechamel ();
+  (match options.metrics with
+  | None -> ()
+  | Some file ->
+    Obs.Metrics.disable ();
+    let oc = open_out file in
+    output_string oc (Obs.Metrics.to_json (Obs.Metrics.snapshot ()));
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote %s\n" file);
   Printf.printf "\ntotal time: %.1f s\n" (Unix.gettimeofday () -. t0)

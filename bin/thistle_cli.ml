@@ -100,6 +100,49 @@ let lint_mode_arg =
            run on any discipline or unit error, $(b,warn) logs and continues, \
            $(b,off) skips the checks.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record nested timing spans (formulate/solve/integerize/evaluate) and write \
+           them as JSONL to $(docv).  Tracing never changes results.")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Record counters, gauges and timing histograms and write them as one JSON \
+           object to $(docv).")
+
+(* Runs [f] with tracing/metrics recording enabled per the CLI flags and
+   writes the requested files even when [f] raises. *)
+let with_obs ~trace ~metrics f =
+  if trace <> None then Obs.Trace.start ();
+  if metrics <> None then begin
+    Obs.Metrics.reset ();
+    Obs.Metrics.enable ()
+  end;
+  let finish () =
+    (match trace with
+    | None -> ()
+    | Some file ->
+      Obs.Trace.stop ();
+      Obs.Trace.export_file file);
+    match metrics with
+    | None -> ()
+    | Some file ->
+      Obs.Metrics.disable ();
+      let oc = open_out file in
+      output_string oc (Obs.Metrics.to_json (Obs.Metrics.snapshot ()));
+      output_char oc '\n';
+      close_out oc
+  in
+  Fun.protect ~finally:finish f
+
 let emit_arg =
   Arg.(
     value
@@ -118,6 +161,7 @@ let print_outcome ?(tech = base_tech) nest (report : O.report) emit emit_code =
   let o = report.O.outcome in
   Format.printf "explored %d pruned permutation choices, %d programs solved@."
     report.O.choices_enumerated report.O.choices_solved;
+  Format.printf "solver: %a@." Gp.Solver.pp_totals report.O.solve_totals;
   Format.printf "architecture: %a (area %.0f um^2)@." Arch.pp o.I.arch
     (Arch.area tech o.I.arch);
   Format.printf "mapping:@.%a@." Mapspace.Mapping.pp o.I.mapping;
@@ -161,22 +205,23 @@ let layers_cmd =
     Term.(const (fun () () -> run ()) $ setup_logs $ const ())
 
 let optimize_cmd =
-  let run () layer objective arch top_choices emit emit_code node jobs lint =
+  let run () layer objective arch top_choices emit emit_code node jobs lint trace metrics =
     match nest_of_layer layer with
     | Error msg ->
       prerr_endline msg;
       1
-    | Ok nest -> begin
-      let tech = tech_of_node node in
-      let config = { O.default_config with O.top_choices; jobs; lint } in
-      match O.dataflow ~config tech arch objective nest with
-      | Error msg ->
-        prerr_endline msg;
-        1
-      | Ok report ->
-        print_outcome ~tech nest report emit emit_code;
-        0
-    end
+    | Ok nest ->
+      with_obs ~trace ~metrics @@ fun () -> begin
+        let tech = tech_of_node node in
+        let config = { O.default_config with O.top_choices; jobs; lint } in
+        match O.dataflow ~config tech arch objective nest with
+        | Error msg ->
+          prerr_endline msg;
+          1
+        | Ok report ->
+          print_outcome ~tech nest report emit emit_code;
+          0
+      end
   in
   Cmd.v
     (Cmd.info "optimize"
@@ -185,7 +230,8 @@ let optimize_cmd =
           setting).")
     Term.(
       const run $ setup_logs $ layer_arg $ objective_arg $ arch_args $ top_choices_arg
-      $ emit_arg $ emit_code_arg $ node_arg $ jobs_arg $ lint_mode_arg)
+      $ emit_arg $ emit_code_arg $ node_arg $ jobs_arg $ lint_mode_arg $ trace_arg
+      $ metrics_out_arg)
 
 let codesign_cmd =
   let area_arg =
@@ -195,26 +241,27 @@ let codesign_cmd =
       & info [ "area" ] ~docv:"UM2"
           ~doc:"Chip-area budget in um^2 (defaults to the Eyeriss area).")
   in
-  let run () layer objective area top_choices emit emit_code node jobs lint =
+  let run () layer objective area top_choices emit emit_code node jobs lint trace metrics =
     match nest_of_layer layer with
     | Error msg ->
       prerr_endline msg;
       1
-    | Ok nest -> begin
-      let tech = tech_of_node node in
-      let area_budget =
-        match area with Some a -> a | None -> Arch.eyeriss_area tech
-      in
-      let config = { O.default_config with O.top_choices; jobs; lint } in
-      match O.codesign ~config tech ~area_budget objective nest with
-      | Error msg ->
-        prerr_endline msg;
-        1
-      | Ok report ->
-        Format.printf "area budget: %.0f um^2@." area_budget;
-        print_outcome ~tech nest report emit emit_code;
-        0
-    end
+    | Ok nest ->
+      with_obs ~trace ~metrics @@ fun () -> begin
+        let tech = tech_of_node node in
+        let area_budget =
+          match area with Some a -> a | None -> Arch.eyeriss_area tech
+        in
+        let config = { O.default_config with O.top_choices; jobs; lint } in
+        match O.codesign ~config tech ~area_budget objective nest with
+        | Error msg ->
+          prerr_endline msg;
+          1
+        | Ok report ->
+          Format.printf "area budget: %.0f um^2@." area_budget;
+          print_outcome ~tech nest report emit emit_code;
+          0
+      end
   in
   Cmd.v
     (Cmd.info "codesign"
@@ -223,7 +270,8 @@ let codesign_cmd =
           layer under an area budget (Fig. 5 setting).")
     Term.(
       const run $ setup_logs $ layer_arg $ objective_arg $ area_arg $ top_choices_arg
-      $ emit_arg $ emit_code_arg $ node_arg $ jobs_arg $ lint_mode_arg)
+      $ emit_arg $ emit_code_arg $ node_arg $ jobs_arg $ lint_mode_arg $ trace_arg
+      $ metrics_out_arg)
 
 let mapper_cmd =
   let trials_arg =
@@ -241,12 +289,13 @@ let mapper_cmd =
       & info [ "domains" ] ~docv:"N"
           ~doc:"Search domains (threads); the trial budget is split across them.")
   in
-  let run () layer objective arch trials victory seed domains =
+  let run () layer objective arch trials victory seed domains trace metrics =
     match nest_of_layer layer with
     | Error msg ->
       prerr_endline msg;
       1
     | Ok nest ->
+      with_obs ~trace ~metrics @@ fun () ->
       let criterion =
         match objective with
         | F.Energy -> S.Min_energy
@@ -271,7 +320,7 @@ let mapper_cmd =
           fixed architecture.")
     Term.(
       const run $ setup_logs $ layer_arg $ objective_arg $ arch_args $ trials_arg
-      $ victory_arg $ seed_arg $ domains_arg)
+      $ victory_arg $ seed_arg $ domains_arg $ trace_arg $ metrics_out_arg)
 
 let lint_cmd =
   let layer_filter_arg =
@@ -379,7 +428,8 @@ let pipeline_cmd =
       & opt (some (Arg.enum Workload.Zoo.pipelines)) None
       & info [ "pipeline" ] ~docv:"NAME" ~doc)
   in
-  let run () layers objective jobs lint =
+  let run () layers objective jobs lint trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let nests = List.map Conv.to_nest layers in
     let area_budget = Arch.eyeriss_area tech in
     let config = { O.default_config with O.jobs; lint } in
@@ -415,7 +465,67 @@ let pipeline_cmd =
        ~doc:
          "Layer-wise co-design of a whole DNN pipeline, then re-optimization for the \
           dominant layer's shared architecture (Fig. 6 / Fig. 8 flow).")
-    Term.(const run $ setup_logs $ pipeline_arg $ objective_arg $ jobs_arg $ lint_mode_arg)
+    Term.(
+      const run $ setup_logs $ pipeline_arg $ objective_arg $ jobs_arg $ lint_mode_arg
+      $ trace_arg $ metrics_out_arg)
+
+let metrics_cmd =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the dump as one JSON object instead of a text table.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write the dump to $(docv) instead of stdout.")
+  in
+  let run () layer objective top_choices node jobs lint json out =
+    match nest_of_layer layer with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok nest ->
+      let tech = tech_of_node node in
+      let area_budget = Arch.eyeriss_area tech in
+      let config = { O.default_config with O.top_choices; jobs; lint } in
+      Obs.Metrics.reset ();
+      Obs.Metrics.enable ();
+      let result = O.codesign ~config tech ~area_budget objective nest in
+      Obs.Metrics.disable ();
+      let dump = Obs.Metrics.snapshot () in
+      let payload =
+        if json then Obs.Metrics.to_json dump ^ "\n"
+        else begin
+          let b = Buffer.create 1024 in
+          let ppf = Format.formatter_of_buffer b in
+          (match result with
+          | Ok report ->
+            Format.fprintf ppf "solver: %a@." Gp.Solver.pp_totals report.O.solve_totals
+          | Error msg -> Format.fprintf ppf "optimization failed: %s@." msg);
+          Obs.Metrics.pp_text ppf dump;
+          Format.pp_print_flush ppf ();
+          Buffer.contents b
+        end
+      in
+      (match out with
+      | None -> print_string payload
+      | Some file ->
+        let oc = open_out file in
+        output_string oc payload;
+        close_out oc);
+      (match result with Ok _ -> 0 | Error _ -> 1)
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Co-design one layer with metric recording on and dump every counter, gauge \
+          and histogram (solver iterations, duality gap, integerization candidates, \
+          pool queue waits) as text or JSON.")
+    Term.(
+      const run $ setup_logs $ layer_arg $ objective_arg $ top_choices_arg $ node_arg
+      $ jobs_arg $ lint_mode_arg $ json_arg $ out_arg)
 
 let main =
   let info =
@@ -424,6 +534,15 @@ let main =
         "Comprehensive accelerator-dataflow co-design for CNNs via geometric \
          programming (CGO 2022 reproduction)."
   in
-  Cmd.group info [ layers_cmd; optimize_cmd; codesign_cmd; mapper_cmd; pipeline_cmd; lint_cmd ]
+  Cmd.group info
+    [
+      layers_cmd;
+      optimize_cmd;
+      codesign_cmd;
+      mapper_cmd;
+      pipeline_cmd;
+      lint_cmd;
+      metrics_cmd;
+    ]
 
 let () = exit (Cmd.eval' main)

@@ -14,6 +14,13 @@ type outcome = {
   candidates_valid : int;
 }
 
+(* Per-call values are functions of the instance alone, so summing them
+   across (possibly parallel) calls is jobs-independent — see the
+   Obs.Metrics determinism contract. *)
+let m_tried = Obs.Metrics.counter "integerize.candidates_tried"
+let m_valid = Obs.Metrics.counter "integerize.candidates_valid"
+let m_filtered = Obs.Metrics.counter "integerize.candidates_filtered"
+
 let score objective (metrics : Accmodel.Evaluate.t) =
   match objective with
   | Formulate.Energy -> metrics.Accmodel.Evaluate.energy_pj
@@ -149,6 +156,7 @@ let run ?(n_divisors = 2) ?(n_pow2 = 2) ?(max_candidates = 65536)
   let tried = ref 0 in
   let valid = ref 0 in
   let best = ref None in
+  Obs.Trace.span "evaluate" (fun () ->
   List.iter
     (fun combo ->
       let mapping = mapping_of_combo instance combo in
@@ -173,7 +181,10 @@ let run ?(n_divisors = 2) ?(n_pow2 = 2) ?(max_candidates = 65536)
             in
             if better then best := Some (s, arch, mapping, metrics))
         (arch_candidates ~n_pow2 tech instance solution ~spatial_size))
-    !combos;
+    !combos);
+  Obs.Metrics.add m_tried !tried;
+  Obs.Metrics.add m_valid !valid;
+  Obs.Metrics.add m_filtered (!tried - !valid);
   match !best with
   | None -> Error "integerize: no feasible integer candidate"
   | Some (_, arch, mapping, metrics) ->

@@ -28,11 +28,34 @@ type report = {
   choices_enumerated : int;
   choices_solved : int;
   best_continuous : float;
+  solve_totals : Gp.Solver.totals;
 }
 
 let log_src = Logs.Src.create "thistle.optimize" ~doc:"Thistle optimizer driver"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let m_solves = Obs.Metrics.counter "solver.solves"
+let m_outer = Obs.Metrics.counter "solver.outer_iters"
+let m_phase1 = Obs.Metrics.counter "solver.phase1_outer_iters"
+let m_phase2 = Obs.Metrics.counter "solver.phase2_outer_iters"
+let m_newton = Obs.Metrics.counter "solver.newton_steps"
+let m_backtracks = Obs.Metrics.counter "solver.backtracks"
+let m_kkt = Obs.Metrics.counter "solver.kkt_regularizations"
+let g_gap = Obs.Metrics.gauge "solver.max_duality_gap"
+
+(* Fed from the sequentially-accumulated totals (not from inside the
+   parallel sweep), so the counter values are functions of the workload
+   alone — see the Obs.Metrics determinism contract. *)
+let feed_solver_metrics (t : Gp.Solver.totals) =
+  Obs.Metrics.add m_solves t.Gp.Solver.solves;
+  Obs.Metrics.add m_outer (t.Gp.Solver.t_phase1_outer + t.Gp.Solver.t_phase2_outer);
+  Obs.Metrics.add m_phase1 t.Gp.Solver.t_phase1_outer;
+  Obs.Metrics.add m_phase2 t.Gp.Solver.t_phase2_outer;
+  Obs.Metrics.add m_newton t.Gp.Solver.t_newton_iters;
+  Obs.Metrics.add m_backtracks t.Gp.Solver.t_backtracks;
+  Obs.Metrics.add m_kkt t.Gp.Solver.t_kkt_regularizations;
+  Obs.Metrics.observe_max g_gap t.Gp.Solver.max_duality_gap
 
 let run ?(config = default_config) tech arch_mode objective nest =
   let jobs = Int.max 1 config.jobs in
@@ -55,37 +78,46 @@ let run ?(config = default_config) tech arch_mode objective nest =
     in
     let solve_one (choice_vol, placement) =
       let instance =
-        Formulate.build ~placement tech arch_mode objective plan choice_vol
+        Obs.Trace.span "formulate" (fun () ->
+            Formulate.build ~placement tech arch_mode objective plan choice_vol)
       in
       Analysis.Lint.gate config.lint (Formulate.lint instance);
-      let solution = Gp.Solver.solve ~tol:config.gp_tol instance.Formulate.problem in
-      match solution.Gp.Solver.status with
-      | Gp.Solver.Infeasible -> None
-      | Gp.Solver.Optimal | Gp.Solver.Iteration_limit ->
-        if not (Float.is_finite solution.Gp.Solver.objective) then None
-        else begin
-          (* Post-solve certificate: a point with non-finite coordinates
-             or constraint evaluations is discarded even when the solver
-             reported a finite objective for it. *)
-          let cert =
-            Analysis.Certificate.check ~provenance:instance.Formulate.provenance
-              instance.Formulate.problem
-              (Formulate.solution_env instance solution)
-          in
-          if Analysis.Certificate.hard_failure cert then begin
-            Log.debug (fun m ->
-                m "%s: certificate rejected solution: %s"
-                  instance.Formulate.provenance
-                  (Analysis.Diagnostic.summary cert.Analysis.Certificate.diagnostics));
-            None
+      let st = Gp.Solver.fresh_stats () in
+      let solution =
+        Obs.Trace.span "solve"
+          ~attrs:[ ("provenance", instance.Formulate.provenance) ]
+          (fun () -> Gp.Solver.solve ~tol:config.gp_tol ~stats:st instance.Formulate.problem)
+      in
+      let usable =
+        match solution.Gp.Solver.status with
+        | Gp.Solver.Infeasible -> None
+        | Gp.Solver.Optimal | Gp.Solver.Iteration_limit ->
+          if not (Float.is_finite solution.Gp.Solver.objective) then None
+          else begin
+            (* Post-solve certificate: a point with non-finite coordinates
+               or constraint evaluations is discarded even when the solver
+               reported a finite objective for it. *)
+            let cert =
+              Analysis.Certificate.check ~provenance:instance.Formulate.provenance
+                instance.Formulate.problem
+                (Formulate.solution_env instance solution)
+            in
+            if Analysis.Certificate.hard_failure cert then begin
+              Log.debug (fun m ->
+                  m "%s: certificate rejected solution: %s"
+                    instance.Formulate.provenance
+                    (Analysis.Diagnostic.summary cert.Analysis.Certificate.diagnostics));
+              None
+            end
+            else Some (instance, solution)
           end
-          else Some (instance, solution)
-        end
+      in
+      (usable, st)
     in
     (* A lint rejection aborts the whole sweep: every pair of one layer
        shares the formulation code, so one malformed instance means the
        model itself is wrong, not that one choice is unlucky. *)
-    try Ok (Exec.Par.filter_map ~jobs solve_one pairs)
+    try Ok (Exec.Par.map ~jobs solve_one pairs)
     with Analysis.Lint.Rejected diags ->
       Error
         (Printf.sprintf "optimize: lint rejected formulation: %s"
@@ -93,12 +125,23 @@ let run ?(config = default_config) tech arch_mode objective nest =
   in
   match solved with
   | Error _ as e -> e
-  | Ok [] ->
+  | Ok attempts ->
+  (* Accumulate telemetry over every solve (feasible or not), in the
+     deterministic sequential order Exec.Par.map preserves. *)
+  let solve_totals =
+    List.fold_left
+      (fun acc (_, st) -> Gp.Solver.accumulate acc st)
+      Gp.Solver.zero_totals attempts
+  in
+  feed_solver_metrics solve_totals;
+  let solved = List.filter_map fst attempts in
+  match solved with
+  | [] ->
     Log.info (fun m ->
         m "%s: 0/%d choices solved (raw %d)" (Workload.Nest.name nest)
           (List.length plan.Permutations.choices) plan.Permutations.raw_count);
     Error "optimize: no permutation choice produced a feasible program"
-  | Ok solved ->
+  | solved ->
     Log.info (fun m ->
         m "%s: %d/%d choices solved (raw %d)" (Workload.Nest.name nest)
           (List.length solved) (List.length plan.Permutations.choices)
@@ -123,8 +166,11 @@ let run ?(config = default_config) tech arch_mode objective nest =
       Exec.Par.filter_map ~jobs
         (fun (instance, solution) ->
           match
-            Integerize.run ~n_divisors:config.n_divisors ~n_pow2:config.n_pow2
-              ~min_pe_utilization:config.min_pe_utilization tech instance solution
+            Obs.Trace.span "integerize"
+              ~attrs:[ ("provenance", instance.Formulate.provenance) ]
+              (fun () ->
+                Integerize.run ~n_divisors:config.n_divisors ~n_pow2:config.n_pow2
+                  ~min_pe_utilization:config.min_pe_utilization tech instance solution)
           with
           | Ok o -> Some o
           | Error msg ->
@@ -152,6 +198,7 @@ let run ?(config = default_config) tech arch_mode objective nest =
             choices_enumerated = List.length plan.Permutations.choices;
             choices_solved = List.length solved;
             best_continuous;
+            solve_totals;
           }
     end
 

@@ -46,6 +46,10 @@ type report = {
   choices_enumerated : int;
   choices_solved : int;  (** GPs that returned a usable point *)
   best_continuous : float;  (** best continuous objective across choices *)
+  solve_totals : Gp.Solver.totals;
+      (** solver telemetry summed over {e every} GP solve of the sweep,
+          feasible or not, accumulated in deterministic enumeration
+          order *)
 }
 
 val run :

@@ -13,9 +13,16 @@ let run_layers ?config tech arch_mode objective nests =
     | Some c -> c.Optimize.jobs
     | None -> Optimize.default_config.Optimize.jobs
   in
-  Exec.Par.map ~jobs
-    (fun nest -> { nest; result = Optimize.run ?config tech arch_mode objective nest })
-    nests
+  Obs.Trace.span "pipeline"
+    ~attrs:[ ("layers", string_of_int (List.length nests)) ]
+    (fun () ->
+      Exec.Par.map ~jobs
+        (fun nest ->
+          Obs.Trace.span "layer"
+            ~attrs:[ ("name", Workload.Nest.name nest) ]
+            (fun () ->
+              { nest; result = Optimize.run ?config tech arch_mode objective nest }))
+        nests)
 
 let metrics entry =
   match entry.result with

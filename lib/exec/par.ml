@@ -27,9 +27,15 @@ type 'b slot =
   | Done of 'b
   | Raised of exn * Printexc.raw_backtrace
 
+(* Counts items, not pool tasks: the value only depends on the workload,
+   so it is identical for any [jobs] (see the Obs.Metrics determinism
+   contract). *)
+let m_tasks = Obs.Metrics.counter "exec.tasks"
+
 let map ?pool ?jobs f xs =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   let n = List.length xs in
+  Obs.Metrics.add m_tasks n;
   if jobs <= 1 || n <= 1 || Pool.inside_worker () then List.map f xs
   else begin
     let pool = match pool with Some p -> p | None -> shared_pool ~jobs in

@@ -1,13 +1,24 @@
 (* A fixed domain pool with a mutex/condition work queue.  See pool.mli
    for the concurrency contract. *)
 
+(* Queue entries carry their enqueue timestamp (ns; 0.0 when metrics are
+   disabled, so idle runs never read the clock) feeding the
+   [exec.queue_wait_ns] histogram when they are popped. *)
 type t = {
   lock : Mutex.t;
   work_available : Condition.t;
-  queue : (unit -> unit) Queue.t;
+  queue : (float * (unit -> unit)) Queue.t;
   mutable workers : unit Domain.t list;
   mutable closed : bool;
 }
+
+let m_queue_wait = Obs.Metrics.histogram "exec.queue_wait_ns"
+
+let enqueue_stamp () = if Obs.Metrics.enabled () then Obs.Metrics.now_ns () else 0.0
+
+let note_wait stamp =
+  if stamp > 0.0 && Obs.Metrics.enabled () then
+    Obs.Metrics.observe m_queue_wait (Obs.Metrics.now_ns () -. stamp)
 
 (* The OCaml 5 runtime hard-caps live domains (128 on 64-bit); stay well
    under it so user code can still spawn domains of its own. *)
@@ -34,8 +45,9 @@ let worker_loop t =
     done;
     if Queue.is_empty t.queue then Mutex.unlock t.lock (* closed: exit *)
     else begin
-      let task = Queue.pop t.queue in
+      let stamp, task = Queue.pop t.queue in
       Mutex.unlock t.lock;
+      note_wait stamp;
       run_task task;
       loop ()
     end
@@ -89,7 +101,7 @@ let run t tasks =
       Mutex.unlock t.lock
     in
     Mutex.lock t.lock;
-    List.iter (fun task -> Queue.add (wrap task) t.queue) tasks;
+    List.iter (fun task -> Queue.add (enqueue_stamp (), wrap task) t.queue) tasks;
     Condition.broadcast t.work_available;
     (* The submitter helps drain the queue (any batch's tasks) and only
        sleeps when the queue is empty but its own batch is unfinished —
@@ -97,8 +109,9 @@ let run t tasks =
     let rec drain () =
       if !remaining = 0 then Mutex.unlock t.lock
       else if not (Queue.is_empty t.queue) then begin
-        let task = Queue.pop t.queue in
+        let stamp, task = Queue.pop t.queue in
         Mutex.unlock t.lock;
+        note_wait stamp;
         task ();
         Mutex.lock t.lock;
         drain ()

@@ -7,9 +7,89 @@ type status = Optimal | Infeasible | Iteration_limit
 
 type solution = { status : status; values : (string * float) list; objective : float }
 
-let lookup sol x = List.assoc x sol.values
+let lookup sol x =
+  match List.assoc_opt x sol.values with
+  | Some v -> v
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Gp.Solver.lookup: no variable %S in the solution (solution carries: %s)"
+         x
+         (match sol.values with
+         | [] -> "no variables"
+         | vs -> String.concat ", " (List.map fst vs)))
 
 let env sol x = lookup sol x
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  mutable phase1_outer : int;
+  mutable phase2_outer : int;
+  mutable newton_iters : int;
+  mutable backtracks : int;
+  mutable kkt_regularizations : int;
+  mutable duality_gap : float;
+}
+
+let fresh_stats () =
+  {
+    phase1_outer = 0;
+    phase2_outer = 0;
+    newton_iters = 0;
+    backtracks = 0;
+    kkt_regularizations = 0;
+    duality_gap = nan;
+  }
+
+let reset_stats st =
+  st.phase1_outer <- 0;
+  st.phase2_outer <- 0;
+  st.newton_iters <- 0;
+  st.backtracks <- 0;
+  st.kkt_regularizations <- 0;
+  st.duality_gap <- nan
+
+type totals = {
+  solves : int;
+  t_phase1_outer : int;
+  t_phase2_outer : int;
+  t_newton_iters : int;
+  t_backtracks : int;
+  t_kkt_regularizations : int;
+  max_duality_gap : float;
+}
+
+let zero_totals =
+  {
+    solves = 0;
+    t_phase1_outer = 0;
+    t_phase2_outer = 0;
+    t_newton_iters = 0;
+    t_backtracks = 0;
+    t_kkt_regularizations = 0;
+    max_duality_gap = 0.0;
+  }
+
+let accumulate t s =
+  {
+    solves = t.solves + 1;
+    t_phase1_outer = t.t_phase1_outer + s.phase1_outer;
+    t_phase2_outer = t.t_phase2_outer + s.phase2_outer;
+    t_newton_iters = t.t_newton_iters + s.newton_iters;
+    t_backtracks = t.t_backtracks + s.backtracks;
+    t_kkt_regularizations = t.t_kkt_regularizations + s.kkt_regularizations;
+    max_duality_gap =
+      (if Float.is_finite s.duality_gap then Float.max t.max_duality_gap s.duality_gap
+       else t.max_duality_gap);
+  }
+
+let pp_totals ppf t =
+  Format.fprintf ppf
+    "solves=%d phase1-outer=%d phase2-outer=%d newton=%d backtracks=%d kkt-reg=%d max-gap=%.3g"
+    t.solves t.t_phase1_outer t.t_phase2_outer t.t_newton_iters t.t_backtracks
+    t.t_kkt_regularizations t.max_duality_gap
 
 let log_src = Logs.Src.create "gp.solver" ~doc:"Geometric-program solver"
 
@@ -43,7 +123,7 @@ let equality_rows n index eqs =
 (* Minimize  barrier_t * f0(y) - sum_i log (-f_i(y))  subject to [a] y
    fixed to its value at [y0] (the start must satisfy the equalities and
    be strictly feasible for the inequalities). *)
-let centering ~barrier_t ~(objective : Smooth.t) ~(ineqs : Smooth.t list) ~rows y0 =
+let centering ~st ~barrier_t ~(objective : Smooth.t) ~(ineqs : Smooth.t list) ~rows y0 =
   let n = Vec.dim y0 in
   let p = List.length rows in
   let phi y =
@@ -61,6 +141,7 @@ let centering ~barrier_t ~(objective : Smooth.t) ~(ineqs : Smooth.t list) ~rows 
   let iter = ref 0 in
   while (not !converged) && !iter < 80 do
     incr iter;
+    st.newton_iters <- st.newton_iters + 1;
     let v0, g0, h0 = objective.Smooth.eval !y in
     ignore v0;
     let grad = Vec.scale barrier_t g0 in
@@ -108,7 +189,11 @@ let centering ~barrier_t ~(objective : Smooth.t) ~(ineqs : Smooth.t list) ~rows 
         match solve_kkt reg with
         | dy -> Some dy
         | exception Mat.Singular ->
-          if tries <= 0 then None else attempt (reg *. 100.0) (tries - 1)
+          if tries <= 0 then None
+          else begin
+            st.kkt_regularizations <- st.kkt_regularizations + 1;
+            attempt (reg *. 100.0) (tries - 1)
+          end
       in
       attempt 1e-9 6
     in
@@ -134,7 +219,9 @@ let centering ~barrier_t ~(objective : Smooth.t) ~(ineqs : Smooth.t list) ~rows 
           let cand = Vec.axpy alpha dy !y in
           match phi cand with
           | Some v when v <= phi0 +. (0.25 *. alpha *. slope) -> Some cand
-          | _ -> search (alpha /. 2.0) (tries - 1)
+          | _ ->
+            st.backtracks <- st.backtracks + 1;
+            search (alpha /. 2.0) (tries - 1)
         end
       in
       match search 1.0 60 with
@@ -148,9 +235,18 @@ let centering ~barrier_t ~(objective : Smooth.t) ~(ineqs : Smooth.t list) ~rows 
 (* Barrier loop                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let barrier ?(stop_early = fun _ -> false) ~tol ~max_outer ~objective ~ineqs ~rows y0 =
+let barrier ?(stop_early = fun _ -> false) ~st ~phase ~tol ~max_outer ~objective ~ineqs
+    ~rows y0 =
   let m = List.length ineqs in
-  if m = 0 then (centering ~barrier_t:1.0 ~objective ~ineqs ~rows y0, true)
+  let tick () =
+    match phase with
+    | `One -> st.phase1_outer <- st.phase1_outer + 1
+    | `Two -> st.phase2_outer <- st.phase2_outer + 1
+  in
+  if m = 0 then begin
+    if phase = `Two then st.duality_gap <- 0.0;
+    (centering ~st ~barrier_t:1.0 ~objective ~ineqs ~rows y0, true)
+  end
   else begin
     let y = ref y0 in
     let t = ref 1.0 in
@@ -160,7 +256,8 @@ let barrier ?(stop_early = fun _ -> false) ~tol ~max_outer ~objective ~ineqs ~ro
     let clean = ref false in
     while not !done_ do
       incr outer;
-      y := centering ~barrier_t:!t ~objective ~ineqs ~rows !y;
+      tick ();
+      y := centering ~st ~barrier_t:!t ~objective ~ineqs ~rows !y;
       if stop_early !y then begin
         done_ := true;
         clean := true
@@ -172,6 +269,7 @@ let barrier ?(stop_early = fun _ -> false) ~tol ~max_outer ~objective ~ineqs ~ro
       else if !outer >= max_outer then done_ := true
       else t := !t *. mu
     done;
+    if phase = `Two then st.duality_gap <- float_of_int m /. !t;
     (!y, !clean)
   end
 
@@ -192,7 +290,7 @@ let minus_slack n (f : Smooth.t) =
 
 (* Find a point satisfying the equalities and strictly satisfying the
    inequalities, or decide that none exists. *)
-let phase1 ~tol ~max_outer n (ineqs : Smooth.t list) rows y0 =
+let phase1 ~st ~tol ~max_outer n (ineqs : Smooth.t list) rows y0 =
   let strictly_ok y = List.for_all (fun (g : Smooth.t) -> g.Smooth.value y < -1e-9) ineqs in
   if strictly_ok y0 then Some y0
   else begin
@@ -210,8 +308,8 @@ let phase1 ~tol ~max_outer n (ineqs : Smooth.t list) rows y0 =
     let start = Vec.concat y0 [| s0 |] in
     let stop_early y = y.(n) < -0.5 in
     let y1, _ =
-      barrier ~stop_early ~tol ~max_outer ~objective ~ineqs:(lower :: g_ineqs) ~rows:rows1
-        start
+      barrier ~stop_early ~st ~phase:`One ~tol ~max_outer ~objective
+        ~ineqs:(lower :: g_ineqs) ~rows:rows1 start
     in
     let y = Vec.slice y1 0 n in
     if strictly_ok y then Some y else None
@@ -244,7 +342,9 @@ let least_norm_start n rows =
       arr;
     y
 
-let solve ?(tol = 1e-8) ?(max_outer = 60) problem =
+let solve ?(tol = 1e-8) ?(max_outer = 60) ?stats problem =
+  let st = match stats with Some st -> st | None -> fresh_stats () in
+  reset_stats st;
   let vars = Problem.variables problem in
   let n = List.length vars in
   let index = Hashtbl.create (2 * n) in
@@ -277,12 +377,14 @@ let solve ?(tol = 1e-8) ?(max_outer = 60) problem =
        choices as unusable and moves on. *)
     match
       let y0 = least_norm_start n rows in
-      match phase1 ~tol:1e-6 ~max_outer n ineqs rows y0 with
+      match phase1 ~st ~tol:1e-6 ~max_outer n ineqs rows y0 with
       | None ->
         Log.debug (fun m -> m "phase I failed: problem infeasible");
         { status = Infeasible; values = []; objective = nan }
       | Some y_feas ->
-        let y_opt, clean = barrier ~tol ~max_outer ~objective ~ineqs ~rows y_feas in
+        let y_opt, clean =
+          barrier ~st ~phase:`Two ~tol ~max_outer ~objective ~ineqs ~rows y_feas
+        in
         extract (if clean then Optimal else Iteration_limit) y_opt
     with
     | solution -> solution

@@ -22,13 +22,65 @@ type solution = {
 }
 
 val lookup : solution -> string -> float
-(** Value of a variable in the solution.  Raises [Not_found] if the
-    variable does not occur in the problem. *)
+(** Value of a variable in the solution.  Raises [Invalid_argument] with
+    a message naming the missing variable (and the variables the solution
+    does carry) if it does not occur — never a bare [Not_found]. *)
 
 val env : solution -> string -> float
-(** The solution as an evaluation environment. *)
+(** The solution as an evaluation environment.  Missing variables raise
+    like {!lookup}. *)
 
-val solve : ?tol:float -> ?max_outer:int -> Problem.t -> solution
+(** {2 Telemetry}
+
+    An optional mutable sink filled in by {!solve}.  The counters are
+    pure functions of the problem (no timing enters them), so for a
+    fixed problem they are identical run to run and independent of any
+    parallelism around the solver. *)
+
+type stats = {
+  mutable phase1_outer : int;
+      (** outer barrier iterations spent finding a strictly feasible
+          point (0 when the equality-seeded start is already strictly
+          feasible) *)
+  mutable phase2_outer : int;  (** outer barrier iterations of the minimization *)
+  mutable newton_iters : int;  (** Newton steps across both phases *)
+  mutable backtracks : int;
+      (** step-size backoffs: line-search halvings across all Newton
+          steps *)
+  mutable kkt_regularizations : int;
+      (** extra regularization retries after a singular KKT system *)
+  mutable duality_gap : float;
+      (** certified duality-gap bound [m / t] at the end of phase II;
+          [0.0] for problems without inequalities, [nan] when phase II
+          never ran (infeasible or inconsistent problems) *)
+}
+
+val fresh_stats : unit -> stats
+(** All counters zero, [duality_gap = nan]. *)
+
+type totals = {
+  solves : int;
+  t_phase1_outer : int;
+  t_phase2_outer : int;
+  t_newton_iters : int;
+  t_backtracks : int;
+  t_kkt_regularizations : int;
+  max_duality_gap : float;  (** largest finite per-solve gap; [0.0] if none *)
+}
+(** Order-independent aggregation of per-solve {!stats} — summing is
+    commutative, so accumulating in any schedule order yields the same
+    totals. *)
+
+val zero_totals : totals
+
+val accumulate : totals -> stats -> totals
+
+val pp_totals : Format.formatter -> totals -> unit
+
+val solve : ?tol:float -> ?max_outer:int -> ?stats:stats -> Problem.t -> solution
 (** [solve problem] minimizes the problem objective.  [tol] bounds the
     final duality gap per inequality constraint (default 1e-8);
-    [max_outer] bounds the number of barrier updates (default 60). *)
+    [max_outer] bounds the number of barrier updates (default 60).
+    When [stats] is given, its fields are overwritten with this solve's
+    telemetry; passing it does not change the returned solution in any
+    way. *)

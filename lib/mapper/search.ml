@@ -15,6 +15,19 @@ type result = {
   improvements : int;
 }
 
+(* Fed from the merged result record, which Exec.Par.map makes
+   independent of scheduling, so the counters stay deterministic for a
+   fixed seed/budget (see the Obs.Metrics determinism contract). *)
+let m_trials = Obs.Metrics.counter "mapper.trials"
+let m_valid = Obs.Metrics.counter "mapper.valid_trials"
+let m_improvements = Obs.Metrics.counter "mapper.improvements"
+
+let feed_metrics r =
+  Obs.Metrics.add m_trials r.trials;
+  Obs.Metrics.add m_valid r.valid_trials;
+  Obs.Metrics.add m_improvements r.improvements;
+  r
+
 let score criterion (m : Accmodel.Evaluate.t) =
   match criterion with
   | Min_energy -> m.Accmodel.Evaluate.energy_pj
@@ -48,8 +61,9 @@ let random_mapping rng nest =
     ~spatial:(factors_at 2)
     ~dram:(factors_at 3, shuffle rng dims)
 
-let search ?(config = default_config) ?(constraints = Mapspace.Constraints.empty) tech
-    arch criterion nest =
+(* The uninstrumented body, shared by [search] and the parallel streams
+   so each trial is counted exactly once. *)
+let search_raw ~config ~constraints tech arch criterion nest =
   let rng = Random.State.make [| config.seed |] in
   let best = ref None in
   let trials = ref 0 in
@@ -83,6 +97,12 @@ let search ?(config = default_config) ?(constraints = Mapspace.Constraints.empty
     improvements = !improvements;
   }
 
+let search ?(config = default_config) ?(constraints = Mapspace.Constraints.empty) tech
+    arch criterion nest =
+  Obs.Trace.span "mapper.search"
+    ~attrs:[ ("nest", Nest.name nest) ]
+    (fun () -> feed_metrics (search_raw ~config ~constraints tech arch criterion nest))
+
 let search_parallel ?(config = default_config)
     ?(constraints = Mapspace.Constraints.empty) ?domains tech arch criterion nest =
   let domains =
@@ -91,7 +111,10 @@ let search_parallel ?(config = default_config)
     | None -> Int.min 8 (Domain.recommended_domain_count ())
   in
   if domains = 1 then search ~config ~constraints tech arch criterion nest
-  else begin
+  else
+    Obs.Trace.span "mapper.search_parallel"
+      ~attrs:[ ("nest", Nest.name nest); ("domains", string_of_int domains) ]
+    @@ fun () -> begin
     (* Split the budgets; each stream searches an independent seeded
        slice, exactly as Timeloop's threads partition the space.  The
        streams run as one batch on the shared domain pool; each stream is
@@ -109,10 +132,11 @@ let search_parallel ?(config = default_config)
           seed = config.seed + (7919 * k);
         }
       in
-      search ~config ~constraints tech arch criterion nest
+      search_raw ~config ~constraints tech arch criterion nest
     in
     let results = Exec.Par.map ~jobs:domains stream (List.init domains Fun.id) in
-    List.fold_left
+    feed_metrics
+    @@ List.fold_left
       (fun acc r ->
         let best =
           match (acc.best, r.best) with

@@ -1,0 +1,41 @@
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let str b s =
+  Buffer.add_char b '"';
+  Buffer.add_string b (escape s);
+  Buffer.add_char b '"'
+
+let int b i = Buffer.add_string b (string_of_int i)
+
+let float b v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Buffer.add_string b (Printf.sprintf "%.0f" v)
+  else if Float.is_finite v then Buffer.add_string b (Printf.sprintf "%.17g" v)
+  else str b (if Float.is_nan v then "nan" else if v > 0.0 then "inf" else "-inf")
+
+let obj b fields =
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char b ',';
+      f b)
+    fields;
+  Buffer.add_char b '}'
+
+let field b name v =
+  str b name;
+  Buffer.add_char b ':';
+  v b

@@ -1,0 +1,29 @@
+(** Minimal JSON writing helpers shared by the trace and metrics exports.
+
+    The observability layer emits JSON without depending on a JSON
+    library: the values it serializes are flat (strings, numbers and
+    one-level objects), so a few combinators over [Buffer] suffice.
+    Numbers are printed with enough digits to round-trip ([%.17g] for
+    non-integral floats), and non-finite floats — which raw JSON cannot
+    represent — are emitted as the strings ["inf"], ["-inf"] and
+    ["nan"]. *)
+
+val escape : string -> string
+(** JSON string escaping of the bytes of the argument (quotes, backslash,
+    control characters); the result does not include the surrounding
+    quotes. *)
+
+val str : Buffer.t -> string -> unit
+(** Append a quoted, escaped JSON string. *)
+
+val int : Buffer.t -> int -> unit
+
+val float : Buffer.t -> float -> unit
+(** Integral floats print without an exponent or fraction; non-finite
+    values fall back to quoted strings. *)
+
+val obj : Buffer.t -> (Buffer.t -> unit) list -> unit
+(** [obj b fields] appends [{f1,...,fn}], inserting the commas. *)
+
+val field : Buffer.t -> string -> (Buffer.t -> unit) -> unit
+(** [field b name v] appends ["name":<v>] — use inside {!obj}. *)

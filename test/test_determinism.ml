@@ -1,0 +1,113 @@
+(* Determinism regression: the pipeline over a small layer set must
+   produce bit-identical results AND bit-identical metric counters for
+   `jobs = 1` vs `jobs = 4`, and with tracing on vs off.  This locks in
+   the contract documented in obs/metrics.mli: counters are functions of
+   the input only (histograms are timing-dependent and excluded), and
+   observability must never perturb results. *)
+
+module Pl = Thistle.Pipeline
+module O = Thistle.Optimize
+module F = Thistle.Formulate
+module I = Thistle.Integerize
+module Arch = Archspec.Arch
+module Evaluate = Accmodel.Evaluate
+module Mapping = Mapspace.Mapping
+
+let tech = Archspec.Technology.table3
+
+let layers =
+  List.map Workload.Conv.to_nest
+    [
+      Workload.Conv.make ~name:"l-small" ~k:8 ~c:8 ~hw:8 ~rs:3 ();
+      Workload.Conv.make ~name:"l-large" ~k:32 ~c:32 ~hw:16 ~rs:3 ();
+      Workload.Conv.make ~name:"l-1x1" ~k:16 ~c:32 ~hw:16 ~rs:1 ();
+    ]
+
+let budget = 6.0e5
+let fast_config = { O.default_config with O.max_choices = 8; top_choices = 1 }
+
+(* A bit-exact textual fingerprint of everything a run reports.  Floats
+   go through Int64.bits_of_float so "close enough" can't sneak by. *)
+let fingerprint (e : Pl.entry) =
+  let name = Workload.Nest.name e.Pl.nest in
+  match e.Pl.result with
+  | Error msg -> Printf.sprintf "%s: error: %s" name msg
+  | Ok r ->
+    let o = r.O.outcome in
+    Format.asprintf
+      "%s: arch=%s mapping=(%a) energy=%Lx cycles=%Lx continuous=%Lx enumerated=%d \
+       solved=%d tried=%d valid=%d totals=(%a)"
+      name o.I.arch.Arch.arch_name Mapping.pp o.I.mapping
+      (Int64.bits_of_float o.I.metrics.Evaluate.energy_pj)
+      (Int64.bits_of_float o.I.metrics.Evaluate.cycles)
+      (Int64.bits_of_float r.O.best_continuous)
+      r.O.choices_enumerated r.O.choices_solved o.I.candidates_tried
+      o.I.candidates_valid Gp.Solver.pp_totals r.O.solve_totals
+
+(* One instrumented pipeline run; returns fingerprints and the counter
+   section of the metrics snapshot, leaving the registry clean. *)
+let run ~jobs ~trace =
+  Obs.Metrics.reset ();
+  Obs.Metrics.enable ();
+  if trace then Obs.Trace.start ();
+  let entries =
+    Pl.run_layers
+      ~config:{ fast_config with O.jobs }
+      tech
+      (F.Codesign { area_budget = budget })
+      F.Energy layers
+  in
+  if trace then Obs.Trace.stop ();
+  Obs.Metrics.disable ();
+  let counters = Obs.Metrics.counters (Obs.Metrics.snapshot ()) in
+  Obs.Metrics.reset ();
+  (List.map fingerprint entries, counters)
+
+let check_same label (fps_a, counters_a) (fps_b, counters_b) =
+  Alcotest.(check (list string)) (label ^ ": results") fps_a fps_b;
+  Alcotest.(check (list (pair string int))) (label ^ ": counters") counters_a counters_b
+
+let nonvacuous (_, counters) =
+  let value name =
+    match List.assoc_opt name counters with
+    | Some v -> v
+    | None -> Alcotest.failf "counter %S missing" name
+  in
+  Alcotest.(check bool) "solver ran" true (value "solver.solves" > 0);
+  Alcotest.(check bool) "outer iterations counted" true (value "solver.outer_iters" > 0);
+  Alcotest.(check bool) "newton steps counted" true (value "solver.newton_steps" > 0);
+  Alcotest.(check bool) "tasks counted" true (value "exec.tasks" > 0);
+  Alcotest.(check bool) "integerizer counted" true
+    (value "integerize.candidates_tried" > 0)
+
+let test_jobs_independent () =
+  let seq = run ~jobs:1 ~trace:false in
+  let par = run ~jobs:4 ~trace:false in
+  nonvacuous seq;
+  check_same "jobs 1 vs jobs 4" seq par
+
+let test_trace_independent () =
+  let plain = run ~jobs:4 ~trace:false in
+  let traced = run ~jobs:4 ~trace:true in
+  check_same "trace off vs on" plain traced;
+  (* The trace itself covers every pipeline stage. *)
+  let names =
+    List.sort_uniq String.compare
+      (List.map (fun e -> e.Obs.Trace.name) (Obs.Trace.events ()))
+  in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool)
+        (Printf.sprintf "span %S present" expected)
+        true (List.mem expected names))
+    [ "pipeline"; "layer"; "formulate"; "solve"; "integerize"; "evaluate" ]
+
+let () =
+  Alcotest.run "determinism"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "jobs-independent" `Quick test_jobs_independent;
+          Alcotest.test_case "trace-independent" `Quick test_trace_independent;
+        ] );
+    ]

@@ -1,0 +1,169 @@
+(* Differential test: the brute-force reference interpreter
+   (Refsim.Simulate, which walks the loop nest and counts words with
+   interval arithmetic) against the symbolic Algorithm 1 expressions
+   (Thistle.Volume) evaluated at the same tile sizes, across the Table II
+   zoo.
+
+   The two sides share no code beyond the workload types, so exact
+   agreement on copies, words and footprints is a meaningful check of
+   both.  Agreement is exact when hoist points coincide: the simulator
+   skips factor-1 loops, so the symbolic side is given per-level
+   permutations restricted to the dims actually tiled (factor > 1) at
+   that level — then syntactic and trip-count hoisting are the same
+   rule. *)
+
+module Nest = Workload.Nest
+module Conv = Workload.Conv
+module Sim = Refsim.Simulate
+module V = Thistle.Volume
+module Mapping = Mapspace.Mapping
+module M = Symexpr.Monomial
+
+let approx ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps *. (1.0 +. Float.abs b)
+
+(* Twelve layers spanning both networks. *)
+let layers =
+  let take n xs = List.filteri (fun i _ -> i < n) xs in
+  take 6 Workload.Zoo.yolo9000 @ take 6 Workload.Zoo.resnet18
+
+let () = assert (List.length layers >= 10)
+
+(* Largest divisor of [n] in [2 .. limit], or 1.  The budget argument
+   caps the product of all non-register factors so the simulator's loop
+   walk stays cheap on 544-wide zoo extents. *)
+let divisor_of n ~limit =
+  let rec go d = if d < 2 then 1 else if d <= limit && n mod d = 0 then d else go (d - 1) in
+  go 4
+
+type split = { reg : int; pe : int; spatial : int; dram : int }
+
+(* Split every extent into (reg, pe, spatial, dram) factors, spending at
+   most [budget] on the non-register levels overall.  [pick] chooses a
+   divisor given (remaining extent, limit), letting the random variant
+   inject choice. *)
+let split_dims ?(budget = 4000) ~pick nest =
+  let budget = ref budget in
+  let take n =
+    let d = pick n ~limit:(Int.min 4 !budget) in
+    budget := !budget / d;
+    d
+  in
+  List.map
+    (fun d ->
+      let e = Nest.extent nest d in
+      let pe = take e in
+      let dram = take (e / pe) in
+      let spatial = take (e / pe / dram) in
+      (d, { reg = e / pe / dram / spatial; pe; spatial; dram }))
+    (Nest.dim_names nest)
+
+(* The simulator needs full temporal permutations; the symbolic side
+   needs the same order restricted to the tiled dims. *)
+let full_perm restricted dims = restricted @ List.filter (fun d -> not (List.mem d restricted)) dims
+
+let restrict order splits select =
+  List.filter (fun d -> select (List.assoc d splits) > 1) order
+
+(* Compare simulator fills/footprints against the symbolic boundaries
+   for one (nest, splits, perm order) configuration; raises via Alcotest
+   on any mismatch, labelled with the failing tensor/level. *)
+let agree ~label nest splits ~pe_order ~dram_order =
+  let dims = Nest.dim_names nest in
+  let pe_perm = restrict pe_order splits (fun s -> s.pe) in
+  let dram_perm = restrict dram_order splits (fun s -> s.dram) in
+  let factors select = List.map (fun (d, s) -> (d, select s)) splits in
+  let mapping =
+    Mapping.canonical
+      ~reg:(factors (fun s -> s.reg), full_perm [] dims)
+      ~pe:(factors (fun s -> s.pe), full_perm pe_perm dims)
+      ~spatial:(factors (fun s -> s.spatial))
+      ~dram:(factors (fun s -> s.dram), full_perm dram_perm dims)
+  in
+  (match Mapping.validate nest mapping with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s: invalid mapping: %s" label msg);
+  let env = Mapping.env mapping in
+  let analysis =
+    V.analyze_general nest
+      ~levels:[ V.Temporal []; V.Temporal pe_perm; V.Spatial; V.Temporal dram_perm ]
+  in
+  let reports =
+    match Sim.fills nest mapping with
+    | Ok r -> r
+    | Error msg -> Alcotest.failf "%s: refsim failed: %s" label msg
+  in
+  List.iter
+    (fun (name, _rw, boundaries) ->
+      let tensor = Nest.tensor nest name in
+      List.iter
+        (fun b ->
+          let r =
+            List.find (fun r -> r.Sim.tensor = name && r.Sim.level = b.V.level) reports
+          in
+          let check what expected actual =
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: %s %s@%d: refsim %g vs symbolic %g" label name what
+                 b.V.level expected actual)
+              true (approx expected actual)
+          in
+          check "words" r.Sim.words (V.volume_eval_exact env b.V.fill);
+          check "copies" (float_of_int r.Sim.copies) (M.eval env b.V.fill.V.prefix);
+          let extents d = Mapping.extent_through mapping ~level:(b.V.level - 1) d in
+          let counted_fp =
+            List.fold_left
+              (fun acc proj -> acc * Sim.projection_span ~extents proj)
+              1 tensor.Nest.projections
+          in
+          check "footprint" (float_of_int counted_fp)
+            (Symexpr.Footprint.eval_exact env b.V.footprint))
+        boundaries)
+    analysis.V.g_tensors
+
+(* Deterministic sweep: one fixed small tiling per zoo layer, window dims
+   preferentially tiled at the PE level so the sliding-window (halo)
+   union is exercised in sram_to_reg. *)
+let test_zoo_sweep () =
+  List.iter
+    (fun layer ->
+      let nest = Conv.to_nest layer in
+      let splits = split_dims ~pick:(fun n ~limit -> divisor_of n ~limit) nest in
+      let dims = Nest.dim_names nest in
+      agree ~label:layer.Conv.layer_name nest splits ~pe_order:dims
+        ~dram_order:(List.rev dims))
+    layers
+
+(* Random tilings and permutation orders over random zoo layers. *)
+let prop_random_tilings =
+  let gen = QCheck2.Gen.int_range 0 100000 in
+  QCheck2.Test.make ~name:"refsim = symbolic on random zoo tilings" ~count:60 gen
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let layer = List.nth layers (Random.State.int rng (List.length layers)) in
+      let nest = Conv.to_nest layer in
+      let pick n ~limit =
+        (* A random divisor of n within the limit (1 always qualifies). *)
+        let options =
+          List.filter (fun d -> d <= limit && n mod d = 0) [ 1; 2; 3; 4 ]
+        in
+        List.nth options (Random.State.int rng (List.length options))
+      in
+      let splits = split_dims ~pick nest in
+      let shuffle xs =
+        List.map snd
+          (List.sort compare (List.map (fun x -> (Random.State.bits rng, x)) xs))
+      in
+      let dims = Nest.dim_names nest in
+      agree
+        ~label:(Printf.sprintf "%s/seed=%d" layer.Conv.layer_name seed)
+        nest splits ~pe_order:(shuffle dims) ~dram_order:(shuffle dims);
+      true)
+
+let () =
+  Alcotest.run "differential"
+    [
+      ( "refsim vs symbolic",
+        [
+          Alcotest.test_case "zoo sweep" `Quick test_zoo_sweep;
+          QCheck_alcotest.to_alcotest prop_random_tilings;
+        ] );
+    ]

@@ -256,6 +256,119 @@ let test_zero_objective_rejected () =
     (Invalid_argument "Gp.Problem.make: zero objective") (fun () ->
       ignore (Gp.Problem.make ~objective:P.zero ()))
 
+let contains hay needle =
+  let n = String.length needle and m = String.length hay in
+  let rec go i = i + n <= m && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* lookup/env on a missing variable must raise a descriptive
+   Invalid_argument naming the variable and the ones the solution does
+   carry — never a bare Not_found. *)
+let test_lookup_missing () =
+  let prob =
+    Gp.Problem.make
+      ~objective:(P.add (P.var "x") (P.of_monomial (M.var_pow "x" (-1.0))))
+      ()
+  in
+  let sol = solve prob in
+  let expect_raise f =
+    match f () with
+    | exception Invalid_argument msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "message %S names the missing variable" msg)
+        true (contains msg "nosuch");
+      Alcotest.(check bool)
+        (Printf.sprintf "message %S lists the available variables" msg)
+        true (contains msg "x")
+    | exception Not_found -> Alcotest.fail "raised bare Not_found"
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  expect_raise (fun () -> Gp.Solver.lookup sol "nosuch");
+  expect_raise (fun () -> Gp.Solver.env sol "nosuch")
+
+(* --- telemetry --- *)
+
+let test_stats_optimal () =
+  let prob =
+    Gp.Problem.make
+      ~objective:(P.add (P.var "x") (P.var "y"))
+      ~ineqs:
+        [ ("xy>=1", P.of_monomial (M.make 1.0 [ ("x", -1.0); ("y", -1.0) ])) ]
+      ()
+  in
+  let st = Gp.Solver.fresh_stats () in
+  let sol = Gp.Solver.solve ~stats:st prob in
+  check_optimal sol;
+  Alcotest.(check bool) "phase II ran" true (st.Gp.Solver.phase2_outer > 0);
+  Alcotest.(check bool) "newton steps counted" true
+    (st.Gp.Solver.newton_iters >= st.Gp.Solver.phase2_outer);
+  Alcotest.(check bool) "gap is finite" true (Float.is_finite st.Gp.Solver.duality_gap);
+  Alcotest.(check bool)
+    (Printf.sprintf "gap %g certified below tolerance" st.Gp.Solver.duality_gap)
+    true
+    (st.Gp.Solver.duality_gap >= 0.0 && st.Gp.Solver.duality_gap <= 1e-6);
+  (* Passing a sink must not perturb the solution. *)
+  let plain = solve prob in
+  Alcotest.(check bool) "solution unchanged by stats" true
+    (plain.Gp.Solver.values = sol.Gp.Solver.values
+    && Int64.bits_of_float plain.Gp.Solver.objective
+       = Int64.bits_of_float sol.Gp.Solver.objective)
+
+let test_stats_infeasible () =
+  let prob =
+    Gp.Problem.make ~objective:(P.var "x")
+      ~ineqs:
+        [
+          ("x<=0.5", Gp.Problem.le_const (P.var "x") 0.5);
+          ("x>=2", P.of_monomial (M.make 2.0 [ ("x", -1.0) ]));
+        ]
+      ()
+  in
+  let st = Gp.Solver.fresh_stats () in
+  let sol = Gp.Solver.solve ~stats:st prob in
+  Alcotest.(check string) "status" "infeasible" (status_name sol.Gp.Solver.status);
+  Alcotest.(check bool) "gap is nan when phase II never ran" true
+    (Float.is_nan st.Gp.Solver.duality_gap)
+
+let test_stats_no_inequalities () =
+  let prob =
+    Gp.Problem.make
+      ~objective:(P.add (P.var "x") (P.of_monomial (M.var_pow "x" (-1.0))))
+      ()
+  in
+  let st = Gp.Solver.fresh_stats () in
+  let sol = Gp.Solver.solve ~stats:st prob in
+  check_float "objective" 2.0 sol.Gp.Solver.objective;
+  Alcotest.(check (float 0.0)) "gap is exactly 0 without inequalities" 0.0
+    st.Gp.Solver.duality_gap
+
+let test_totals_accumulate () =
+  let s1 = Gp.Solver.fresh_stats () in
+  s1.Gp.Solver.phase1_outer <- 2;
+  s1.Gp.Solver.phase2_outer <- 5;
+  s1.Gp.Solver.newton_iters <- 40;
+  s1.Gp.Solver.backtracks <- 7;
+  s1.Gp.Solver.kkt_regularizations <- 1;
+  s1.Gp.Solver.duality_gap <- 1e-3;
+  let s2 = Gp.Solver.fresh_stats () in
+  s2.Gp.Solver.phase2_outer <- 3;
+  s2.Gp.Solver.newton_iters <- 10;
+  (* s2's gap stays nan (infeasible solve): it must not poison the max. *)
+  let t =
+    Gp.Solver.(accumulate (accumulate zero_totals s1) s2)
+  in
+  Alcotest.(check int) "solves" 2 t.Gp.Solver.solves;
+  Alcotest.(check int) "phase1" 2 t.Gp.Solver.t_phase1_outer;
+  Alcotest.(check int) "phase2" 8 t.Gp.Solver.t_phase2_outer;
+  Alcotest.(check int) "newton" 50 t.Gp.Solver.t_newton_iters;
+  Alcotest.(check int) "backtracks" 7 t.Gp.Solver.t_backtracks;
+  Alcotest.(check int) "kkt" 1 t.Gp.Solver.t_kkt_regularizations;
+  Alcotest.(check (float 0.0)) "nan gap skipped in max" 1e-3
+    t.Gp.Solver.max_duality_gap;
+  (* Accumulation order must not matter. *)
+  let t' = Gp.Solver.(accumulate (accumulate zero_totals s2) s1) in
+  Alcotest.(check bool) "order-independent" true (t = t')
+
 (* --- properties --- *)
 
 (* Monomial objective with nonnegative exponents over a box [1, u]^2 is
@@ -345,6 +458,92 @@ let prop_solution_feasible =
       | Gp.Solver.Optimal | Gp.Solver.Iteration_limit ->
         Gp.Problem.is_feasible ~tol:1e-5 prob (Gp.Solver.env sol))
 
+(* Random small DGP instances, feasible by construction: a random
+   posynomial objective and a random posynomial constraint g <= cap over
+   the box [1, 8]^2, with cap = slack * g(1, 1) so the all-ones point is
+   strictly feasible.  Whenever the solver claims Optimal, the returned
+   point must (a) violate nothing, (b) not be beaten by a brute-force
+   log-grid scan over the feasible box, and (c) carry a certified gap. *)
+let gen_dgp =
+  QCheck2.Gen.(
+    let term lo = triple (float_range 0.1 5.0) (float_range lo 2.0) (float_range lo 2.0) in
+    triple
+      (list_size (int_range 1 4) (term (-2.0)))
+      (list_size (int_range 1 3) (term 0.1))
+      (float_range 1.2 4.0))
+
+let build_dgp (obj_terms, con_terms, slack) =
+  let posy terms =
+    P.of_monomials (List.map (fun (c, a, b) -> M.make c [ ("x", a); ("y", b) ]) terms)
+  in
+  let g = posy con_terms in
+  let cap = slack *. P.eval (fun _ -> 1.0) g in
+  let u = 8.0 in
+  let prob =
+    Gp.Problem.make ~objective:(posy obj_terms)
+      ~ineqs:
+        [
+          ("g<=cap", Gp.Problem.le_const g cap);
+          ("x>=1", P.of_monomial (M.var_pow "x" (-1.0)));
+          ("y>=1", P.of_monomial (M.var_pow "y" (-1.0)));
+          ("x<=u", Gp.Problem.le_const (P.var "x") u);
+          ("y<=u", Gp.Problem.le_const (P.var "y") u);
+        ]
+      ()
+  in
+  (prob, posy obj_terms, g, cap, u)
+
+let prop_random_dgp_optimal =
+  QCheck2.Test.make ~name:"random feasible DGP: optimal, clean, matches grid"
+    ~count:40 gen_dgp (fun instance ->
+      let prob, objective, g, cap, u = build_dgp instance in
+      let st = Gp.Solver.fresh_stats () in
+      let sol = Gp.Solver.solve ~stats:st prob in
+      match sol.Gp.Solver.status with
+      | Gp.Solver.Infeasible -> false (* feasible by construction *)
+      | Gp.Solver.Iteration_limit ->
+        (* Not certified: only require the point it did return to be
+           feasible (matches the solver's documented contract). *)
+        Gp.Problem.is_feasible ~tol:1e-5 prob (Gp.Solver.env sol)
+      | Gp.Solver.Optimal ->
+        let env = Gp.Solver.env sol in
+        let clean = Gp.Problem.violations ~tol:1e-5 prob env = [] in
+        let grid_best = ref infinity in
+        let steps = 40 in
+        for i = 0 to steps do
+          for j = 0 to steps do
+            let x = exp (log u *. float_of_int i /. float_of_int steps) in
+            let y = exp (log u *. float_of_int j /. float_of_int steps) in
+            let at = function "x" -> x | _ -> y in
+            if P.eval at g <= cap then begin
+              let v = P.eval at objective in
+              if v < !grid_best then grid_best := v
+            end
+          done
+        done;
+        clean
+        && sol.Gp.Solver.objective <= !grid_best *. 1.001
+        && Float.is_finite st.Gp.Solver.duality_gap)
+
+(* The same instances with an added constant constraint c <= 1, c > 1:
+   the solver must certify infeasibility, and the certificate is the
+   constant constraint itself — it is violated at every point, which
+   Gp.Problem.violations confirms without reference to the solver. *)
+let prop_constant_infeasible =
+  QCheck2.Gen.(pair gen_dgp (float_range 1.01 10.0)) |> fun gen ->
+  QCheck2.Test.make ~name:"constant-violated DGP is reported infeasible" ~count:40
+    gen (fun (instance, c) ->
+      let prob0, _, _, _, _ = build_dgp instance in
+      let prob =
+        Gp.Problem.make
+          ~objective:(Gp.Problem.objective prob0)
+          ~ineqs:(("impossible", P.of_monomial (M.const c)) :: Gp.Problem.ineqs prob0)
+          ~eqs:(Gp.Problem.eqs prob0) ()
+      in
+      let sol = solve prob in
+      sol.Gp.Solver.status = Gp.Solver.Infeasible
+      && List.mem_assoc "impossible" (Gp.Problem.violations prob (fun _ -> 1.0)))
+
 let () =
   Alcotest.run "gp"
     [
@@ -363,6 +562,15 @@ let () =
         [
           Alcotest.test_case "violations report" `Quick test_violations_report;
           Alcotest.test_case "zero objective" `Quick test_zero_objective_rejected;
+          Alcotest.test_case "lookup missing variable" `Quick test_lookup_missing;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "stats on optimal" `Quick test_stats_optimal;
+          Alcotest.test_case "stats on infeasible" `Quick test_stats_infeasible;
+          Alcotest.test_case "stats without inequalities" `Quick
+            test_stats_no_inequalities;
+          Alcotest.test_case "totals accumulate" `Quick test_totals_accumulate;
         ] );
       ( "infeasibility",
         [
@@ -371,5 +579,11 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_box_corner; prop_beats_grid; prop_solution_feasible ] );
+          [
+            prop_box_corner;
+            prop_beats_grid;
+            prop_solution_feasible;
+            prop_random_dgp_optimal;
+            prop_constant_infeasible;
+          ] );
     ]
