@@ -1,0 +1,181 @@
+(* Solver-path benchmark: the compiled evaluation kernels + structured
+   KKT + sweep reuse (the current defaults) against the legacy
+   list-of-closures path, on a fixed zoo subset, single-threaded so the
+   comparison measures solver work rather than scheduling.
+
+   Emits BENCH_solver.json (flat one-level object; format documented in
+   README.md) so the perf trajectory has a recorded baseline —
+   tools/perfdiff.sh diffs two such files and fails on regression.
+
+   Usage:
+     dune exec bench/solver.exe                         # zoo subset, repeat 2
+     dune exec bench/solver.exe -- --layers resnet-2 --repeat 3
+     dune exec bench/solver.exe -- --max-choices 4 --out /tmp/b.json
+     dune exec bench/solver.exe -- --smoke              # tiny CI smoke run *)
+
+module O = Thistle.Optimize
+module F = Thistle.Formulate
+module Arch = Archspec.Arch
+module Conv = Workload.Conv
+module Json = Obs.Json
+
+let tech = Archspec.Technology.table3
+
+type options = {
+  layers : string list;
+  repeat : int;
+  max_choices : int;
+  out : string;
+}
+
+let parse_args () =
+  let layers = ref [ "resnet-2"; "resnet-8"; "yolo-2" ] in
+  let repeat = ref 2 in
+  let max_choices = ref O.default_config.O.max_choices in
+  let out = ref "BENCH_solver.json" in
+  let int_arg flag s =
+    match int_of_string_opt s with
+    | Some n when n > 0 -> n
+    | _ ->
+      Printf.eprintf "%s: invalid value %S, expected a positive integer\n" flag s;
+      exit 2
+  in
+  let rec go = function
+    | [] -> ()
+    | "--layers" :: spec :: rest ->
+      layers := String.split_on_char ',' spec;
+      go rest
+    | "--repeat" :: n :: rest ->
+      repeat := int_arg "--repeat" n;
+      go rest
+    | "--max-choices" :: n :: rest ->
+      max_choices := int_arg "--max-choices" n;
+      go rest
+    | "--out" :: file :: rest ->
+      out := file;
+      go rest
+    | "--smoke" :: rest ->
+      (* One small layer, shallow sweep: a seconds-scale sanity run for
+         the @bench alias, not a measurement. *)
+      layers := [ "resnet-2" ];
+      repeat := 1;
+      max_choices := 4;
+      go rest
+    | arg :: _ ->
+      Printf.eprintf
+        "unknown argument %s (expected --layers N,N,..., --repeat N, --max-choices N, \
+         --out FILE, --smoke)\n"
+        arg;
+      exit 2
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  { layers = !layers; repeat = !repeat; max_choices = !max_choices; out = !out }
+
+type measurement = {
+  wall_s : float;  (** best over repeats, whole layer set *)
+  solves : int;  (** logical GP solves (replayed duplicates included) *)
+  newton_steps : int;
+  objective_sum : float;  (** sum of best continuous objectives, sanity *)
+}
+
+let measure options config nests =
+  let one_pass () =
+    let t0 = Unix.gettimeofday () in
+    let acc =
+      List.fold_left
+        (fun (solves, newton, obj) (name, nest) ->
+          match O.dataflow ~config tech Arch.eyeriss F.Energy nest with
+          | Ok r ->
+            let t = r.O.solve_totals in
+            ( solves + t.Gp.Solver.solves,
+              newton + t.Gp.Solver.t_newton_iters,
+              obj +. r.O.best_continuous )
+          | Error msg ->
+            Printf.eprintf "warning: %s failed: %s\n" name msg;
+            (solves, newton, obj))
+        (0, 0, 0.0) nests
+    in
+    (Unix.gettimeofday () -. t0, acc)
+  in
+  let rec loop k best =
+    if k = 0 then best
+    else
+      let dt, acc = one_pass () in
+      let best =
+        match best with Some (dt0, _) when dt0 <= dt -> best | _ -> Some (dt, acc)
+      in
+      loop (k - 1) best
+  in
+  match loop options.repeat None with
+  | Some (wall_s, (solves, newton_steps, objective_sum)) ->
+    { wall_s; solves; newton_steps; objective_sum }
+  | None -> assert false
+
+let () =
+  let options = parse_args () in
+  let nests =
+    List.map
+      (fun name ->
+        match Workload.Zoo.find name with
+        | layer -> (name, Conv.to_nest layer)
+        | exception Not_found ->
+          Printf.eprintf "unknown layer %S; see `thistle layers'\n" name;
+          exit 2)
+      options.layers
+  in
+  let base =
+    { O.default_config with O.jobs = 1; max_choices = options.max_choices }
+  in
+  (* The pre-PR solver path: closure-per-function evaluation, dense LU
+     KKT, no reuse across the sweep. *)
+  let list_config =
+    { base with O.gp_kernel = `List; dedupe = false; warm_start = false }
+  in
+  Printf.printf "solver bench: layers %s, max-choices %d, jobs 1, best of %d run(s)\n"
+    (String.concat "," options.layers)
+    options.max_choices options.repeat;
+  Printf.printf "%-9s %9s %8s %13s %10s\n" "path" "wall s" "solves" "newton steps"
+    "solves/s";
+  let show label (m : measurement) =
+    Printf.printf "%-9s %9.3f %8d %13d %10.1f\n%!" label m.wall_s m.solves
+      m.newton_steps
+      (float_of_int m.solves /. m.wall_s)
+  in
+  let listed = measure options list_config nests in
+  show "list" listed;
+  let compiled = measure options base nests in
+  show "compiled" compiled;
+  let speedup = listed.wall_s /. compiled.wall_s in
+  Printf.printf "speedup: %.2fx\n" speedup;
+  let drift =
+    Float.abs (listed.objective_sum -. compiled.objective_sum)
+    /. (1.0 +. Float.abs listed.objective_sum)
+  in
+  if drift > 1e-6 then
+    Printf.eprintf
+      "warning: continuous objectives drifted between paths (relative %.3g)\n" drift;
+  let buf = Buffer.create 512 in
+  let f name v b = Json.field b name (fun b -> Json.float b v) in
+  let i name v b = Json.field b name (fun b -> Json.int b v) in
+  let s name v b = Json.field b name (fun b -> Json.str b v) in
+  Json.obj buf
+    [
+      s "bench" "solver";
+      s "layers" (String.concat "," options.layers);
+      i "repeat" options.repeat;
+      i "max_choices" options.max_choices;
+      f "list_wall_s" listed.wall_s;
+      i "list_solves" listed.solves;
+      i "list_newton_steps" listed.newton_steps;
+      f "list_solves_per_s" (float_of_int listed.solves /. listed.wall_s);
+      f "compiled_wall_s" compiled.wall_s;
+      i "compiled_solves" compiled.solves;
+      i "compiled_newton_steps" compiled.newton_steps;
+      f "compiled_solves_per_s" (float_of_int compiled.solves /. compiled.wall_s);
+      f "speedup" speedup;
+    ];
+  Buffer.add_char buf '\n';
+  let oc = open_out options.out in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf "wrote %s\n" options.out

@@ -21,13 +21,20 @@ module Evaluate = Accmodel.Evaluate
 
 let tech = Archspec.Technology.table3
 
-type options = { layer : string; jobs : int list; codesign : bool; repeat : int }
+type options = {
+  layer : string;
+  jobs : int list;
+  codesign : bool;
+  repeat : int;
+  max_choices : int;
+}
 
 let parse_args () =
   let layer = ref "resnet-2" in
   let jobs = ref [ 1; 2; 4 ] in
   let codesign = ref false in
   let repeat = ref 1 in
+  let max_choices = ref Thistle.Optimize.default_config.O.max_choices in
   let int_arg flag s =
     match int_of_string_opt s with
     | Some n when n > 0 -> n
@@ -49,15 +56,24 @@ let parse_args () =
     | "--repeat" :: n :: rest ->
       repeat := int_arg "--repeat" n;
       go rest
+    | "--max-choices" :: n :: rest ->
+      max_choices := int_arg "--max-choices" n;
+      go rest
     | arg :: _ ->
       Printf.eprintf
         "unknown argument %s (expected --layer NAME, --jobs N,N,..., --codesign, \
-         --repeat N)\n"
+         --repeat N, --max-choices N)\n"
         arg;
       exit 2
   in
   go (List.tl (Array.to_list Sys.argv));
-  { layer = !layer; jobs = !jobs; codesign = !codesign; repeat = !repeat }
+  {
+    layer = !layer;
+    jobs = !jobs;
+    codesign = !codesign;
+    repeat = !repeat;
+    max_choices = !max_choices;
+  }
 
 let () =
   let options = parse_args () in
@@ -69,7 +85,7 @@ let () =
       exit 2
   in
   let run jobs =
-    let config = { O.default_config with O.jobs } in
+    let config = { O.default_config with O.jobs; max_choices = options.max_choices } in
     let t0 = Unix.gettimeofday () in
     let result =
       let rec loop k last =

@@ -90,6 +90,41 @@ let jobs_arg =
            the exact sequential path).  The reported mapping and metrics are \
            identical for any value.")
 
+(* Solver-path knobs shared by the sweep-running subcommands: a term
+   that finishes an [Optimize.config] with the requested kernel/reuse
+   settings. *)
+let solver_opts =
+  let kernel_arg =
+    Arg.(
+      value
+      & opt (Arg.enum [ ("compiled", `Compiled); ("list", `List) ]) `Compiled
+      & info [ "gp-kernel" ] ~docv:"KERNEL"
+          ~doc:
+            "GP solver evaluation path: $(b,compiled) (contiguous exponent rows, \
+             structured KKT solves) or $(b,list) (the legacy closure-per-function \
+             reference path, kept for benchmarks and differential runs).")
+  in
+  let no_dedupe_arg =
+    Arg.(
+      value & flag
+      & info [ "no-dedupe" ]
+          ~doc:
+            "Solve structurally identical programs repeatedly instead of replaying \
+             the cached solution.  Results are bit-identical either way.")
+  in
+  let no_warm_arg =
+    Arg.(
+      value & flag
+      & info [ "no-warm-start" ]
+          ~doc:
+            "Start every solve from the least-norm point instead of seeding \
+             non-pinned placements from their choice's pinned solution.")
+  in
+  let build gp_kernel no_dedupe no_warm config =
+    { config with O.gp_kernel; dedupe = not no_dedupe; warm_start = not no_warm }
+  in
+  Term.(const build $ kernel_arg $ no_dedupe_arg $ no_warm_arg)
+
 let lint_mode_arg =
   Arg.(
     value
@@ -205,7 +240,8 @@ let layers_cmd =
     Term.(const (fun () () -> run ()) $ setup_logs $ const ())
 
 let optimize_cmd =
-  let run () layer objective arch top_choices emit emit_code node jobs lint trace metrics =
+  let run () layer objective arch top_choices emit emit_code node jobs lint solver trace
+      metrics =
     match nest_of_layer layer with
     | Error msg ->
       prerr_endline msg;
@@ -213,7 +249,7 @@ let optimize_cmd =
     | Ok nest ->
       with_obs ~trace ~metrics @@ fun () -> begin
         let tech = tech_of_node node in
-        let config = { O.default_config with O.top_choices; jobs; lint } in
+        let config = solver { O.default_config with O.top_choices; jobs; lint } in
         match O.dataflow ~config tech arch objective nest with
         | Error msg ->
           prerr_endline msg;
@@ -230,8 +266,8 @@ let optimize_cmd =
           setting).")
     Term.(
       const run $ setup_logs $ layer_arg $ objective_arg $ arch_args $ top_choices_arg
-      $ emit_arg $ emit_code_arg $ node_arg $ jobs_arg $ lint_mode_arg $ trace_arg
-      $ metrics_out_arg)
+      $ emit_arg $ emit_code_arg $ node_arg $ jobs_arg $ lint_mode_arg $ solver_opts
+      $ trace_arg $ metrics_out_arg)
 
 let codesign_cmd =
   let area_arg =
@@ -241,7 +277,8 @@ let codesign_cmd =
       & info [ "area" ] ~docv:"UM2"
           ~doc:"Chip-area budget in um^2 (defaults to the Eyeriss area).")
   in
-  let run () layer objective area top_choices emit emit_code node jobs lint trace metrics =
+  let run () layer objective area top_choices emit emit_code node jobs lint solver trace
+      metrics =
     match nest_of_layer layer with
     | Error msg ->
       prerr_endline msg;
@@ -252,7 +289,7 @@ let codesign_cmd =
         let area_budget =
           match area with Some a -> a | None -> Arch.eyeriss_area tech
         in
-        let config = { O.default_config with O.top_choices; jobs; lint } in
+        let config = solver { O.default_config with O.top_choices; jobs; lint } in
         match O.codesign ~config tech ~area_budget objective nest with
         | Error msg ->
           prerr_endline msg;
@@ -270,8 +307,8 @@ let codesign_cmd =
           layer under an area budget (Fig. 5 setting).")
     Term.(
       const run $ setup_logs $ layer_arg $ objective_arg $ area_arg $ top_choices_arg
-      $ emit_arg $ emit_code_arg $ node_arg $ jobs_arg $ lint_mode_arg $ trace_arg
-      $ metrics_out_arg)
+      $ emit_arg $ emit_code_arg $ node_arg $ jobs_arg $ lint_mode_arg $ solver_opts
+      $ trace_arg $ metrics_out_arg)
 
 let mapper_cmd =
   let trials_arg =
@@ -428,11 +465,11 @@ let pipeline_cmd =
       & opt (some (Arg.enum Workload.Zoo.pipelines)) None
       & info [ "pipeline" ] ~docv:"NAME" ~doc)
   in
-  let run () layers objective jobs lint trace metrics =
+  let run () layers objective jobs lint solver trace metrics =
     with_obs ~trace ~metrics @@ fun () ->
     let nests = List.map Conv.to_nest layers in
     let area_budget = Arch.eyeriss_area tech in
-    let config = { O.default_config with O.jobs; lint } in
+    let config = solver { O.default_config with O.jobs; lint } in
     let entries = Pl.run_layers ~config tech (F.Codesign { area_budget }) objective nests in
     (match Pl.dominant_arch objective entries with
     | Error msg ->
@@ -467,7 +504,7 @@ let pipeline_cmd =
           dominant layer's shared architecture (Fig. 6 / Fig. 8 flow).")
     Term.(
       const run $ setup_logs $ pipeline_arg $ objective_arg $ jobs_arg $ lint_mode_arg
-      $ trace_arg $ metrics_out_arg)
+      $ solver_opts $ trace_arg $ metrics_out_arg)
 
 let metrics_cmd =
   let json_arg =
@@ -481,7 +518,7 @@ let metrics_cmd =
       & opt (some string) None
       & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write the dump to $(docv) instead of stdout.")
   in
-  let run () layer objective top_choices node jobs lint json out =
+  let run () layer objective top_choices node jobs lint solver json out =
     match nest_of_layer layer with
     | Error msg ->
       prerr_endline msg;
@@ -489,7 +526,7 @@ let metrics_cmd =
     | Ok nest ->
       let tech = tech_of_node node in
       let area_budget = Arch.eyeriss_area tech in
-      let config = { O.default_config with O.top_choices; jobs; lint } in
+      let config = solver { O.default_config with O.top_choices; jobs; lint } in
       Obs.Metrics.reset ();
       Obs.Metrics.enable ();
       let result = O.codesign ~config tech ~area_budget objective nest in
@@ -525,7 +562,7 @@ let metrics_cmd =
           pool queue waits) as text or JSON.")
     Term.(
       const run $ setup_logs $ layer_arg $ objective_arg $ top_choices_arg $ node_arg
-      $ jobs_arg $ lint_mode_arg $ json_arg $ out_arg)
+      $ jobs_arg $ lint_mode_arg $ solver_opts $ json_arg $ out_arg)
 
 let main =
   let info =

@@ -8,6 +8,9 @@ type config = {
   min_pe_utilization : float;
   jobs : int;
   lint : Analysis.Lint.mode;
+  dedupe : bool;
+  warm_start : bool;
+  gp_kernel : Gp.Solver.kernel;
 }
 
 let default_config =
@@ -21,6 +24,9 @@ let default_config =
     min_pe_utilization = 0.0;
     jobs = Domain.recommended_domain_count ();
     lint = Analysis.Lint.Enforce;
+    dedupe = true;
+    warm_start = true;
+    gp_kernel = `Compiled;
   }
 
 type report = {
@@ -42,6 +48,9 @@ let m_phase2 = Obs.Metrics.counter "solver.phase2_outer_iters"
 let m_newton = Obs.Metrics.counter "solver.newton_steps"
 let m_backtracks = Obs.Metrics.counter "solver.backtracks"
 let m_kkt = Obs.Metrics.counter "solver.kkt_regularizations"
+let m_cache_hits = Obs.Metrics.counter "solver.cache_hits"
+let m_warm_starts = Obs.Metrics.counter "solver.warm_starts"
+let m_chol_fallbacks = Obs.Metrics.counter "solver.cholesky_fallbacks"
 let g_gap = Obs.Metrics.gauge "solver.max_duality_gap"
 
 (* Fed from the sequentially-accumulated totals (not from inside the
@@ -55,77 +64,203 @@ let feed_solver_metrics (t : Gp.Solver.totals) =
   Obs.Metrics.add m_newton t.Gp.Solver.t_newton_iters;
   Obs.Metrics.add m_backtracks t.Gp.Solver.t_backtracks;
   Obs.Metrics.add m_kkt t.Gp.Solver.t_kkt_regularizations;
+  Obs.Metrics.add m_chol_fallbacks t.Gp.Solver.t_cholesky_fallbacks;
   Obs.Metrics.observe_max g_gap t.Gp.Solver.max_duality_gap
+
+(* Canonical structural key of a GP: the exact coefficient and exponent
+   bits of every term, in formulation order, with constraint names
+   excluded — the solver's behavior depends on names only through the
+   variable set, which the exponent maps carry.  Pairs with equal keys
+   are the same mathematical program, so one solve serves all of them. *)
+let problem_key problem =
+  let buf = Buffer.create 1024 in
+  let fl v =
+    Buffer.add_string buf (Printf.sprintf "%Lx;" (Int64.bits_of_float v))
+  in
+  let mono m =
+    fl (Symexpr.Monomial.coeff m);
+    List.iter
+      (fun (x, e) ->
+        Buffer.add_string buf x;
+        Buffer.add_char buf ':';
+        fl e)
+      (Symexpr.Monomial.exponents m);
+    Buffer.add_char buf '|'
+  in
+  let poly p =
+    List.iter mono (Symexpr.Posynomial.terms p);
+    Buffer.add_char buf '#'
+  in
+  poly (Gp.Problem.objective problem);
+  Buffer.add_char buf 'I';
+  List.iter (fun (_, p) -> poly p) (Gp.Problem.ineqs problem);
+  Buffer.add_char buf 'E';
+  List.iter
+    (fun (_, m) ->
+      mono m;
+      Buffer.add_char buf '#')
+    (Gp.Problem.eqs problem);
+  Buffer.contents buf
 
 let run ?(config = default_config) tech arch_mode objective nest =
   let jobs = Int.max 1 config.jobs in
   let plan = Permutations.enumerate ~max_choices:config.max_choices nest in
-  let solved =
-    (* Inner exploration: one GP per (permutation choice, window-dim
-       placement) pair.  The pairs are independent — Formulate.build and
-       Gp.Solver.solve share no mutable state — so they run as one batch
-       on the shared domain pool.  Exec.Par.filter_map preserves the
-       sequential (choice-major, placement-minor) order, so the result is
-       bit-identical for any [jobs]. *)
-    let placements =
-      if config.explore_placements then plan.Permutations.placements
-      else [ plan.Permutations.pinned ]
-    in
-    let pairs =
-      List.concat_map
-        (fun choice_vol -> List.map (fun placement -> (choice_vol, placement)) placements)
-        plan.Permutations.choices
-    in
-    let solve_one (choice_vol, placement) =
-      let instance =
-        Obs.Trace.span "formulate" (fun () ->
-            Formulate.build ~placement tech arch_mode objective plan choice_vol)
-      in
-      Analysis.Lint.gate config.lint (Formulate.lint instance);
-      let st = Gp.Solver.fresh_stats () in
-      let solution =
-        Obs.Trace.span "solve"
-          ~attrs:[ ("provenance", instance.Formulate.provenance) ]
-          (fun () -> Gp.Solver.solve ~tol:config.gp_tol ~stats:st instance.Formulate.problem)
-      in
-      let usable =
-        match solution.Gp.Solver.status with
-        | Gp.Solver.Infeasible -> None
-        | Gp.Solver.Optimal | Gp.Solver.Iteration_limit ->
-          if not (Float.is_finite solution.Gp.Solver.objective) then None
-          else begin
-            (* Post-solve certificate: a point with non-finite coordinates
-               or constraint evaluations is discarded even when the solver
-               reported a finite objective for it. *)
-            let cert =
-              Analysis.Certificate.check ~provenance:instance.Formulate.provenance
-                instance.Formulate.problem
-                (Formulate.solution_env instance solution)
-            in
-            if Analysis.Certificate.hard_failure cert then begin
-              Log.debug (fun m ->
-                  m "%s: certificate rejected solution: %s"
-                    instance.Formulate.provenance
-                    (Analysis.Diagnostic.summary cert.Analysis.Certificate.diagnostics));
-              None
-            end
-            else Some (instance, solution)
-          end
-      in
-      (usable, st)
-    in
-    (* A lint rejection aborts the whole sweep: every pair of one layer
-       shares the formulation code, so one malformed instance means the
-       model itself is wrong, not that one choice is unlucky. *)
-    try Ok (Exec.Par.map ~jobs solve_one pairs)
+  let placements =
+    if config.explore_placements then plan.Permutations.placements
+    else [ plan.Permutations.pinned ]
+  in
+  let nplac = Int.max 1 (List.length placements) in
+  let pairs =
+    List.concat_map
+      (fun choice_vol -> List.map (fun placement -> (choice_vol, placement)) placements)
+      plan.Permutations.choices
+  in
+  let npairs = List.length pairs in
+  (* Stage A: formulate, lint and key every (choice, placement) pair.
+     The pairs are independent — Formulate.build shares no mutable state
+     — and Exec.Par.map preserves sequential order, so the stage is
+     bit-identical for any [jobs].  A lint rejection aborts the whole
+     sweep: every pair of one layer shares the formulation code, so one
+     malformed instance means the model itself is wrong, not that one
+     choice is unlucky. *)
+  let formulated =
+    try
+      Ok
+        (Exec.Par.map ~jobs
+           (fun (choice_vol, placement) ->
+             let instance =
+               Obs.Trace.span "formulate" (fun () ->
+                   Formulate.build ~placement tech arch_mode objective plan choice_vol)
+             in
+             Analysis.Lint.gate config.lint (Formulate.lint instance);
+             (instance, problem_key instance.Formulate.problem))
+           pairs)
     with Analysis.Lint.Rejected diags ->
       Error
         (Printf.sprintf "optimize: lint rejected formulation: %s"
            (Analysis.Diagnostic.summary diags))
   in
-  match solved with
+  match formulated with
   | Error _ as e -> e
-  | Ok attempts ->
+  | Ok formulated ->
+  let inst = Array.of_list formulated in
+  (* Solve schedule: two waves with sweep-level reuse.
+
+     Wave 1 solves the pinned-placement pair of every choice (pair
+     indices [c * nplac]) cold, deduplicating identical programs onto
+     their first occurrence in enumeration order.  Wave 2 solves the
+     remaining placements, deduplicating against everything already
+     keyed, and warm-starting each representative from its own choice's
+     pinned solution — which wave 1 always provides.
+
+     Wave membership, dedup representatives and warm-start sources are
+     all functions of the enumeration order alone (never of timing or
+     worker count), and Exec.Par.map preserves order within each wave,
+     so the whole schedule is bit-identical for any [jobs]. *)
+  let results : (Gp.Solver.solution * Gp.Solver.stats) option array =
+    Array.make npairs None
+  in
+  let key_rep = Hashtbl.create (2 * npairs) in
+  let cache_hits = ref 0 in
+  let warm_starts = ref 0 in
+  let solve_pair ?warm_start i =
+    let instance, _ = inst.(i) in
+    let st = Gp.Solver.fresh_stats () in
+    let solution =
+      Obs.Trace.span "solve"
+        ~attrs:[ ("provenance", instance.Formulate.provenance) ]
+        (fun () ->
+          Gp.Solver.solve ~tol:config.gp_tol ~stats:st ~kernel:config.gp_kernel
+            ?warm_start instance.Formulate.problem)
+    in
+    (solution, st)
+  in
+  (* Replaying a cached solve copies the representative's telemetry
+     into a fresh stats record, so [solve_totals] keeps counting
+     logical solves exactly as an undeduplicated sweep would; physical
+     solver work is [solves - cache_hits]. *)
+  let replay i =
+    let _, key = inst.(i) in
+    let rep = Hashtbl.find key_rep key in
+    let solution, rep_st = Option.get results.(rep) in
+    let st = Gp.Solver.fresh_stats () in
+    Gp.Solver.copy_stats ~into:st rep_st;
+    incr cache_hits;
+    results.(i) <- Some (solution, st)
+  in
+  let is_rep i =
+    let _, key = inst.(i) in
+    if config.dedupe && Hashtbl.mem key_rep key then false
+    else begin
+      Hashtbl.replace key_rep key i;
+      true
+    end
+  in
+  let pinned_idx = List.init (npairs / nplac) (fun c -> c * nplac) in
+  let other_idx =
+    List.filter (fun i -> i mod nplac <> 0) (List.init npairs Fun.id)
+  in
+  (* Wave 1: pinned placements, cold. *)
+  let wave1 = List.filter is_rep pinned_idx in
+  let solved1 = Exec.Par.map ~jobs (fun i -> solve_pair i) wave1 in
+  List.iter2 (fun i r -> results.(i) <- Some r) wave1 solved1;
+  List.iter (fun i -> if results.(i) = None then replay i) pinned_idx;
+  (* Wave 2: remaining placements, warm-started from the choice's
+     pinned solution when it is usable. *)
+  let warm_of i =
+    if not config.warm_start then None
+    else
+      let pinned = i / nplac * nplac in
+      match results.(pinned) with
+      | Some (sol, _)
+        when sol.Gp.Solver.status <> Gp.Solver.Infeasible
+             && sol.Gp.Solver.values <> [] ->
+        Some sol.Gp.Solver.values
+      | _ -> None
+  in
+  let wave2 =
+    List.map (fun i -> (i, warm_of i)) (List.filter is_rep other_idx)
+  in
+  List.iter (fun (_, w) -> if w <> None then incr warm_starts) wave2;
+  let solved2 =
+    Exec.Par.map ~jobs (fun (i, warm_start) -> solve_pair ?warm_start i) wave2
+  in
+  List.iter2 (fun (i, _) r -> results.(i) <- Some r) wave2 solved2;
+  List.iter (fun i -> if results.(i) = None then replay i) other_idx;
+  (* Stage C: certificate-check every pair against its (possibly
+     replayed) solution, again order-preserving and in parallel. *)
+  let attempts =
+    Exec.Par.map ~jobs
+      (fun i ->
+        let instance, _ = inst.(i) in
+        let solution, st = Option.get results.(i) in
+        let usable =
+          match solution.Gp.Solver.status with
+          | Gp.Solver.Infeasible -> None
+          | Gp.Solver.Optimal | Gp.Solver.Iteration_limit ->
+            if not (Float.is_finite solution.Gp.Solver.objective) then None
+            else begin
+              (* Post-solve certificate: a point with non-finite coordinates
+                 or constraint evaluations is discarded even when the solver
+                 reported a finite objective for it. *)
+              let cert =
+                Analysis.Certificate.check ~provenance:instance.Formulate.provenance
+                  instance.Formulate.problem
+                  (Formulate.solution_env instance solution)
+              in
+              if Analysis.Certificate.hard_failure cert then begin
+                Log.debug (fun m ->
+                    m "%s: certificate rejected solution: %s"
+                      instance.Formulate.provenance
+                      (Analysis.Diagnostic.summary cert.Analysis.Certificate.diagnostics));
+                None
+              end
+              else Some (instance, solution)
+            end
+        in
+        (usable, st))
+      (List.init npairs Fun.id)
+  in
   (* Accumulate telemetry over every solve (feasible or not), in the
      deterministic sequential order Exec.Par.map preserves. *)
   let solve_totals =
@@ -134,6 +269,8 @@ let run ?(config = default_config) tech arch_mode objective nest =
       Gp.Solver.zero_totals attempts
   in
   feed_solver_metrics solve_totals;
+  Obs.Metrics.add m_cache_hits !cache_hits;
+  Obs.Metrics.add m_warm_starts !warm_starts;
   let solved = List.filter_map fst attempts in
   match solved with
   | [] ->
@@ -143,9 +280,10 @@ let run ?(config = default_config) tech arch_mode objective nest =
     Error "optimize: no permutation choice produced a feasible program"
   | solved ->
     Log.info (fun m ->
-        m "%s: %d/%d choices solved (raw %d)" (Workload.Nest.name nest)
-          (List.length solved) (List.length plan.Permutations.choices)
-          plan.Permutations.raw_count);
+        m "%s: %d/%d choices solved (raw %d, %d deduped, %d warm)"
+          (Workload.Nest.name nest) (List.length solved)
+          (List.length plan.Permutations.choices) plan.Permutations.raw_count
+          !cache_hits !warm_starts);
     let ranked =
       (* List.sort is stable, and [solved] arrives in sequential order, so
          ties keep the deterministic enumeration order. *)

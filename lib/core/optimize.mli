@@ -37,9 +37,35 @@ type config = {
           are additionally certified post-solve
           ({!Analysis.Certificate.check}); points with non-finite
           coordinates or constraint values are discarded in every mode. *)
+  dedupe : bool;
+      (** solve each structurally identical GP once per sweep (canonical
+          coefficient/exponent key, constraint names excluded) and replay
+          the cached solution and telemetry for its duplicates (default
+          [true]).  Replays are bit-identical to re-solving, so results
+          do not depend on this flag; [solver.cache_hits] counts them. *)
+  warm_start : bool;
+      (** seed each non-pinned placement's solve from its own choice's
+          pinned-placement solution (default [true]).  The warm source is
+          a function of the enumeration order alone, so results stay
+          bit-identical across [jobs]; against cold starts the converged
+          optimum may differ in low-order float bits (the iteration path
+          changes), never in feasibility or ranking beyond solver
+          tolerance.  [solver.warm_starts] counts seeded solves. *)
+  gp_kernel : Gp.Solver.kernel;
+      (** solver evaluation/KKT strategy (default [`Compiled]); [`List]
+          selects the legacy closure-per-function path, kept as the
+          reference baseline for benchmarks and differential tests. *)
 }
 
 val default_config : config
+
+val problem_key : Gp.Problem.t -> string
+(** Canonical structural key backing [dedupe]: the exact coefficient and
+    exponent bits of every term in formulation order, with constraint
+    names excluded (the solver sees names only through the variable set,
+    which the exponent maps carry).  Two problems with equal keys are the
+    same mathematical program, so one solve serves both.  Exposed for
+    tests; the key format is not a stability guarantee. *)
 
 type report = {
   outcome : Integerize.outcome;

@@ -1,0 +1,288 @@
+module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+module M = Symexpr.Monomial
+module P = Symexpr.Posynomial
+
+(* One compiled convex function
+
+     F(y) = log sum_k exp(row_k . y + b_k)  +  lin . y  +  lin_const
+
+   (the log-sum-exp part absent when [nterms = 0]).  The exponent rows
+   are stored as one contiguous sparsity index: term [k]'s nonzero
+   entries are [idx]/[coef] positions [starts.(k) .. starts.(k+1) - 1],
+   ascending by variable index.  Most monomial rows of a Thistle
+   formulation touch <= 4 of the ~12 problem variables, so the tight
+   loops below do a small fraction of the work of the dense
+   [Smooth.log_sum_exp] walk while executing the {e same} float
+   operations in the {e same} order — see the bit-identity note in the
+   interface. *)
+type t = {
+  n : int;
+  nterms : int;
+  starts : int array;
+  idx : int array;
+  coef : float array;
+  b : float array;
+  lin_idx : int array;
+  lin_coef : float array;
+  lin_const : float;
+  support : int array;
+  es : float array;  (* per-term scratch: exponents, then softmax weights *)
+}
+
+let dim t = t.n
+
+let support t = t.support
+
+let num_terms t = t.nterms
+
+let merge_support lists =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun l -> Array.iter (fun i -> Hashtbl.replace tbl i ()) l) lists;
+  let s = Array.of_seq (Seq.map fst (Hashtbl.to_seq tbl)) in
+  Array.sort compare s;
+  s
+
+let of_sparse_terms n sparse =
+  if sparse = [] then invalid_arg "Gp.Compiled.of_sparse_terms: empty term list";
+  let nterms = List.length sparse in
+  let starts = Array.make (nterms + 1) 0 in
+  let b = Array.make nterms 0.0 in
+  let total =
+    List.fold_left (fun acc (entries, _) -> acc + List.length entries) 0 sparse
+  in
+  let idx = Array.make total 0 in
+  let coef = Array.make total 0.0 in
+  List.iteri
+    (fun k (entries, bk) ->
+      b.(k) <- bk;
+      let pos = ref starts.(k) in
+      List.iter
+        (fun (i, c) ->
+          if i < 0 || i >= n then
+            invalid_arg "Gp.Compiled.of_sparse_terms: variable index out of range";
+          idx.(!pos) <- i;
+          coef.(!pos) <- c;
+          incr pos)
+        entries;
+      starts.(k + 1) <- !pos)
+    sparse;
+  (* Entries must be ascending within each term so the sparse dot product
+     accumulates in the same order as the dense walk. *)
+  for k = 0 to nterms - 1 do
+    for p = starts.(k) + 1 to starts.(k + 1) - 1 do
+      if idx.(p - 1) >= idx.(p) then
+        invalid_arg "Gp.Compiled.of_sparse_terms: indices not strictly ascending"
+    done
+  done;
+  let row k =
+    Array.init (starts.(k + 1) - starts.(k)) (fun p -> idx.(starts.(k) + p))
+  in
+  {
+    n;
+    nterms;
+    starts;
+    idx;
+    coef;
+    b;
+    lin_idx = [||];
+    lin_coef = [||];
+    lin_const = 0.0;
+    support = merge_support (List.init nterms row);
+    es = Array.make nterms 0.0;
+  }
+
+let of_terms n terms =
+  if terms = [] then invalid_arg "Gp.Compiled.of_terms: empty term list";
+  List.iter
+    (fun (a, _) ->
+      if Vec.dim a <> n then invalid_arg "Gp.Compiled.of_terms: dimension mismatch")
+    terms;
+  let sparse =
+    List.map
+      (fun (a, bk) ->
+        let entries = ref [] in
+        for i = Vec.dim a - 1 downto 0 do
+          if a.(i) <> 0.0 then entries := (i, a.(i)) :: !entries
+        done;
+        (!entries, bk))
+      terms
+  in
+  of_sparse_terms n sparse
+
+(* Lowering straight from a posynomial, given the problem's variable
+   index.  Monomial exponents are sorted by variable name, and the index
+   maps names in that same (sorted) order, so the entries come out
+   ascending by index without an explicit sort. *)
+let of_posynomial n index p =
+  let term m =
+    let entries =
+      List.sort
+        (fun (i, _) (j, _) -> compare i j)
+        (List.map (fun (x, e) -> (Hashtbl.find index x, e)) (M.exponents m))
+    in
+    (entries, log (M.coeff m))
+  in
+  of_sparse_terms n (List.map term (P.terms p))
+
+let affine n entries const =
+  List.iter
+    (fun (i, _) ->
+      if i < 0 || i >= n then invalid_arg "Gp.Compiled.affine: index out of range")
+    entries;
+  let entries = List.sort (fun (i, _) (j, _) -> compare i j) entries in
+  let entries = List.filter (fun (_, c) -> c <> 0.0) entries in
+  {
+    n;
+    nterms = 0;
+    starts = [| 0 |];
+    idx = [||];
+    coef = [||];
+    b = [||];
+    lin_idx = Array.of_list (List.map fst entries);
+    lin_coef = Array.of_list (List.map snd entries);
+    lin_const = const;
+    support = Array.of_list (List.map fst entries);
+    es = [||];
+  }
+
+let extend t extra =
+  if extra < 0 then invalid_arg "Gp.Compiled.extend: negative extension";
+  { t with n = t.n + extra; es = Array.make t.nterms 0.0 }
+
+let add_linear t i c =
+  if i < 0 || i >= t.n then invalid_arg "Gp.Compiled.add_linear: index out of range";
+  if Array.exists (( = ) i) t.lin_idx then
+    invalid_arg "Gp.Compiled.add_linear: index already has a linear term";
+  {
+    t with
+    lin_idx = Array.append t.lin_idx [| i |];
+    lin_coef = Array.append t.lin_coef [| c |];
+    support = merge_support [ t.support; [| i |] ];
+    es = Array.make t.nterms 0.0;
+  }
+
+(* Sparse row dot: identical accumulation order (ascending index) and
+   identical bits to the dense [Vec.dot] for finite [y] — the skipped
+   entries contribute exactly [+0.0] or [-0.0], which never changes a
+   partial sum that started at [+0.0]. *)
+let row_dot t k y =
+  let acc = ref 0.0 in
+  for p = t.starts.(k) to t.starts.(k + 1) - 1 do
+    acc := !acc +. (t.coef.(p) *. y.(t.idx.(p)))
+  done;
+  !acc
+
+let linear_part t y =
+  let acc = ref 0.0 in
+  for p = 0 to Array.length t.lin_idx - 1 do
+    acc := !acc +. (t.lin_coef.(p) *. y.(t.lin_idx.(p)))
+  done;
+  !acc
+
+let lse_value t y =
+  let es = t.es in
+  for k = 0 to t.nterms - 1 do
+    es.(k) <- row_dot t k y +. t.b.(k)
+  done;
+  let m = ref neg_infinity in
+  for k = 0 to t.nterms - 1 do
+    m := Float.max !m es.(k)
+  done;
+  let z = ref 0.0 in
+  for k = 0 to t.nterms - 1 do
+    z := !z +. exp (es.(k) -. !m)
+  done;
+  !m +. log !z
+
+let value t y =
+  let v =
+    if t.nterms = 0 then linear_part t y
+    else if Array.length t.lin_idx = 0 then lse_value t y
+    else lse_value t y +. linear_part t y
+  in
+  if t.lin_const <> 0.0 then v +. t.lin_const else v
+
+let eval_into t y ~grad ~hess =
+  (* Clear only the support entries: the caller's buffers are reused
+     across evaluations of different functions and may hold stale data,
+     but everything outside the support is left untouched by contract. *)
+  let support = t.support in
+  let ns = Array.length support in
+  for a = 0 to ns - 1 do
+    grad.(support.(a)) <- 0.0
+  done;
+  for a = 0 to ns - 1 do
+    for bj = 0 to ns - 1 do
+      Mat.set hess support.(a) support.(bj) 0.0
+    done
+  done;
+  let v_lse =
+    if t.nterms = 0 then 0.0
+    else begin
+      let es = t.es in
+      for k = 0 to t.nterms - 1 do
+        es.(k) <- row_dot t k y +. t.b.(k)
+      done;
+      let m = ref neg_infinity in
+      for k = 0 to t.nterms - 1 do
+        m := Float.max !m es.(k)
+      done;
+      let m = !m in
+      (* Reuse [es] for the softmax weights, then probabilities. *)
+      for k = 0 to t.nterms - 1 do
+        es.(k) <- exp (es.(k) -. m)
+      done;
+      let z = ref 0.0 in
+      for k = 0 to t.nterms - 1 do
+        z := !z +. es.(k)
+      done;
+      let z = !z in
+      let v = m +. log z in
+      for k = 0 to t.nterms - 1 do
+        es.(k) <- es.(k) /. z
+      done;
+      (* grad = sum_k p_k row_k, accumulated term-major like the list
+         walk. *)
+      for k = 0 to t.nterms - 1 do
+        let p = es.(k) in
+        for q = t.starts.(k) to t.starts.(k + 1) - 1 do
+          let i = t.idx.(q) in
+          grad.(i) <- grad.(i) +. (p *. t.coef.(q))
+        done
+      done;
+      (* hess = sum_k p_k row_k row_k^T - grad grad^T.  The rank-one
+         subtraction must use the pure log-sum-exp gradient, before any
+         linear adjustment below. *)
+      for k = 0 to t.nterms - 1 do
+        let p = es.(k) in
+        for q = t.starts.(k) to t.starts.(k + 1) - 1 do
+          let i = t.idx.(q) in
+          let pai = p *. t.coef.(q) in
+          if pai <> 0.0 then
+            for r = t.starts.(k) to t.starts.(k + 1) - 1 do
+              Mat.add_to hess i t.idx.(r) (pai *. t.coef.(r))
+            done
+        done
+      done;
+      for a = 0 to ns - 1 do
+        let i = support.(a) in
+        let gi = grad.(i) in
+        for bj = 0 to ns - 1 do
+          let j = support.(bj) in
+          Mat.add_to hess i j (-.(gi *. grad.(j)))
+        done
+      done;
+      v
+    end
+  in
+  for p = 0 to Array.length t.lin_idx - 1 do
+    let i = t.lin_idx.(p) in
+    grad.(i) <- grad.(i) +. t.lin_coef.(p)
+  done;
+  let v =
+    if t.nterms = 0 then linear_part t y
+    else if Array.length t.lin_idx = 0 then v_lse
+    else v_lse +. linear_part t y
+  in
+  if t.lin_const <> 0.0 then v +. t.lin_const else v

@@ -1,0 +1,74 @@
+(** Compiled evaluation kernels for the barrier solver.
+
+    A {!Smooth.t} built by {!Smooth.log_sum_exp} walks a list of dense
+    [(row, offset)] pairs on every evaluation, touching all [n] problem
+    variables per term even though most monomial rows of a Thistle
+    formulation mention no more than a handful of them.  This module
+    compiles the same function once into contiguous exponent-row arrays
+    with a per-row sparsity index, and evaluates it with tight loops
+    that fill caller-provided gradient/Hessian buffers.
+
+    {2 Bit-identity contract}
+
+    For finite arguments, {!value} and {!eval_into} execute the same
+    floating-point operations in the same order as
+    {!Smooth.log_sum_exp} on the equivalent dense term list, skipping
+    only operations whose operand is an exact zero and whose result is
+    provably bit-identical to not performing them (adding [+0.0]/[-0.0]
+    to partial sums that start at [+0.0] and can never become [-0.0]).
+    Values, gradients and Hessians are therefore {e bit-for-bit equal}
+    to the list path — locked in by a QCheck property in
+    [test/test_compiled.ml].
+
+    A compiled function owns scratch arrays mutated by evaluation: a
+    single value must not be evaluated from two domains concurrently
+    (the solver compiles per [solve] call, which guarantees this). *)
+
+type t
+
+val of_terms : int -> (Linalg.Vec.t * float) list -> t
+(** [of_terms n terms] compiles the same function as
+    [Smooth.log_sum_exp n terms].  Raises [Invalid_argument] on an empty
+    list or a dimension mismatch. *)
+
+val of_sparse_terms : int -> ((int * float) list * float) list -> t
+(** [of_sparse_terms n terms] with terms [(entries, b_k)]; entries are
+    [(variable index, exponent)] and must be strictly ascending by
+    index.  Raises [Invalid_argument] otherwise. *)
+
+val of_posynomial : int -> (string, int) Hashtbl.t -> Symexpr.Posynomial.t -> t
+(** Log-space image of a posynomial under the given variable index —
+    the compiled counterpart of the solver's posynomial lowering. *)
+
+val affine : int -> (int * float) list -> float -> t
+(** [affine n entries c] is [fun y -> sum (i, a) in entries. a * y_i + c]
+    — the compiled counterpart of {!Smooth.linear} (zero Hessian). *)
+
+val extend : t -> int -> t
+(** [extend f extra] views [f] as a function of [dim + extra] variables
+    ignoring the trailing coordinates, like {!Smooth.extend}. *)
+
+val add_linear : t -> int -> float -> t
+(** [add_linear f i c] is [fun y -> f y + c * y_i]; used to build the
+    phase-I function [G(y, s) = f(y) - s].  Raises [Invalid_argument]
+    if [i] already carries a linear term. *)
+
+val dim : t -> int
+
+val num_terms : t -> int
+
+val support : t -> int array
+(** Ascending indices of the variables the function depends on.
+    {!eval_into} writes only these entries of the gradient and only
+    their square in the Hessian. *)
+
+val value : t -> Linalg.Vec.t -> float
+
+val eval_into : t -> Linalg.Vec.t -> grad:Linalg.Vec.t -> hess:Linalg.Mat.t -> float
+(** [eval_into f y ~grad ~hess] returns [f y] and fills the function's
+    gradient and Hessian into the given buffers.  Only the {!support}
+    entries of [grad] and the support-square block of [hess] are
+    written (overwritten, not accumulated); everything else is left
+    untouched, so one pair of buffers can be reused across functions
+    whose supports differ.  Buffers must have the function's dimension;
+    out-of-range accesses are unchecked beyond array bounds. *)

@@ -9,10 +9,12 @@ type t = {
 
 let linear n a b =
   if Vec.dim a <> n then invalid_arg "Smooth.linear: dimension mismatch";
-  let hess = Mat.create n n in
+  (* The (zero) Hessian must be fresh on every [eval]: callers accumulate
+     into returned Hessians, and a shared matrix would leak one call's
+     accumulation into the next. *)
   {
     dim = n;
-    eval = (fun y -> (Vec.dot a y +. b, Vec.copy a, hess));
+    eval = (fun y -> (Vec.dot a y +. b, Vec.copy a, Mat.create n n));
     value = (fun y -> Vec.dot a y +. b);
   }
 

@@ -9,7 +9,8 @@ type t = {
 }
 
 val linear : int -> Linalg.Vec.t -> float -> t
-(** [linear n a b] is [fun y -> a . y + b]. *)
+(** [linear n a b] is [fun y -> a . y + b].  Every [eval] returns a
+    fresh gradient and (zero) Hessian, safe for the caller to mutate. *)
 
 val log_sum_exp : int -> (Linalg.Vec.t * float) list -> t
 (** [log_sum_exp n terms] with terms [(a_k, b_k)] is

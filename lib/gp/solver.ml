@@ -7,6 +7,8 @@ type status = Optimal | Infeasible | Iteration_limit
 
 type solution = { status : status; values : (string * float) list; objective : float }
 
+type kernel = [ `Compiled | `List ]
+
 let lookup sol x =
   match List.assoc_opt x sol.values with
   | Some v -> v
@@ -30,6 +32,7 @@ type stats = {
   mutable newton_iters : int;
   mutable backtracks : int;
   mutable kkt_regularizations : int;
+  mutable cholesky_fallbacks : int;
   mutable duality_gap : float;
 }
 
@@ -40,6 +43,7 @@ let fresh_stats () =
     newton_iters = 0;
     backtracks = 0;
     kkt_regularizations = 0;
+    cholesky_fallbacks = 0;
     duality_gap = nan;
   }
 
@@ -49,7 +53,17 @@ let reset_stats st =
   st.newton_iters <- 0;
   st.backtracks <- 0;
   st.kkt_regularizations <- 0;
+  st.cholesky_fallbacks <- 0;
   st.duality_gap <- nan
+
+let copy_stats ~into st =
+  into.phase1_outer <- st.phase1_outer;
+  into.phase2_outer <- st.phase2_outer;
+  into.newton_iters <- st.newton_iters;
+  into.backtracks <- st.backtracks;
+  into.kkt_regularizations <- st.kkt_regularizations;
+  into.cholesky_fallbacks <- st.cholesky_fallbacks;
+  into.duality_gap <- st.duality_gap
 
 type totals = {
   solves : int;
@@ -58,6 +72,7 @@ type totals = {
   t_newton_iters : int;
   t_backtracks : int;
   t_kkt_regularizations : int;
+  t_cholesky_fallbacks : int;
   max_duality_gap : float;
 }
 
@@ -69,6 +84,7 @@ let zero_totals =
     t_newton_iters = 0;
     t_backtracks = 0;
     t_kkt_regularizations = 0;
+    t_cholesky_fallbacks = 0;
     max_duality_gap = 0.0;
   }
 
@@ -80,6 +96,7 @@ let accumulate t s =
     t_newton_iters = t.t_newton_iters + s.newton_iters;
     t_backtracks = t.t_backtracks + s.backtracks;
     t_kkt_regularizations = t.t_kkt_regularizations + s.kkt_regularizations;
+    t_cholesky_fallbacks = t.t_cholesky_fallbacks + s.cholesky_fallbacks;
     max_duality_gap =
       (if Float.is_finite s.duality_gap then Float.max t.max_duality_gap s.duality_gap
        else t.max_duality_gap);
@@ -87,9 +104,10 @@ let accumulate t s =
 
 let pp_totals ppf t =
   Format.fprintf ppf
-    "solves=%d phase1-outer=%d phase2-outer=%d newton=%d backtracks=%d kkt-reg=%d max-gap=%.3g"
+    "solves=%d phase1-outer=%d phase2-outer=%d newton=%d backtracks=%d kkt-reg=%d \
+     chol-fallback=%d max-gap=%.3g"
     t.solves t.t_phase1_outer t.t_phase2_outer t.t_newton_iters t.t_backtracks
-    t.t_kkt_regularizations t.max_duality_gap
+    t.t_kkt_regularizations t.t_cholesky_fallbacks t.max_duality_gap
 
 let log_src = Logs.Src.create "gp.solver" ~doc:"Geometric-program solver"
 
@@ -117,13 +135,56 @@ let equality_rows n index eqs =
   List.map row eqs
 
 (* ------------------------------------------------------------------ *)
-(* Equality-constrained Newton centering                              *)
+(* Dense KKT path (shared by the list kernel and the compiled         *)
+(* kernel's fallback)                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Newton step keeping A y = const: KKT system
+   [H + reg I, A^T; A, 0] [dy; w] = [-grad; 0], solved densely by LU. *)
+let solve_kkt_dense ~hess ~grad ~rows n p reg =
+  let dim = n + p in
+  let kkt = Mat.create dim dim in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      Mat.set kkt i j (Mat.get hess i j)
+    done;
+    Mat.add_to kkt i i reg
+  done;
+  List.iteri
+    (fun k (a, _) ->
+      for j = 0 to n - 1 do
+        Mat.set kkt (n + k) j a.(j);
+        Mat.set kkt j (n + k) a.(j)
+      done)
+    rows;
+  let rhs = Vec.create dim in
+  for i = 0 to n - 1 do
+    rhs.(i) <- -.grad.(i)
+  done;
+  Vec.slice (Mat.lu_solve kkt rhs) 0 n
+
+let attempt_dense ~st ~hess ~grad ~rows n p =
+  let rec attempt reg tries =
+    match solve_kkt_dense ~hess ~grad ~rows n p reg with
+    | dy -> Some dy
+    | exception Mat.Singular ->
+      if tries <= 0 then None
+      else begin
+        st.kkt_regularizations <- st.kkt_regularizations + 1;
+        attempt (reg *. 100.0) (tries - 1)
+      end
+  in
+  attempt 1e-9 6
+
+(* ------------------------------------------------------------------ *)
+(* Equality-constrained Newton centering — list kernel                *)
 (* ------------------------------------------------------------------ *)
 
 (* Minimize  barrier_t * f0(y) - sum_i log (-f_i(y))  subject to [a] y
    fixed to its value at [y0] (the start must satisfy the equalities and
-   be strictly feasible for the inequalities). *)
-let centering ~st ~barrier_t ~(objective : Smooth.t) ~(ineqs : Smooth.t list) ~rows y0 =
+   be strictly feasible for the inequalities).  This is the pre-compiled
+   reference path, kept verbatim as the benchmark baseline. *)
+let centering_list ~st ~barrier_t ~(objective : Smooth.t) ~(ineqs : Smooth.t list) ~rows y0 =
   let n = Vec.dim y0 in
   let p = List.length rows in
   let phi y =
@@ -160,44 +221,7 @@ let centering ~st ~barrier_t ~(objective : Smooth.t) ~(ineqs : Smooth.t list) ~r
           done
         done)
       ineqs;
-    (* Newton step, keeping A y = const: KKT system
-       [H A^T; A 0] [dy; w] = [-grad; 0]. *)
-    let solve_kkt reg =
-      let dim = n + p in
-      let kkt = Mat.create dim dim in
-      for i = 0 to n - 1 do
-        for j = 0 to n - 1 do
-          Mat.set kkt i j (Mat.get hess i j)
-        done;
-        Mat.add_to kkt i i reg
-      done;
-      List.iteri
-        (fun k (a, _) ->
-          for j = 0 to n - 1 do
-            Mat.set kkt (n + k) j a.(j);
-            Mat.set kkt j (n + k) a.(j)
-          done)
-        rows;
-      let rhs = Vec.create dim in
-      for i = 0 to n - 1 do
-        rhs.(i) <- -.grad.(i)
-      done;
-      Vec.slice (Mat.lu_solve kkt rhs) 0 n
-    in
-    let dy =
-      let rec attempt reg tries =
-        match solve_kkt reg with
-        | dy -> Some dy
-        | exception Mat.Singular ->
-          if tries <= 0 then None
-          else begin
-            st.kkt_regularizations <- st.kkt_regularizations + 1;
-            attempt (reg *. 100.0) (tries - 1)
-          end
-      in
-      attempt 1e-9 6
-    in
-    match dy with
+    match attempt_dense ~st ~hess ~grad ~rows n p with
     | None ->
       (* The KKT system is numerically singular even with heavy
          regularization: accept the current (feasible) point. *)
@@ -232,11 +256,323 @@ let centering ~st ~barrier_t ~(objective : Smooth.t) ~(ineqs : Smooth.t list) ~r
   !y
 
 (* ------------------------------------------------------------------ *)
+(* Equality-constrained Newton centering — compiled kernel            *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-solve workspace: every buffer the compiled centering needs, sized
+   once for a given (n, p) and reused across Newton steps, barrier
+   updates and regularization retries.  The cache lives in the [solve]
+   call (one per kernel instantiation), so concurrent solves never share
+   a workspace. *)
+type ws = {
+  w_grad : Vec.t;  (* combined barrier gradient *)
+  w_hess : Mat.t;  (* combined barrier Hessian *)
+  w_gi : Vec.t;  (* per-function gradient buffer (support entries valid) *)
+  w_hi : Mat.t;  (* per-function Hessian buffer (support block valid) *)
+  w_dy : Vec.t;  (* Newton direction *)
+}
+
+let make_ws n =
+  {
+    w_grad = Vec.create n;
+    w_hess = Mat.create n n;
+    w_gi = Vec.create n;
+    w_hi = Mat.create n n;
+    w_dy = Vec.create n;
+  }
+
+let get_ws cache n =
+  match Hashtbl.find_opt cache n with
+  | Some ws -> ws
+  | None ->
+    let ws = make_ws n in
+    Hashtbl.add cache n ws;
+    ws
+
+(* Orthonormal basis of null(A) by modified Gram-Schmidt: orthonormalize
+   the rows of A, then complete the basis with coordinate vectors; the
+   vectors accepted in the second stage span the nullspace.  Dependent
+   rows are dropped by the norm threshold, so rank deficiency is
+   handled.  Fully deterministic (threshold comparisons only). *)
+let nullspace_basis n rows_arr =
+  let basis = ref [] in
+  let nbasis = ref 0 in
+  let null_cols = ref [] in
+  let orthogonalize v =
+    (* Two MGS passes for numerical orthogonality. *)
+    for _pass = 1 to 2 do
+      List.iter
+        (fun b ->
+          let c = Vec.dot b v in
+          if c <> 0.0 then
+            for i = 0 to n - 1 do
+              v.(i) <- v.(i) -. (c *. b.(i))
+            done)
+        (List.rev !basis)
+    done;
+    Vec.norm2 v
+  in
+  let accept v = basis := v :: !basis; incr nbasis in
+  Array.iter
+    (fun a ->
+      let v = Vec.copy a in
+      let nrm = orthogonalize v in
+      if nrm > 1e-12 then begin
+        for i = 0 to n - 1 do
+          v.(i) <- v.(i) /. nrm
+        done;
+        accept v
+      end)
+    rows_arr;
+  let i = ref 0 in
+  while !nbasis < n && !i < n do
+    let v = Vec.create n in
+    v.(!i) <- 1.0;
+    let nrm = orthogonalize v in
+    if nrm > 1e-8 then begin
+      for j = 0 to n - 1 do
+        v.(j) <- v.(j) /. nrm
+      done;
+      accept v;
+      null_cols := v :: !null_cols
+    end;
+    incr i
+  done;
+  Array.of_list (List.rev !null_cols)
+
+(* Same minimization as [centering_list], but over compiled functions:
+   sparse evaluation into reused buffers and a structured KKT solve.
+   With [Z] an orthonormal basis of null(A) (computed once per centering
+   call — the rows never change within one), the equality-constrained
+   Newton step reduces to the SPD system
+
+     (Z^T H Z + reg I) u = Z^T (-grad),   dy = Z u
+
+   solved by Cholesky.  [A dy = (A Z) u ~ 0] holds to machine precision
+   by construction, unlike a range-space (Schur-complement) elimination,
+   which amplifies roundoff by ||H^-1|| ~ barrier_t / reg along the
+   curvature-free log-linear directions every GP formulation has. *)
+let centering_compiled ~ws_cache ~st ~barrier_t ~(objective : Compiled.t)
+    ~(ineqs : Compiled.t list) ~rows y0 =
+  let n = Vec.dim y0 in
+  let p = List.length rows in
+  let ws = get_ws ws_cache n in
+  let rows_arr = Array.of_list (List.map fst rows) in
+  let zbasis = nullspace_basis n rows_arr in
+  let q = Array.length zbasis in
+  let hz = Array.init q (fun _ -> Vec.create n) in
+  let hr = Mat.create q q in
+  let u = Vec.create q in
+  let phi y =
+    let acc = ref (barrier_t *. Compiled.value objective y) in
+    let ok = ref true in
+    List.iter
+      (fun g ->
+        let v = Compiled.value g y in
+        if v >= 0.0 then ok := false else acc := !acc -. log (-.v))
+      ineqs;
+    if !ok then Some !acc else None
+  in
+  let grad = ws.w_grad in
+  let hess = ws.w_hess in
+  let y = ref (Vec.copy y0) in
+  let converged = ref false in
+  let iter = ref 0 in
+  while (not !converged) && !iter < 80 do
+    incr iter;
+    st.newton_iters <- st.newton_iters + 1;
+    (* Combined gradient/Hessian of barrier_t * f0 - sum log(-f_i).  The
+       buffers are cleared in full: variables appearing only in equality
+       rows are outside every support, yet the factorization reads the
+       whole lower triangle. *)
+    Vec.fill grad 0.0;
+    Mat.fill hess 0.0;
+    ignore (Compiled.eval_into objective !y ~grad:ws.w_gi ~hess:ws.w_hi);
+    let sup0 = Compiled.support objective in
+    let ns0 = Array.length sup0 in
+    for a = 0 to ns0 - 1 do
+      let i = sup0.(a) in
+      grad.(i) <- barrier_t *. ws.w_gi.(i);
+      for b = 0 to ns0 - 1 do
+        let j = sup0.(b) in
+        Mat.set hess i j (barrier_t *. Mat.get ws.w_hi i j)
+      done
+    done;
+    List.iter
+      (fun g ->
+        let vi = Compiled.eval_into g !y ~grad:ws.w_gi ~hess:ws.w_hi in
+        (* vi < 0 by the line-search invariant *)
+        let inv = -1.0 /. vi in
+        let sup = Compiled.support g in
+        let ns = Array.length sup in
+        for a = 0 to ns - 1 do
+          let i = sup.(a) in
+          grad.(i) <- grad.(i) +. (inv *. ws.w_gi.(i))
+        done;
+        for a = 0 to ns - 1 do
+          let i = sup.(a) in
+          let gi_i = ws.w_gi.(i) in
+          for b = 0 to ns - 1 do
+            let j = sup.(b) in
+            Mat.add_to hess i j
+              ((inv *. Mat.get ws.w_hi i j) +. (inv *. inv *. gi_i *. ws.w_gi.(j)))
+          done
+        done)
+      ineqs;
+    (* Structured KKT solve in the nullspace basis: the products
+       [hz_j = H z_j] are fixed for this step, the reduced matrix is
+       rebuilt cheaply on each regularization retry. *)
+    for j = 0 to q - 1 do
+      let zj = zbasis.(j) in
+      let hzj = hz.(j) in
+      for i = 0 to n - 1 do
+        let acc = ref 0.0 in
+        for k = 0 to n - 1 do
+          acc := !acc +. (Mat.get hess i k *. zj.(k))
+        done;
+        hzj.(i) <- !acc
+      done
+    done;
+    let solve_structured reg =
+      for j = 0 to q - 1 do
+        for l = 0 to j do
+          Mat.set hr j l (Vec.dot zbasis.(j) hz.(l))
+        done;
+        Mat.add_to hr j j reg
+      done;
+      Mat.cholesky_in_place hr;
+      for j = 0 to q - 1 do
+        u.(j) <- -.(Vec.dot zbasis.(j) grad)
+      done;
+      Mat.cholesky_solve_in_place hr u;
+      let dy = ws.w_dy in
+      Vec.fill dy 0.0;
+      for j = 0 to q - 1 do
+        let uj = u.(j) in
+        if uj <> 0.0 then begin
+          let zj = zbasis.(j) in
+          for i = 0 to n - 1 do
+            dy.(i) <- dy.(i) +. (uj *. zj.(i))
+          done
+        end
+      done;
+      dy
+    in
+    let dy =
+      let rec attempt reg tries =
+        match solve_structured reg with
+        | dy -> Some dy
+        | exception Mat.Singular ->
+          if tries <= 0 then None
+          else begin
+            st.kkt_regularizations <- st.kkt_regularizations + 1;
+            attempt (reg *. 100.0) (tries - 1)
+          end
+      in
+      match attempt 1e-9 6 with
+      | Some dy -> Some dy
+      | None ->
+        (* Cholesky keeps failing even under heavy regularization (an
+           indefinite Hessian from numerical noise): fall back once to
+           the dense pivoted-LU KKT path before giving up on the step. *)
+        st.cholesky_fallbacks <- st.cholesky_fallbacks + 1;
+        attempt_dense ~st ~hess ~grad ~rows n p
+    in
+    match dy with
+    | None ->
+      (* Singular under every factorization: accept the current
+         (feasible) point. *)
+      converged := true
+    | Some dy ->
+    let slope = Vec.dot grad dy in
+    let lambda2 = -.slope in
+    if lambda2 /. 2.0 < 1e-10 then converged := true
+    else begin
+      (* Backtracking line search with the strict-feasibility invariant. *)
+      let phi0 =
+        match phi !y with
+        | Some v -> v
+        | None -> invalid_arg "Gp.Solver: centering started at an infeasible point"
+      in
+      let rec search alpha tries =
+        if tries <= 0 then None
+        else begin
+          let cand = Vec.axpy alpha dy !y in
+          match phi cand with
+          | Some v when v <= phi0 +. (0.25 *. alpha *. slope) -> Some cand
+          | _ ->
+            st.backtracks <- st.backtracks + 1;
+            search (alpha /. 2.0) (tries - 1)
+        end
+      in
+      match search 1.0 60 with
+      | Some cand -> y := cand
+      | None -> converged := true (* cannot make progress; accept the point *)
+    end
+  done;
+  !y
+
+(* ------------------------------------------------------------------ *)
+(* Kernel dispatch                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The barrier and phase-I drivers are written once against this record
+   so both kernels run through identical control flow — the kernels
+   differ only in how a convex function is represented and evaluated
+   and in how the per-step KKT system is solved. *)
+type 'f ops = {
+  k_value : 'f -> Vec.t -> float;
+  k_centering :
+    st:stats ->
+    barrier_t:float ->
+    objective:'f ->
+    ineqs:'f list ->
+    rows:(Vec.t * float) list ->
+    Vec.t ->
+    Vec.t;
+  k_linear : int -> Vec.t -> float -> 'f;
+  k_minus_slack : int -> 'f -> 'f;
+}
+
+(* G(y, s) = f(y) - s over n + 1 variables. *)
+let minus_slack n (f : Smooth.t) =
+  let base = Smooth.extend f 1 in
+  let value y = base.Smooth.value y -. y.(n) in
+  let eval y =
+    let v, g, h = base.Smooth.eval y in
+    g.(n) <- g.(n) -. 1.0;
+    (v -. y.(n), g, h)
+  in
+  { Smooth.dim = n + 1; eval; value }
+
+let list_ops : Smooth.t ops =
+  {
+    k_value = (fun (f : Smooth.t) y -> f.Smooth.value y);
+    k_centering = centering_list;
+    k_linear = Smooth.linear;
+    k_minus_slack = minus_slack;
+  }
+
+let compiled_ops ws_cache : Compiled.t ops =
+  {
+    k_value = Compiled.value;
+    k_centering = centering_compiled ~ws_cache;
+    k_linear =
+      (fun n a b ->
+        let entries = ref [] in
+        for i = Vec.dim a - 1 downto 0 do
+          if a.(i) <> 0.0 then entries := (i, a.(i)) :: !entries
+        done;
+        Compiled.affine n !entries b);
+    k_minus_slack = (fun n f -> Compiled.add_linear (Compiled.extend f 1) n (-1.0));
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Barrier loop                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let barrier ?(stop_early = fun _ -> false) ~st ~phase ~tol ~max_outer ~objective ~ineqs
-    ~rows y0 =
+let barrier ?(stop_early = fun _ -> false) ~ops ~st ~phase ~tol ~max_outer ~objective
+    ~ineqs ~rows y0 =
   let m = List.length ineqs in
   let tick () =
     match phase with
@@ -245,7 +581,7 @@ let barrier ?(stop_early = fun _ -> false) ~st ~phase ~tol ~max_outer ~objective
   in
   if m = 0 then begin
     if phase = `Two then st.duality_gap <- 0.0;
-    (centering ~st ~barrier_t:1.0 ~objective ~ineqs ~rows y0, true)
+    (ops.k_centering ~st ~barrier_t:1.0 ~objective ~ineqs ~rows y0, true)
   end
   else begin
     let y = ref y0 in
@@ -257,7 +593,7 @@ let barrier ?(stop_early = fun _ -> false) ~st ~phase ~tol ~max_outer ~objective
     while not !done_ do
       incr outer;
       tick ();
-      y := centering ~st ~barrier_t:!t ~objective ~ineqs ~rows !y;
+      y := ops.k_centering ~st ~barrier_t:!t ~objective ~ineqs ~rows !y;
       if stop_early !y then begin
         done_ := true;
         clean := true
@@ -277,38 +613,26 @@ let barrier ?(stop_early = fun _ -> false) ~st ~phase ~tol ~max_outer ~objective
 (* Phase I                                                            *)
 (* ------------------------------------------------------------------ *)
 
-(* G(y, s) = f(y) - s over n + 1 variables. *)
-let minus_slack n (f : Smooth.t) =
-  let base = Smooth.extend f 1 in
-  let value y = base.Smooth.value y -. y.(n) in
-  let eval y =
-    let v, g, h = base.Smooth.eval y in
-    g.(n) <- g.(n) -. 1.0;
-    (v -. y.(n), g, h)
-  in
-  { Smooth.dim = n + 1; eval; value }
-
 (* Find a point satisfying the equalities and strictly satisfying the
    inequalities, or decide that none exists. *)
-let phase1 ~st ~tol ~max_outer n (ineqs : Smooth.t list) rows y0 =
-  let strictly_ok y = List.for_all (fun (g : Smooth.t) -> g.Smooth.value y < -1e-9) ineqs in
+let phase1 ~ops ~st ~tol ~max_outer n ineqs rows y0 =
+  let strictly_ok y = List.for_all (fun g -> ops.k_value g y < -1e-9) ineqs in
   if strictly_ok y0 then Some y0
   else begin
     let n1 = n + 1 in
     let s_dir = Vec.init n1 (fun i -> if i = n then 1.0 else 0.0) in
-    let objective = Smooth.linear n1 s_dir 0.0 in
-    let g_ineqs = List.map (minus_slack n) ineqs in
+    let objective = ops.k_linear n1 s_dir 0.0 in
+    let g_ineqs = List.map (ops.k_minus_slack n) ineqs in
     (* Keep s bounded below so the phase-I problem is bounded. *)
-    let lower = Smooth.linear n1 (Vec.scale (-1.0) s_dir) (-20.0) in
+    let lower = ops.k_linear n1 (Vec.scale (-1.0) s_dir) (-20.0) in
     let rows1 = List.map (fun (a, d) -> (Vec.concat a [| 0.0 |], d)) rows in
     let s0 =
-      List.fold_left (fun acc (g : Smooth.t) -> Float.max acc (g.Smooth.value y0)) 0.0 ineqs
-      +. 1.0
+      List.fold_left (fun acc g -> Float.max acc (ops.k_value g y0)) 0.0 ineqs +. 1.0
     in
     let start = Vec.concat y0 [| s0 |] in
     let stop_early y = y.(n) < -0.5 in
     let y1, _ =
-      barrier ~stop_early ~st ~phase:`One ~tol ~max_outer ~objective
+      barrier ~stop_early ~ops ~st ~phase:`One ~tol ~max_outer ~objective
         ~ineqs:(lower :: g_ineqs) ~rows:rows1 start
     in
     let y = Vec.slice y1 0 n in
@@ -342,15 +666,48 @@ let least_norm_start n rows =
       arr;
     y
 
-let solve ?(tol = 1e-8) ?(max_outer = 60) ?stats problem =
+(* Log-space start seeded from a prior solution of a structurally close
+   problem: overlay the warm values on the least-norm equality solution,
+   then project back onto the equality manifold ([y <- y + A^T z] with
+   [(A A^T + eps I) z = d - A y]), since the warm point satisfied a
+   {e different} problem's equalities. *)
+let warm_point n index vars rows warm =
+  let y = least_norm_start n rows in
+  List.iter
+    (fun x ->
+      match List.assoc_opt x warm with
+      | Some v when Float.is_finite v && v > 0.0 -> y.(Hashtbl.find index x) <- log v
+      | _ -> ())
+    vars;
+  match rows with
+  | [] -> y
+  | _ ->
+    (try
+       let p = List.length rows in
+       let arr = Array.of_list rows in
+       let gram =
+         Mat.init p p (fun i j ->
+             Vec.dot (fst arr.(i)) (fst arr.(j)) +. if i = j then 1e-12 else 0.0)
+       in
+       let d = Vec.init p (fun i -> snd arr.(i) -. Vec.dot (fst arr.(i)) y) in
+       let z = Mat.lu_solve gram d in
+       Array.iteri
+         (fun i (a, _) ->
+           for j = 0 to n - 1 do
+             y.(j) <- y.(j) +. (z.(i) *. a.(j))
+           done)
+         arr;
+       y
+     with Mat.Singular -> least_norm_start n rows)
+
+let solve ?(tol = 1e-8) ?(max_outer = 60) ?stats ?warm_start ?(kernel = `Compiled)
+    problem =
   let st = match stats with Some st -> st | None -> fresh_stats () in
   reset_stats st;
   let vars = Problem.variables problem in
   let n = List.length vars in
   let index = Hashtbl.create (2 * n) in
   List.iteri (fun i x -> Hashtbl.replace index x i) vars;
-  let objective = compile_posynomial n index (Problem.objective problem) in
-  let ineqs = List.map (fun (_, p) -> compile_posynomial n index p) (Problem.ineqs problem) in
   let rows0 = equality_rows n index (Problem.eqs problem) in
   (* Constant equalities reduce to 0 = d: inconsistent unless d ~ 0. *)
   let inconsistent = ref false in
@@ -376,16 +733,34 @@ let solve ?(tol = 1e-8) ?(max_outer = 60) ?stats problem =
        program rather than escaping to the caller: the driver treats such
        choices as unusable and moves on. *)
     match
-      let y0 = least_norm_start n rows in
-      match phase1 ~st ~tol:1e-6 ~max_outer n ineqs rows y0 with
-      | None ->
-        Log.debug (fun m -> m "phase I failed: problem infeasible");
-        { status = Infeasible; values = []; objective = nan }
-      | Some y_feas ->
-        let y_opt, clean =
-          barrier ~st ~phase:`Two ~tol ~max_outer ~objective ~ineqs ~rows y_feas
-        in
-        extract (if clean then Optimal else Iteration_limit) y_opt
+      let y0 =
+        match warm_start with
+        | None -> least_norm_start n rows
+        | Some warm -> warm_point n index vars rows warm
+      in
+      let run ops objective ineqs =
+        match phase1 ~ops ~st ~tol:1e-6 ~max_outer n ineqs rows y0 with
+        | None ->
+          Log.debug (fun m -> m "phase I failed: problem infeasible");
+          { status = Infeasible; values = []; objective = nan }
+        | Some y_feas ->
+          let y_opt, clean =
+            barrier ~ops ~st ~phase:`Two ~tol ~max_outer ~objective ~ineqs ~rows y_feas
+          in
+          extract (if clean then Optimal else Iteration_limit) y_opt
+      in
+      match kernel with
+      | `List ->
+        run list_ops
+          (compile_posynomial n index (Problem.objective problem))
+          (List.map (fun (_, p) -> compile_posynomial n index p) (Problem.ineqs problem))
+      | `Compiled ->
+        let ws_cache = Hashtbl.create 4 in
+        run (compiled_ops ws_cache)
+          (Compiled.of_posynomial n index (Problem.objective problem))
+          (List.map
+             (fun (_, p) -> Compiled.of_posynomial n index p)
+             (Problem.ineqs problem))
     with
     | solution -> solution
     | exception Mat.Singular ->

@@ -5,7 +5,24 @@
     functions and monomial equalities become affine equalities.  A
     standard two-phase barrier method then follows: phase I finds a
     strictly feasible point (or a certificate of infeasibility), phase II
-    traces the central path with equality-constrained Newton steps. *)
+    traces the central path with equality-constrained Newton steps.
+
+    Two evaluation kernels back the same barrier driver:
+    - [`Compiled] (the default): functions are compiled once into
+      contiguous sparse exponent rows ({!Compiled}), evaluated into
+      per-solve workspace buffers, and each Newton step solves the KKT
+      system in an orthonormal nullspace basis of the equality rows —
+      one in-place Cholesky factorization of the reduced Hessian
+      instead of a dense [(n+p)^2] LU factorization, with the equality
+      residual [A dy = 0] exact by construction.
+    - [`List]: the original closure-per-function path with a dense
+      [(n+p)^2] LU factorization per Newton step, kept as the reference
+      and benchmark baseline.
+
+    Both kernels run the identical iteration schedule; the compiled
+    kernel's function evaluations are bit-for-bit equal to the list
+    kernel's (see {!Compiled}), while Newton directions may differ in
+    low-order bits because the factorization differs. *)
 
 type status =
   | Optimal  (** converged to the requested duality-gap tolerance *)
@@ -20,6 +37,8 @@ type solution = {
       (** variable assignment in the original (positive) space *)
   objective : float;  (** objective posynomial value at [values] *)
 }
+
+type kernel = [ `Compiled | `List ]
 
 val lookup : solution -> string -> float
 (** Value of a variable in the solution.  Raises [Invalid_argument] with
@@ -49,6 +68,10 @@ type stats = {
           steps *)
   mutable kkt_regularizations : int;
       (** extra regularization retries after a singular KKT system *)
+  mutable cholesky_fallbacks : int;
+      (** Newton steps where the structured Cholesky path failed at
+          every regularization level and the dense LU path was tried
+          instead; always 0 for the [`List] kernel *)
   mutable duality_gap : float;
       (** certified duality-gap bound [m / t] at the end of phase II;
           [0.0] for problems without inequalities, [nan] when phase II
@@ -58,6 +81,10 @@ type stats = {
 val fresh_stats : unit -> stats
 (** All counters zero, [duality_gap = nan]. *)
 
+val copy_stats : into:stats -> stats -> unit
+(** [copy_stats ~into st] overwrites every field of [into] with the
+    fields of [st] — used to replay a cached solve's telemetry. *)
+
 type totals = {
   solves : int;
   t_phase1_outer : int;
@@ -65,6 +92,7 @@ type totals = {
   t_newton_iters : int;
   t_backtracks : int;
   t_kkt_regularizations : int;
+  t_cholesky_fallbacks : int;
   max_duality_gap : float;  (** largest finite per-solve gap; [0.0] if none *)
 }
 (** Order-independent aggregation of per-solve {!stats} — summing is
@@ -77,10 +105,27 @@ val accumulate : totals -> stats -> totals
 
 val pp_totals : Format.formatter -> totals -> unit
 
-val solve : ?tol:float -> ?max_outer:int -> ?stats:stats -> Problem.t -> solution
+val solve :
+  ?tol:float ->
+  ?max_outer:int ->
+  ?stats:stats ->
+  ?warm_start:(string * float) list ->
+  ?kernel:kernel ->
+  Problem.t ->
+  solution
 (** [solve problem] minimizes the problem objective.  [tol] bounds the
     final duality gap per inequality constraint (default 1e-8);
     [max_outer] bounds the number of barrier updates (default 60).
     When [stats] is given, its fields are overwritten with this solve's
     telemetry; passing it does not change the returned solution in any
-    way. *)
+    way.
+
+    [warm_start] supplies a prior solution's positive-space values
+    (e.g. [solution.values] from a structurally close problem); they
+    seed the log-space start after projection onto this problem's
+    equality manifold.  Non-positive or non-finite values are ignored.
+    Warm starting changes only the iteration path, never feasibility or
+    the optimum the solver converges to.
+
+    [kernel] selects the evaluation/KKT strategy (default [`Compiled]);
+    see the module preamble. *)

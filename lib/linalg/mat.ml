@@ -37,6 +37,8 @@ let add_to m i j v =
 
 let copy m = { m with data = Array.copy m.data }
 
+let fill m v = Array.fill m.data 0 (Array.length m.data) v
+
 let transpose m = init m.cols m.rows (fun i j -> get m j i)
 
 let add a b =
@@ -126,29 +128,43 @@ let lu_solve a b =
   done;
   x
 
-let cholesky a =
-  if a.rows <> a.cols then invalid_arg "Mat.cholesky: matrix not square";
+(* In-place Cholesky over the lower triangle: entry (i, j <= i) is
+   replaced by L(i, j); the strict upper triangle is left untouched, so a
+   buffer can be refilled and refactored without clearing it. *)
+let cholesky_in_place a =
+  if a.rows <> a.cols then invalid_arg "Mat.cholesky_in_place: matrix not square";
   let n = a.rows in
-  let l = create n n in
   for i = 0 to n - 1 do
     for j = 0 to i do
       let acc = ref (get a i j) in
       for k = 0 to j - 1 do
-        acc := !acc -. (get l i k *. get l j k)
+        acc := !acc -. (get a i k *. get a j k)
       done;
       if i = j then begin
         if !acc <= 0.0 then raise Singular;
-        set l i j (sqrt !acc)
+        set a i j (sqrt !acc)
       end
-      else set l i j (!acc /. get l j j)
+      else set a i j (!acc /. get a j j)
+    done
+  done
+
+let cholesky a =
+  if a.rows <> a.cols then invalid_arg "Mat.cholesky: matrix not square";
+  let l = create a.rows a.rows in
+  for i = 0 to a.rows - 1 do
+    for j = 0 to i do
+      set l i j (get a i j)
     done
   done;
+  cholesky_in_place l;
   l
 
-let cholesky_solve l b =
+(* Forward/back substitution reading only the lower triangle of [l],
+   overwriting [y] with the solution of [l * transpose l * x = y]. *)
+let cholesky_solve_in_place l y =
   let n = rows l in
-  if n <> Array.length b then invalid_arg "Mat.cholesky_solve: dimension mismatch";
-  let y = Array.copy b in
+  if n <> Array.length y then
+    invalid_arg "Mat.cholesky_solve_in_place: dimension mismatch";
   (* Forward substitution with l. *)
   for i = 0 to n - 1 do
     let acc = ref y.(i) in
@@ -164,7 +180,11 @@ let cholesky_solve l b =
       acc := !acc -. (get l j i *. y.(j))
     done;
     y.(i) <- !acc /. get l i i
-  done;
+  done
+
+let cholesky_solve l b =
+  let y = Array.copy b in
+  cholesky_solve_in_place l y;
   y
 
 let solve_spd a b = cholesky_solve (cholesky a) b

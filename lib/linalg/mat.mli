@@ -35,6 +35,9 @@ val add_to : t -> int -> int -> float -> unit
 
 val copy : t -> t
 
+val fill : t -> float -> unit
+(** [fill m v] sets every entry to [v] in place. *)
+
 val transpose : t -> t
 
 val add : t -> t -> t
@@ -59,9 +62,21 @@ val cholesky : t -> t
 (** [cholesky a] is the lower-triangular [l] with [l * transpose l = a] for
     symmetric positive-definite [a].  Raises [Singular] otherwise. *)
 
+val cholesky_in_place : t -> unit
+(** [cholesky_in_place a] overwrites the lower triangle of [a] with its
+    Cholesky factor, reading only the lower triangle; the strict upper
+    triangle is left untouched, so a workspace buffer can be refilled and
+    refactored without clearing.  Raises [Singular] when [a] is not
+    positive definite (the buffer is then partially overwritten). *)
+
 val cholesky_solve : t -> Vec.t -> Vec.t
 (** [cholesky_solve l b] solves [l * transpose l * x = b] given the factor
-    [l] produced by [cholesky]. *)
+    [l] produced by [cholesky].  Only the lower triangle of [l] is read. *)
+
+val cholesky_solve_in_place : t -> Vec.t -> unit
+(** [cholesky_solve_in_place l b] overwrites [b] with the solution of
+    [l * transpose l * x = b] — the allocation-free core of
+    {!cholesky_solve}. *)
 
 val solve_spd : t -> Vec.t -> Vec.t
 (** [solve_spd a b] factors and solves in one step. *)

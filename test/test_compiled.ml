@@ -1,0 +1,203 @@
+(* Bit-for-bit equivalence of the compiled evaluation kernels
+   (Gp.Compiled) against the reference list path (Gp.Smooth).  The
+   compiled kernel's contract is exact: same values, gradients and
+   Hessians down to the last bit, for any finite inputs — this is what
+   lets the solver switch kernels without perturbing results beyond the
+   KKT factorization itself. *)
+
+module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+
+let bits = Int64.bits_of_float
+
+let same_float a b = Int64.equal (bits a) (bits b)
+
+let check_bits name expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected %h (%Lx), got %h (%Lx)" name expected (bits expected)
+       actual (bits actual))
+    true (same_float expected actual)
+
+(* Evaluate both paths and compare value / full gradient / full Hessian
+   bitwise.  The compiled kernel only writes support entries, so the
+   buffers start zeroed — off-support entries of the dense path are
+   always [+0.0] (sums from a [+0.0] start can never produce [-0.0]). *)
+let agree_on name (smooth : Gp.Smooth.t) compiled y =
+  let n = smooth.Gp.Smooth.dim in
+  check_bits (name ^ " value") (smooth.Gp.Smooth.value y) (Gp.Compiled.value compiled y);
+  let v_ref, g_ref, h_ref = smooth.Gp.Smooth.eval y in
+  let grad = Vec.create n in
+  let hess = Mat.create n n in
+  let v = Gp.Compiled.eval_into compiled y ~grad ~hess in
+  check_bits (name ^ " eval value") v_ref v;
+  for i = 0 to n - 1 do
+    check_bits (Printf.sprintf "%s grad.(%d)" name i) g_ref.(i) grad.(i)
+  done;
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      check_bits
+        (Printf.sprintf "%s hess.(%d,%d)" name i j)
+        (Mat.get h_ref i j) (Mat.get hess i j)
+    done
+  done
+
+(* --- unit cases --- *)
+
+let test_single_term () =
+  let n = 3 in
+  let terms = [ (Vec.of_list [ 1.0; -2.0; 0.0 ], log 3.0) ] in
+  agree_on "single" (Gp.Smooth.log_sum_exp n terms) (Gp.Compiled.of_terms n terms)
+    (Vec.of_list [ 0.3; -1.2; 7.0 ])
+
+let test_constant_term () =
+  (* A term with an all-zero row (a constant monomial). *)
+  let n = 2 in
+  let terms =
+    [ (Vec.of_list [ 0.0; 0.0 ], log 2.0); (Vec.of_list [ 1.0; 1.0 ], 0.0) ]
+  in
+  agree_on "const-term" (Gp.Smooth.log_sum_exp n terms) (Gp.Compiled.of_terms n terms)
+    (Vec.of_list [ -0.4; 0.9 ])
+
+let test_affine_matches_linear () =
+  let n = 4 in
+  let a = Vec.of_list [ 0.5; 0.0; -1.25; 0.0 ] in
+  let smooth = Gp.Smooth.linear n a 0.75 in
+  let compiled = Gp.Compiled.affine n [ (0, 0.5); (2, -1.25) ] 0.75 in
+  agree_on "affine" smooth compiled (Vec.of_list [ 1.0; 2.0; 3.0; 4.0 ])
+
+let test_stale_buffers () =
+  (* eval_into must overwrite (not accumulate into) its support block
+     even when the buffers carry stale garbage from another function. *)
+  let n = 3 in
+  let terms = [ (Vec.of_list [ 2.0; 0.0; 1.0 ], 0.1) ] in
+  let smooth = Gp.Smooth.log_sum_exp n terms in
+  let compiled = Gp.Compiled.of_terms n terms in
+  let y = Vec.of_list [ 0.2; 0.4; -0.6 ] in
+  let _, g_ref, h_ref = smooth.Gp.Smooth.eval y in
+  let grad = Vec.of_list [ 5.0; 5.0; 5.0 ] in
+  let hess = Mat.init n n (fun _ _ -> 7.0) in
+  ignore (Gp.Compiled.eval_into compiled y ~grad ~hess);
+  check_bits "g0" g_ref.(0) grad.(0);
+  check_bits "g2" g_ref.(2) grad.(2);
+  check_bits "g1 untouched" 5.0 grad.(1);
+  check_bits "h00" (Mat.get h_ref 0 0) (Mat.get hess 0 0);
+  check_bits "h02" (Mat.get h_ref 0 2) (Mat.get hess 0 2);
+  check_bits "h11 untouched" 7.0 (Mat.get hess 1 1);
+  check_bits "h01 untouched" 7.0 (Mat.get hess 0 1)
+
+let test_add_linear_slack () =
+  (* The phase-I construction G(y, s) = f(y) - s: extend by one
+     coordinate, then attach a -1 linear term to it. *)
+  let n = 2 in
+  let terms =
+    [ (Vec.of_list [ 1.0; 0.5 ], 0.2); (Vec.of_list [ -1.0; 2.0 ], -0.3) ]
+  in
+  let base = Gp.Smooth.log_sum_exp n terms in
+  let ext = Gp.Smooth.extend base 1 in
+  let smooth =
+    {
+      Gp.Smooth.dim = n + 1;
+      value = (fun y -> ext.Gp.Smooth.value y -. y.(n));
+      eval =
+        (fun y ->
+          let v, g, h = ext.Gp.Smooth.eval y in
+          g.(n) <- g.(n) -. 1.0;
+          (v -. y.(n), g, h));
+    }
+  in
+  let compiled =
+    Gp.Compiled.add_linear (Gp.Compiled.extend (Gp.Compiled.of_terms n terms) 1) n (-1.0)
+  in
+  agree_on "slack" smooth compiled (Vec.of_list [ 0.7; -0.1; 1.3 ]);
+  agree_on "slack at s=0" smooth compiled (Vec.of_list [ 0.7; -0.1; 0.0 ])
+
+let test_rejects_bad_input () =
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Gp.Compiled.of_terms: empty term list") (fun () ->
+      ignore (Gp.Compiled.of_terms 2 []));
+  Alcotest.check_raises "descending"
+    (Invalid_argument "Gp.Compiled.of_sparse_terms: indices not strictly ascending")
+    (fun () -> ignore (Gp.Compiled.of_sparse_terms 3 [ ([ (1, 1.0); (0, 2.0) ], 0.0) ]))
+
+(* --- the property --- *)
+
+let gen_posynomial =
+  let open QCheck2.Gen in
+  let* n = int_range 2 7 in
+  let* nterms = int_range 1 6 in
+  let entry =
+    (* Mostly structural zeros, like real formulations (each monomial
+       mentions a few of the problem variables). *)
+    let* zero = frequency [ (6, return true); (4, return false) ] in
+    if zero then return 0.0 else float_range (-3.0) 3.0
+  in
+  let* rows = list_size (return nterms) (array_size (return n) entry) in
+  let* bs = list_size (return nterms) (float_range (-4.0) 4.0) in
+  let* y = array_size (return n) (float_range (-3.0) 3.0) in
+  return (n, List.combine rows bs, y)
+
+let prop_bit_identical =
+  QCheck2.Test.make ~name:"compiled kernel is bit-identical to Smooth.log_sum_exp"
+    ~count:500 gen_posynomial (fun (n, terms, y) ->
+      let smooth = Gp.Smooth.log_sum_exp n terms in
+      let compiled = Gp.Compiled.of_terms n terms in
+      let ok = ref true in
+      let check a b = if not (same_float a b) then ok := false in
+      check (smooth.Gp.Smooth.value y) (Gp.Compiled.value compiled y);
+      let v_ref, g_ref, h_ref = smooth.Gp.Smooth.eval y in
+      let grad = Vec.create n in
+      let hess = Mat.create n n in
+      let v = Gp.Compiled.eval_into compiled y ~grad ~hess in
+      check v_ref v;
+      for i = 0 to n - 1 do
+        check g_ref.(i) grad.(i);
+        for j = 0 to n - 1 do
+          check (Mat.get h_ref i j) (Mat.get hess i j)
+        done
+      done;
+      !ok)
+
+let prop_slack_bit_identical =
+  QCheck2.Test.make ~name:"compiled slack extension is bit-identical" ~count:200
+    gen_posynomial (fun (n, terms, y) ->
+      let base = Gp.Smooth.log_sum_exp n terms in
+      let ext = Gp.Smooth.extend base 1 in
+      let compiled =
+        Gp.Compiled.add_linear
+          (Gp.Compiled.extend (Gp.Compiled.of_terms n terms) 1)
+          n (-1.0)
+      in
+      let y1 = Vec.concat y [| 0.5 |] in
+      let v_ref, g_ref, h_ref = ext.Gp.Smooth.eval y1 in
+      g_ref.(n) <- g_ref.(n) -. 1.0;
+      let v_ref = v_ref -. y1.(n) in
+      let grad = Vec.create (n + 1) in
+      let hess = Mat.create (n + 1) (n + 1) in
+      let v = Gp.Compiled.eval_into compiled y1 ~grad ~hess in
+      let ok = ref true in
+      let check a b = if not (same_float a b) then ok := false in
+      check v_ref v;
+      for i = 0 to n do
+        check g_ref.(i) grad.(i);
+        for j = 0 to n do
+          check (Mat.get h_ref i j) (Mat.get hess i j)
+        done
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "compiled"
+    [
+      ( "units",
+        [
+          Alcotest.test_case "single term" `Quick test_single_term;
+          Alcotest.test_case "constant term" `Quick test_constant_term;
+          Alcotest.test_case "affine" `Quick test_affine_matches_linear;
+          Alcotest.test_case "stale buffers" `Quick test_stale_buffers;
+          Alcotest.test_case "slack extension" `Quick test_add_linear_slack;
+          Alcotest.test_case "bad input" `Quick test_rejects_bad_input;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_bit_identical; prop_slack_bit_identical ] );
+    ]

@@ -46,13 +46,13 @@ let fingerprint (e : Pl.entry) =
 
 (* One instrumented pipeline run; returns fingerprints and the counter
    section of the metrics snapshot, leaving the registry clean. *)
-let run ~jobs ~trace =
+let run ?(config = fast_config) ~jobs ~trace () =
   Obs.Metrics.reset ();
   Obs.Metrics.enable ();
   if trace then Obs.Trace.start ();
   let entries =
     Pl.run_layers
-      ~config:{ fast_config with O.jobs }
+      ~config:{ config with O.jobs }
       tech
       (F.Codesign { area_budget = budget })
       F.Energy layers
@@ -61,34 +61,36 @@ let run ~jobs ~trace =
   Obs.Metrics.disable ();
   let counters = Obs.Metrics.counters (Obs.Metrics.snapshot ()) in
   Obs.Metrics.reset ();
-  (List.map fingerprint entries, counters)
+  (entries, List.map fingerprint entries, counters)
 
-let check_same label (fps_a, counters_a) (fps_b, counters_b) =
+let check_same label (_, fps_a, counters_a) (_, fps_b, counters_b) =
   Alcotest.(check (list string)) (label ^ ": results") fps_a fps_b;
   Alcotest.(check (list (pair string int))) (label ^ ": counters") counters_a counters_b
 
-let nonvacuous (_, counters) =
-  let value name =
-    match List.assoc_opt name counters with
-    | Some v -> v
-    | None -> Alcotest.failf "counter %S missing" name
-  in
+let counter_value counters name =
+  match List.assoc_opt name counters with
+  | Some v -> v
+  | None -> Alcotest.failf "counter %S missing" name
+
+let nonvacuous (_, _, counters) =
+  let value = counter_value counters in
   Alcotest.(check bool) "solver ran" true (value "solver.solves" > 0);
   Alcotest.(check bool) "outer iterations counted" true (value "solver.outer_iters" > 0);
   Alcotest.(check bool) "newton steps counted" true (value "solver.newton_steps" > 0);
   Alcotest.(check bool) "tasks counted" true (value "exec.tasks" > 0);
+  Alcotest.(check bool) "warm starts fired" true (value "solver.warm_starts" > 0);
   Alcotest.(check bool) "integerizer counted" true
     (value "integerize.candidates_tried" > 0)
 
 let test_jobs_independent () =
-  let seq = run ~jobs:1 ~trace:false in
-  let par = run ~jobs:4 ~trace:false in
+  let seq = run ~jobs:1 ~trace:false () in
+  let par = run ~jobs:4 ~trace:false () in
   nonvacuous seq;
   check_same "jobs 1 vs jobs 4" seq par
 
 let test_trace_independent () =
-  let plain = run ~jobs:4 ~trace:false in
-  let traced = run ~jobs:4 ~trace:true in
+  let plain = run ~jobs:4 ~trace:false () in
+  let traced = run ~jobs:4 ~trace:true () in
   check_same "trace off vs on" plain traced;
   (* The trace itself covers every pipeline stage. *)
   let names =
@@ -102,6 +104,67 @@ let test_trace_independent () =
         true (List.mem expected names))
     [ "pipeline"; "layer"; "formulate"; "solve"; "integerize"; "evaluate" ]
 
+(* Replaying a cached solve is bit-identical to re-solving (the replay
+   shares the representative's solution and copies its telemetry), so
+   switching dedup off must not change any result or counter other than
+   solver.cache_hits itself.  Warm starts are disabled on both sides to
+   isolate the dedup path. *)
+let test_dedupe_independent () =
+  let without name = List.filter (fun (k, _) -> k <> name) in
+  let cfg dedupe = { fast_config with O.dedupe; warm_start = false } in
+  let _, fps_on, counters_on = run ~config:(cfg true) ~jobs:4 ~trace:false () in
+  let _, fps_off, counters_off = run ~config:(cfg false) ~jobs:4 ~trace:false () in
+  Alcotest.(check (list string)) "dedupe on vs off: results" fps_on fps_off;
+  Alcotest.(check (list (pair string int)))
+    "dedupe on vs off: counters"
+    (without "solver.cache_hits" counters_on)
+    (without "solver.cache_hits" counters_off);
+  Alcotest.(check int) "dedupe off reports no hits" 0
+    (counter_value counters_off "solver.cache_hits")
+
+(* Warm starts change the Newton iteration path, so converged optima may
+   differ from cold starts in low-order float bits — but never in which
+   integer design point wins or (beyond solver tolerance) in the
+   continuous objective. *)
+let test_warm_start_outcomes () =
+  let cfg warm_start = { fast_config with O.warm_start } in
+  let warm, _, counters_warm = run ~config:(cfg true) ~jobs:4 ~trace:false () in
+  let cold, _, _ = run ~config:(cfg false) ~jobs:4 ~trace:false () in
+  Alcotest.(check bool) "warm starts fired" true
+    (counter_value counters_warm "solver.warm_starts" > 0);
+  List.iter2
+    (fun (w : Pl.entry) (c : Pl.entry) ->
+      let name = Workload.Nest.name w.Pl.nest in
+      match (w.Pl.result, c.Pl.result) with
+      | Error a, Error b -> Alcotest.(check string) (name ^ ": same error") b a
+      | Ok w, Ok c ->
+        let ow = w.O.outcome and oc = c.O.outcome in
+        Alcotest.(check string)
+          (name ^ ": same arch")
+          oc.I.arch.Arch.arch_name ow.I.arch.Arch.arch_name;
+        Alcotest.(check string)
+          (name ^ ": same mapping")
+          (Format.asprintf "%a" Mapping.pp oc.I.mapping)
+          (Format.asprintf "%a" Mapping.pp ow.I.mapping);
+        Alcotest.(check (float 1e-9))
+          (name ^ ": same integer energy")
+          oc.I.metrics.Evaluate.energy_pj ow.I.metrics.Evaluate.energy_pj;
+        Alcotest.(check (float 1e-9))
+          (name ^ ": same integer cycles")
+          oc.I.metrics.Evaluate.cycles ow.I.metrics.Evaluate.cycles;
+        Alcotest.(check int)
+          (name ^ ": same choices solved")
+          c.O.choices_solved w.O.choices_solved;
+        let rel = Float.abs (w.O.best_continuous -. c.O.best_continuous) in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: continuous objective within tolerance (|Δ| = %.3g)" name
+             rel)
+          true
+          (rel <= 1e-6 *. (1.0 +. Float.abs c.O.best_continuous))
+      | Ok _, Error m -> Alcotest.failf "%s: cold run failed: %s" name m
+      | Error m, Ok _ -> Alcotest.failf "%s: warm run failed: %s" name m)
+    warm cold
+
 let () =
   Alcotest.run "determinism"
     [
@@ -109,5 +172,7 @@ let () =
         [
           Alcotest.test_case "jobs-independent" `Quick test_jobs_independent;
           Alcotest.test_case "trace-independent" `Quick test_trace_independent;
+          Alcotest.test_case "dedupe-independent" `Quick test_dedupe_independent;
+          Alcotest.test_case "warm-start outcomes" `Quick test_warm_start_outcomes;
         ] );
     ]

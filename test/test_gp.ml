@@ -544,6 +544,59 @@ let prop_constant_infeasible =
       sol.Gp.Solver.status = Gp.Solver.Infeasible
       && List.mem_assoc "impossible" (Gp.Problem.violations prob (fun _ -> 1.0)))
 
+(* Regression: Smooth.linear used to hand out one shared Hessian matrix
+   from every eval; a caller accumulating into it corrupted later
+   evaluations. *)
+let test_linear_hessian_fresh () =
+  let f = Gp.Smooth.linear 2 [| 1.0; 2.0 |] 3.0 in
+  let y = [| 0.5; -0.5 |] in
+  let _, g1, h1 = f.Gp.Smooth.eval y in
+  Linalg.Mat.add_to h1 0 0 5.0;
+  g1.(0) <- 42.0;
+  let _, g2, h2 = f.Gp.Smooth.eval y in
+  check_float "hessian fresh" 0.0 (Linalg.Mat.get h2 0 0);
+  check_float "gradient fresh" 1.0 g2.(0)
+
+(* The two kernels must agree on every problem to solver tolerance (the
+   function evaluations are bit-identical; only the KKT factorization
+   differs). *)
+let kernel_ab_problem () =
+  Gp.Problem.make
+    ~objective:(P.add (P.var "x") (P.add (P.var "y") (P.var "z")))
+    ~ineqs:
+      [
+        ("xyz>=8", P.of_monomial (M.make 8.0 [ ("x", -1.0); ("y", -1.0); ("z", -1.0) ]));
+        ("x<=4", Gp.Problem.le_const (P.var "x") 4.0);
+      ]
+    ~eqs:[ ("yz=4", Gp.Problem.eq (M.mul (M.var "y") (M.var "z")) (M.const 4.0)) ]
+    ()
+
+let test_kernel_ab () =
+  let prob = kernel_ab_problem () in
+  let a = Gp.Solver.solve ~kernel:`Compiled prob in
+  let b = Gp.Solver.solve ~kernel:`List prob in
+  Alcotest.(check string) "status" (status_name b.Gp.Solver.status)
+    (status_name a.Gp.Solver.status);
+  check_float "objective" b.Gp.Solver.objective a.Gp.Solver.objective;
+  List.iter
+    (fun (x, v) -> check_float x v (Gp.Solver.lookup a x))
+    b.Gp.Solver.values
+
+let test_warm_start () =
+  let prob = kernel_ab_problem () in
+  let cold = Gp.Solver.solve prob in
+  check_optimal cold;
+  let warm = Gp.Solver.solve ~warm_start:cold.Gp.Solver.values prob in
+  check_optimal warm;
+  check_float "objective" cold.Gp.Solver.objective warm.Gp.Solver.objective;
+  (* Garbage warm values are ignored, never fatal. *)
+  let junk =
+    Gp.Solver.solve ~warm_start:[ ("x", -3.0); ("y", nan); ("nosuch", 1.0) ] prob
+  in
+  check_optimal junk;
+  check_float "objective after junk seed" cold.Gp.Solver.objective
+    junk.Gp.Solver.objective
+
 let () =
   Alcotest.run "gp"
     [
@@ -576,6 +629,12 @@ let () =
         [
           Alcotest.test_case "conflicting bounds" `Quick test_infeasible;
           Alcotest.test_case "inconsistent equality" `Quick test_inconsistent_equality;
+        ] );
+      ( "kernels",
+        [
+          Alcotest.test_case "linear hessian fresh" `Quick test_linear_hessian_fresh;
+          Alcotest.test_case "compiled vs list" `Quick test_kernel_ab;
+          Alcotest.test_case "warm start" `Quick test_warm_start;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

@@ -90,6 +90,41 @@ let test_cholesky_not_pd () =
   let a = Mat.of_rows [| [| 1.0; 2.0 |]; [| 2.0; 1.0 |] |] in
   Alcotest.check_raises "not PD" Mat.Singular (fun () -> ignore (Mat.cholesky a))
 
+let test_cholesky_in_place () =
+  let a = Mat.of_rows [| [| 4.0; 2.0 |]; [| 2.0; 3.0 |] |] in
+  (* Stale data in the strict upper triangle must neither be read nor
+     overwritten: solver workspaces refill only the lower triangle. *)
+  let buf = Mat.of_rows [| [| 4.0; 99.0 |]; [| 2.0; 3.0 |] |] in
+  Mat.cholesky_in_place buf;
+  let l = Mat.cholesky a in
+  check_float "l00" (Mat.get l 0 0) (Mat.get buf 0 0);
+  check_float "l10" (Mat.get l 1 0) (Mat.get buf 1 0);
+  check_float "l11" (Mat.get l 1 1) (Mat.get buf 1 1);
+  check_float "upper untouched" 99.0 (Mat.get buf 0 1);
+  let y = [| 8.0; 7.0 |] in
+  Mat.cholesky_solve_in_place buf y;
+  check_float "x0" 1.25 y.(0);
+  check_float "x1" 1.5 y.(1)
+
+let test_cholesky_refactor_reuse () =
+  (* The same buffer factors a second matrix correctly after refilling
+     only the lower triangle. *)
+  let buf = Mat.create 2 2 in
+  let load rows =
+    for i = 0 to 1 do
+      for j = 0 to i do
+        Mat.set buf i j rows.(i).(j)
+      done
+    done
+  in
+  load [| [| 4.0; 0.0 |]; [| 2.0; 3.0 |] |];
+  Mat.cholesky_in_place buf;
+  load [| [| 9.0; 0.0 |]; [| 3.0; 5.0 |] |];
+  Mat.cholesky_in_place buf;
+  check_float "l00" 3.0 (Mat.get buf 0 0);
+  check_float "l10" 1.0 (Mat.get buf 1 0);
+  check_float "l11" 2.0 (Mat.get buf 1 1)
+
 (* --- properties --- *)
 
 let gen_system n =
@@ -158,6 +193,8 @@ let () =
           Alcotest.test_case "lu singular" `Quick test_lu_singular;
           Alcotest.test_case "cholesky known" `Quick test_cholesky_known;
           Alcotest.test_case "cholesky not PD" `Quick test_cholesky_not_pd;
+          Alcotest.test_case "cholesky in place" `Quick test_cholesky_in_place;
+          Alcotest.test_case "cholesky refactor reuse" `Quick test_cholesky_refactor_reuse;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

@@ -145,6 +145,26 @@ let test_jobs_determinism () =
         (run 4 = run 1))
     [ "resnet-2"; "yolo-2" ]
 
+(* The dedup key must identify programs by their mathematics alone:
+   renaming constraints keeps the key, perturbing any coefficient or
+   exponent changes it. *)
+let test_problem_key () =
+  let module M = Symexpr.Monomial in
+  let module P = Symexpr.Posynomial in
+  let problem ?(coeff = 2.0) ?(cname = "cap") () =
+    Gp.Problem.make
+      ~objective:
+        (P.of_monomials [ M.make 1.0 [ ("x", 1.0) ]; M.make coeff [ ("y", 1.0) ] ])
+      ~ineqs:[ (cname, P.of_monomial (M.make 0.5 [ ("x", -1.0); ("y", -1.0) ])) ]
+      ~eqs:[ ("tie", M.make 0.25 [ ("x", 1.0); ("y", -1.0) ]) ]
+      ()
+  in
+  let base = O.problem_key (problem ()) in
+  Alcotest.(check string) "renamed constraint keeps key" base
+    (O.problem_key (problem ~cname:"budget" ()));
+  Alcotest.(check bool) "perturbed coefficient changes key" true
+    (base <> O.problem_key (problem ~coeff:2.0000000001 ()))
+
 let test_config_knobs () =
   let nest = small_conv () in
   let config = { O.default_config with O.max_choices = 2; top_choices = 1 } in
@@ -161,6 +181,7 @@ let () =
           Alcotest.test_case "matmul workload" `Quick test_matmul_workload;
           Alcotest.test_case "infeasible arch" `Quick test_infeasible_arch;
           Alcotest.test_case "config knobs" `Quick test_config_knobs;
+          Alcotest.test_case "problem key" `Quick test_problem_key;
           Alcotest.test_case "jobs determinism" `Quick test_jobs_determinism;
         ] );
       ( "codesign",

@@ -1,0 +1,68 @@
+#!/bin/sh
+# perfdiff.sh BASELINE.json CURRENT.json [tolerance-percent]
+#
+# Compares two flat BENCH_*.json files (one-level objects of
+# "key": number pairs, as emitted by bench/solver.exe) and fails with
+# exit 1 if any tracked metric regressed by more than the tolerance
+# (default 10%).  Direction is inferred from the key name:
+#   *wall_s             lower is better
+#   *solves_per_s       higher is better
+#   speedup             higher is better
+# All other keys are informational and only reported when they change.
+set -eu
+
+if [ $# -lt 2 ] || [ $# -gt 3 ]; then
+    echo "usage: $0 BASELINE.json CURRENT.json [tolerance-percent]" >&2
+    exit 2
+fi
+
+baseline=$1
+current=$2
+tolerance=${3:-10}
+
+for f in "$baseline" "$current"; do
+    [ -r "$f" ] || { echo "perfdiff: cannot read $f" >&2; exit 2; }
+done
+
+# Flatten  "key": 12.5  pairs to  key 12.5  lines (numbers only; quoted
+# string values like "layers" drop out here).
+pairs() {
+    tr ',{}' '\n\n\n' < "$1" |
+        sed -n 's/^[[:space:]]*"\([^"]*\)"[[:space:]]*:[[:space:]]*\(-\{0,1\}[0-9][0-9.eE+-]*\)[[:space:]]*$/\1 \2/p'
+}
+
+pairs "$baseline" > "${TMPDIR:-/tmp}/perfdiff_base.$$"
+trap 'rm -f "${TMPDIR:-/tmp}/perfdiff_base.$$"' EXIT
+
+status=0
+found=0
+while read -r key cur; do
+    base=$(awk -v k="$key" '$1 == k { print $2; exit }' "${TMPDIR:-/tmp}/perfdiff_base.$$")
+    [ -n "$base" ] || continue
+    case $key in
+        *wall_s) dir=lower ;;
+        *solves_per_s | speedup) dir=higher ;;
+        *) dir=info ;;
+    esac
+    line=$(awk -v k="$key" -v b="$base" -v c="$cur" -v d="$dir" -v tol="$tolerance" '
+        BEGIN {
+            delta = (b == 0) ? 0 : 100 * (c - b) / b
+            verdict = "ok"
+            if (d == "lower" && delta > tol) verdict = "REGRESSION"
+            if (d == "higher" && delta < -tol) verdict = "REGRESSION"
+            if (d == "info") verdict = (c == b) ? "same" : "changed"
+            printf "%-25s %14g %14g %+8.1f%%  %s", k, b, c, delta, verdict
+        }')
+    echo "$line"
+    case $line in *REGRESSION) status=1 ;; esac
+    case $dir in lower | higher) found=$((found + 1)) ;; esac
+done <<EOF
+$(pairs "$current")
+EOF
+
+if [ "$found" -eq 0 ]; then
+    echo "perfdiff: no tracked metrics in common between $baseline and $current" >&2
+    exit 2
+fi
+[ "$status" -eq 0 ] && echo "perfdiff: no regression beyond ${tolerance}%"
+exit $status
