@@ -90,6 +90,13 @@ let jobs_arg =
            the exact sequential path).  The reported mapping and metrics are \
            identical for any value.")
 
+let sweep_max_choices_arg =
+  Arg.(
+    value
+    & opt int O.default_config.O.max_choices
+    & info [ "max-choices" ] ~docv:"N"
+        ~doc:"Cap on enumerated permutation choices per layer.")
+
 (* Solver-path knobs shared by the sweep-running subcommands: a term
    that finishes an [Optimize.config] with the requested kernel/reuse
    settings. *)
@@ -124,6 +131,51 @@ let solver_opts =
     { config with O.gp_kernel; dedupe = not no_dedupe; warm_start = not no_warm }
   in
   Term.(const build $ kernel_arg $ no_dedupe_arg $ no_warm_arg)
+
+(* Fault-tolerance knobs (DESIGN §11), composing onto the config the same
+   way [solver_opts] does. *)
+let robust_opts =
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "solve-deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Cooperative wall-clock budget per GP solve, in milliseconds, checked at \
+             outer-iteration boundaries.  A solve that exceeds it retries per \
+             $(b,--retries) and is then quarantined; the sweep succeeds as long as \
+             any pair survives.")
+  in
+  let retries_arg =
+    Arg.(
+      value
+      & opt int O.default_config.O.retries
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Extra solve attempts after a crash or deadline hit before the pair is \
+             quarantined.  Retried attempts escalate the solver's initial KKT \
+             regularization.")
+  in
+  let inject_conv =
+    let parse s = Result.map_error (fun m -> `Msg m) (Robust.Inject.parse s) in
+    let print ppf t = Format.pp_print_string ppf (Robust.Inject.to_string t) in
+    Arg.conv (parse, print)
+  in
+  let inject_arg =
+    Arg.(
+      value
+      & opt inject_conv Robust.Inject.none
+      & info [ "inject" ] ~docv:"SPEC"
+          ~doc:
+            "Deterministic fault injection for exercising the quarantine machinery: \
+             comma-separated $(b,seed=INT) and $(b,KIND\\@SITE[FILTER]=PROB) clauses, \
+             e.g. $(b,seed=7,crash\\@solve=0.2,stall\\@solve[resnet-2]=1).  Decisions \
+             are a pure function of the spec and the work item, never of time.")
+  in
+  let build solve_deadline_ms retries inject config =
+    { config with O.solve_deadline_ms; retries; inject }
+  in
+  Term.(const build $ deadline_arg $ retries_arg $ inject_arg)
 
 let lint_mode_arg =
   Arg.(
@@ -197,6 +249,10 @@ let print_outcome ?(tech = base_tech) nest (report : O.report) emit emit_code =
   Format.printf "explored %d pruned permutation choices, %d programs solved@."
     report.O.choices_enumerated report.O.choices_solved;
   Format.printf "solver: %a@." Gp.Solver.pp_totals report.O.solve_totals;
+  if report.O.failures <> [] then begin
+    Format.printf "quarantined %d pair(s):@." (List.length report.O.failures);
+    Format.printf "%a" Robust.pp_summary report.O.failures
+  end;
   Format.printf "architecture: %a (area %.0f um^2)@." Arch.pp o.I.arch
     (Arch.area tech o.I.arch);
   Format.printf "mapping:@.%a@." Mapspace.Mapping.pp o.I.mapping;
@@ -240,8 +296,8 @@ let layers_cmd =
     Term.(const (fun () () -> run ()) $ setup_logs $ const ())
 
 let optimize_cmd =
-  let run () layer objective arch top_choices emit emit_code node jobs lint solver trace
-      metrics =
+  let run () layer objective arch top_choices max_choices emit emit_code node jobs lint
+      solver robust trace metrics =
     match nest_of_layer layer with
     | Error msg ->
       prerr_endline msg;
@@ -249,7 +305,11 @@ let optimize_cmd =
     | Ok nest ->
       with_obs ~trace ~metrics @@ fun () -> begin
         let tech = tech_of_node node in
-        let config = solver { O.default_config with O.top_choices; jobs; lint } in
+        let config =
+          robust
+            (solver
+               { O.default_config with O.top_choices; max_choices; jobs; lint })
+        in
         match O.dataflow ~config tech arch objective nest with
         | Error msg ->
           prerr_endline msg;
@@ -266,8 +326,8 @@ let optimize_cmd =
           setting).")
     Term.(
       const run $ setup_logs $ layer_arg $ objective_arg $ arch_args $ top_choices_arg
-      $ emit_arg $ emit_code_arg $ node_arg $ jobs_arg $ lint_mode_arg $ solver_opts
-      $ trace_arg $ metrics_out_arg)
+      $ sweep_max_choices_arg $ emit_arg $ emit_code_arg $ node_arg $ jobs_arg
+      $ lint_mode_arg $ solver_opts $ robust_opts $ trace_arg $ metrics_out_arg)
 
 let codesign_cmd =
   let area_arg =
@@ -277,8 +337,8 @@ let codesign_cmd =
       & info [ "area" ] ~docv:"UM2"
           ~doc:"Chip-area budget in um^2 (defaults to the Eyeriss area).")
   in
-  let run () layer objective area top_choices emit emit_code node jobs lint solver trace
-      metrics =
+  let run () layer objective area top_choices max_choices emit emit_code node jobs lint
+      solver robust trace metrics =
     match nest_of_layer layer with
     | Error msg ->
       prerr_endline msg;
@@ -289,7 +349,11 @@ let codesign_cmd =
         let area_budget =
           match area with Some a -> a | None -> Arch.eyeriss_area tech
         in
-        let config = solver { O.default_config with O.top_choices; jobs; lint } in
+        let config =
+          robust
+            (solver
+               { O.default_config with O.top_choices; max_choices; jobs; lint })
+        in
         match O.codesign ~config tech ~area_budget objective nest with
         | Error msg ->
           prerr_endline msg;
@@ -307,8 +371,8 @@ let codesign_cmd =
           layer under an area budget (Fig. 5 setting).")
     Term.(
       const run $ setup_logs $ layer_arg $ objective_arg $ area_arg $ top_choices_arg
-      $ emit_arg $ emit_code_arg $ node_arg $ jobs_arg $ lint_mode_arg $ solver_opts
-      $ trace_arg $ metrics_out_arg)
+      $ sweep_max_choices_arg $ emit_arg $ emit_code_arg $ node_arg $ jobs_arg
+      $ lint_mode_arg $ solver_opts $ robust_opts $ trace_arg $ metrics_out_arg)
 
 let mapper_cmd =
   let trials_arg =
@@ -402,7 +466,7 @@ let lint_cmd =
       let certify_diags (instance : F.instance) =
         let solution = Gp.Solver.solve instance.F.problem in
         match solution.Gp.Solver.status with
-        | Gp.Solver.Infeasible -> []
+        | Gp.Solver.Infeasible | Gp.Solver.Deadline_exceeded -> []
         | Gp.Solver.Optimal | Gp.Solver.Iteration_limit ->
           let cert =
             An.Certificate.check ~provenance:instance.F.provenance
@@ -465,12 +529,30 @@ let pipeline_cmd =
       & opt (some (Arg.enum Workload.Zoo.pipelines)) None
       & info [ "pipeline" ] ~docv:"NAME" ~doc)
   in
-  let run () layers objective jobs lint solver trace metrics =
+  let run () layers objective max_choices jobs lint solver robust trace metrics =
     with_obs ~trace ~metrics @@ fun () ->
     let nests = List.map Conv.to_nest layers in
     let area_budget = Arch.eyeriss_area tech in
-    let config = solver { O.default_config with O.jobs; lint } in
+    let config =
+      robust (solver { O.default_config with O.max_choices; jobs; lint })
+    in
     let entries = Pl.run_layers ~config tech (F.Codesign { area_budget }) objective nests in
+    List.iter
+      (fun (e : Pl.entry) ->
+        match e.Pl.result with
+        | Error msg -> Printf.printf "layer %s failed: %s\n" (Nest.name e.Pl.nest) msg
+        | Ok _ -> ())
+      entries;
+    let failures =
+      List.concat_map
+        (fun (e : Pl.entry) ->
+          match e.Pl.result with Ok r -> r.O.failures | Error _ -> [])
+        entries
+    in
+    if failures <> [] then begin
+      Format.printf "quarantined %d pair(s) across layers:@." (List.length failures);
+      Format.printf "%a" Robust.pp_summary failures
+    end;
     (match Pl.dominant_arch objective entries with
     | Error msg ->
       Printf.printf "dominant architecture failed: %s\n" msg
@@ -503,8 +585,9 @@ let pipeline_cmd =
          "Layer-wise co-design of a whole DNN pipeline, then re-optimization for the \
           dominant layer's shared architecture (Fig. 6 / Fig. 8 flow).")
     Term.(
-      const run $ setup_logs $ pipeline_arg $ objective_arg $ jobs_arg $ lint_mode_arg
-      $ solver_opts $ trace_arg $ metrics_out_arg)
+      const run $ setup_logs $ pipeline_arg $ objective_arg $ sweep_max_choices_arg
+      $ jobs_arg $ lint_mode_arg $ solver_opts $ robust_opts $ trace_arg
+      $ metrics_out_arg)
 
 let metrics_cmd =
   let json_arg =
@@ -518,7 +601,8 @@ let metrics_cmd =
       & opt (some string) None
       & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write the dump to $(docv) instead of stdout.")
   in
-  let run () layer objective top_choices node jobs lint solver json out =
+  let run () layer objective top_choices max_choices node jobs lint solver robust json
+      out =
     match nest_of_layer layer with
     | Error msg ->
       prerr_endline msg;
@@ -526,7 +610,10 @@ let metrics_cmd =
     | Ok nest ->
       let tech = tech_of_node node in
       let area_budget = Arch.eyeriss_area tech in
-      let config = solver { O.default_config with O.top_choices; jobs; lint } in
+      let config =
+        robust
+          (solver { O.default_config with O.top_choices; max_choices; jobs; lint })
+      in
       Obs.Metrics.reset ();
       Obs.Metrics.enable ();
       let result = O.codesign ~config tech ~area_budget objective nest in
@@ -561,8 +648,9 @@ let metrics_cmd =
           and histogram (solver iterations, duality gap, integerization candidates, \
           pool queue waits) as text or JSON.")
     Term.(
-      const run $ setup_logs $ layer_arg $ objective_arg $ top_choices_arg $ node_arg
-      $ jobs_arg $ lint_mode_arg $ solver_opts $ json_arg $ out_arg)
+      const run $ setup_logs $ layer_arg $ objective_arg $ top_choices_arg
+      $ sweep_max_choices_arg $ node_arg $ jobs_arg $ lint_mode_arg $ solver_opts
+      $ robust_opts $ json_arg $ out_arg)
 
 let main =
   let info =

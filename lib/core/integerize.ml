@@ -69,7 +69,12 @@ let mapping_of_combo instance (combo : (string * (int * int * int)) list) =
     match
       List.assoc_opt (Level.trip_var ~level ~dim) instance.Formulate.pinned
     with
-    | Some v -> int_of_float v
+    (* Round to nearest: solver-pinned values arrive as floats and may
+       sit a few ulps below the integer (3.9999999), which truncation
+       would silently turn into 3 and shift the whole divisor ladder.
+       Values genuinely far from an integer are rejected up front by
+       [check_pinned] in [run]. *)
+    | Some v -> int_of_float (Float.round v)
     | None -> 1
   in
   let factors_at ~level select =
@@ -118,8 +123,57 @@ let arch_candidates ~n_pow2 tech instance solution ~spatial_size =
           sram_candidates)
       regs_candidates
 
+(* Pinned trip counts are placement decisions and must be integers; a
+   value farther than [tol] from one means the placement data is corrupt,
+   and flooring it (the old behavior) would silently shift the whole
+   divisor ladder. *)
+let check_pinned ?(tol = 1e-6) instance =
+  List.find_map
+    (fun (x, v) ->
+      let r = Float.round v in
+      if Float.is_finite v && Float.abs (v -. r) <= tol && r >= 1.0 then None
+      else
+        Some
+          (Printf.sprintf
+             "integerize: pinned factor %s = %.17g is not a positive integer \
+              (tolerance %g)"
+             x v tol))
+    instance.Formulate.pinned
+
+(* Largest integer b >= 1 with b^dims <= max_candidates, by integer
+   search: the float [pow max_candidates (1/dims)] round-trip undercounts
+   on exact roots (e.g. 4096^(1/3) evaluating to 15.999...), quartering a
+   3-dim ladder's coverage. *)
+let per_dim_budget ~max_candidates ~dims =
+  let max_candidates = Int.max 1 max_candidates in
+  if dims <= 1 then max_candidates
+  else begin
+    let fits b =
+      b >= 1
+      &&
+      let rec go acc n =
+        n = 0 || (acc <= max_candidates / b && go (acc * b) (n - 1))
+      in
+      go 1 dims
+    in
+    (* Double past the answer, then bisect [lo fits, hi doesn't]. *)
+    let rec grow b = if b > 0 && fits (2 * b) then grow (2 * b) else b in
+    let lo = grow 1 in
+    let rec bisect lo hi =
+      if hi - lo <= 1 then lo
+      else begin
+        let mid = lo + ((hi - lo) / 2) in
+        if fits mid then bisect mid hi else bisect lo mid
+      end
+    in
+    bisect lo (2 * lo)
+  end
+
 let run ?(n_divisors = 2) ?(n_pow2 = 2) ?(max_candidates = 65536)
     ?(min_pe_utilization = 0.0) tech instance solution =
+  match check_pinned instance with
+  | Some msg -> Error msg
+  | None ->
   let nest = instance.Formulate.nest in
   let per_dim =
     List.map
@@ -139,9 +193,7 @@ let run ?(n_divisors = 2) ?(n_pow2 = 2) ?(max_candidates = 65536)
     | [] -> []
     | _ ->
       let budget_per_dim =
-        let nd = List.length per_dim in
-        Int.max 1
-          (int_of_float (Float.pow (float_of_int max_candidates) (1.0 /. float_of_int nd)))
+        per_dim_budget ~max_candidates ~dims:(List.length per_dim)
       in
       List.map (fun (d, triples) -> (d, take budget_per_dim triples)) per_dim
   in

@@ -25,6 +25,12 @@ val score : Formulate.objective -> Accmodel.Evaluate.t -> float
 (** The model metric being minimized: total energy (pJ) for [Energy],
     total cycles for [Delay], their product for [Edp]. *)
 
+val per_dim_budget : max_candidates:int -> dims:int -> int
+(** Largest integer [b >= 1] with [b^dims <= max_candidates], computed by
+    integer search — the float [pow]-root round-trip undercounts on exact
+    roots (e.g. [4096 ** (1/3)] evaluating to 15.999...).  [dims <= 1]
+    returns [max_candidates] itself.  Exposed for tests. *)
+
 val run :
   ?n_divisors:int ->
   ?n_pow2:int ->

@@ -11,6 +11,9 @@ type config = {
   dedupe : bool;
   warm_start : bool;
   gp_kernel : Gp.Solver.kernel;
+  solve_deadline_ms : float option;
+  retries : int;
+  inject : Robust.Inject.t;
 }
 
 let default_config =
@@ -27,6 +30,9 @@ let default_config =
     dedupe = true;
     warm_start = true;
     gp_kernel = `Compiled;
+    solve_deadline_ms = None;
+    retries = 1;
+    inject = Robust.Inject.none;
   }
 
 type report = {
@@ -35,6 +41,7 @@ type report = {
   choices_solved : int;
   best_continuous : float;
   solve_totals : Gp.Solver.totals;
+  failures : Robust.failure list;
 }
 
 let log_src = Logs.Src.create "thistle.optimize" ~doc:"Thistle optimizer driver"
@@ -52,6 +59,13 @@ let m_cache_hits = Obs.Metrics.counter "solver.cache_hits"
 let m_warm_starts = Obs.Metrics.counter "solver.warm_starts"
 let m_chol_fallbacks = Obs.Metrics.counter "solver.cholesky_fallbacks"
 let g_gap = Obs.Metrics.gauge "solver.max_duality_gap"
+
+(* Robustness counters (DESIGN §9/§11): fed sequentially from per-pair
+   records after the parallel waves complete, like the solver counters,
+   so they are functions of the workload (and injection config) alone. *)
+let m_quarantined = Obs.Metrics.counter "robust.quarantined"
+let m_retries = Obs.Metrics.counter "robust.retries"
+let m_deadline_hits = Obs.Metrics.counter "robust.deadline_hits"
 
 (* Fed from the sequentially-accumulated totals (not from inside the
    parallel sweep), so the counter values are functions of the workload
@@ -101,6 +115,18 @@ let problem_key problem =
       Buffer.add_char buf '#')
     (Gp.Problem.eqs problem);
   Buffer.contents buf
+
+(* Fate of one (choice, placement) pair after the guarded solve stage:
+   either a solver solution or the quarantining failure, plus the final
+   attempt's telemetry, the number of extra attempts spent, and the
+   deadline hits accumulated across every attempt (retried stalls
+   included, which the final attempt's stats alone would miss). *)
+type slot = {
+  s_result : (Gp.Solver.solution, Robust.failure) result;
+  s_stats : Gp.Solver.stats;
+  s_retries : int;
+  s_deadline_hits : int;
+}
 
 let run ?(config = default_config) tech arch_mode objective nest =
   let jobs = Int.max 1 config.jobs in
@@ -157,36 +183,89 @@ let run ?(config = default_config) tech arch_mode objective nest =
      all functions of the enumeration order alone (never of timing or
      worker count), and Exec.Par.map preserves order within each wave,
      so the whole schedule is bit-identical for any [jobs]. *)
-  let results : (Gp.Solver.solution * Gp.Solver.stats) option array =
-    Array.make npairs None
-  in
+  let results : slot option array = Array.make npairs None in
   let key_rep = Hashtbl.create (2 * npairs) in
   let cache_hits = ref 0 in
   let warm_starts = ref 0 in
+  let deadline_ns = Option.map (fun ms -> ms *. 1e6) config.solve_deadline_ms in
+  let max_attempts = 1 + Int.max 0 config.retries in
+  (* One guarded solve attempt.  A stall injection forces a zero deadline
+     on that attempt, which trips [Deadline_exceeded] deterministically at
+     the solver's first check without reading the wall clock.  Retries
+     escalate the initial KKT regularization — a solve that crashed or
+     stalled was usually fighting a near-singular system. *)
   let solve_pair ?warm_start i =
     let instance, _ = inst.(i) in
-    let st = Gp.Solver.fresh_stats () in
-    let solution =
-      Obs.Trace.span "solve"
-        ~attrs:[ ("provenance", instance.Formulate.provenance) ]
-        (fun () ->
-          Gp.Solver.solve ~tol:config.gp_tol ~stats:st ~kernel:config.gp_kernel
-            ?warm_start instance.Formulate.problem)
+    let prov = instance.Formulate.provenance in
+    let attempt_once attempt =
+      let st = Gp.Solver.fresh_stats () in
+      let deadline_ns =
+        if Robust.Inject.stall config.inject ~site:"solve" ~provenance:prov ~attempt
+        then Some 0.0
+        else deadline_ns
+      in
+      let initial_reg = if attempt = 0 then 1e-9 else 1e-5 in
+      let result =
+        Robust.guard ~inject:config.inject ~attempt ~site:"solve" ~provenance:prov
+          (fun () ->
+            Obs.Trace.span "solve"
+              ~attrs:[ ("provenance", prov) ]
+              (fun () ->
+                Gp.Solver.solve ~tol:config.gp_tol ~stats:st
+                  ~kernel:config.gp_kernel ?deadline_ns ~initial_reg ?warm_start
+                  instance.Formulate.problem))
+      in
+      (result, st)
     in
-    (solution, st)
+    let start = Robust.now_ns () in
+    let rec go ~dh attempt =
+      let finish s_result st =
+        {
+          s_result;
+          s_stats = st;
+          s_retries = attempt;
+          s_deadline_hits = dh + st.Gp.Solver.deadline_hits;
+        }
+      in
+      match attempt_once attempt with
+      | Ok sol, st when sol.Gp.Solver.status = Gp.Solver.Deadline_exceeded ->
+        if attempt + 1 < max_attempts then
+          go ~dh:(dh + st.Gp.Solver.deadline_hits) (attempt + 1)
+        else
+          finish
+            (Error
+               (Robust.deadline_failure ~attempts:(attempt + 1) ~site:"solve"
+                  ~provenance:prov
+                  ~elapsed_ns:(Robust.now_ns () -. start)
+                  ()))
+            st
+      | Error f, st ->
+        if attempt + 1 < max_attempts then
+          go ~dh:(dh + st.Gp.Solver.deadline_hits) (attempt + 1)
+        else finish (Error f) st
+      | Ok sol, st -> finish (Ok sol) st
+    in
+    go ~dh:0 0
   in
   (* Replaying a cached solve copies the representative's telemetry
      into a fresh stats record, so [solve_totals] keeps counting
      logical solves exactly as an undeduplicated sweep would; physical
-     solver work is [solves - cache_hits]. *)
+     solver work is [solves - cache_hits].  A quarantined representative
+     quarantines its replicas too (same program, same fate), with the
+     failure relabeled to the replica's own provenance. *)
   let replay i =
-    let _, key = inst.(i) in
+    let instance, key = inst.(i) in
     let rep = Hashtbl.find key_rep key in
-    let solution, rep_st = Option.get results.(rep) in
+    let r = Option.get results.(rep) in
     let st = Gp.Solver.fresh_stats () in
-    Gp.Solver.copy_stats ~into:st rep_st;
+    Gp.Solver.copy_stats ~into:st r.s_stats;
+    let s_result =
+      match r.s_result with
+      | Ok _ as ok -> ok
+      | Error f -> Error { f with Robust.provenance = instance.Formulate.provenance }
+    in
     incr cache_hits;
-    results.(i) <- Some (solution, st)
+    results.(i) <- Some { r with s_result; s_stats = st }
   in
   let is_rep i =
     let _, key = inst.(i) in
@@ -212,7 +291,7 @@ let run ?(config = default_config) tech arch_mode objective nest =
     else
       let pinned = i / nplac * nplac in
       match results.(pinned) with
-      | Some (sol, _)
+      | Some { s_result = Ok sol; _ }
         when sol.Gp.Solver.status <> Gp.Solver.Infeasible
              && sol.Gp.Solver.values <> [] ->
         Some sol.Gp.Solver.values
@@ -227,57 +306,85 @@ let run ?(config = default_config) tech arch_mode objective nest =
   in
   List.iter2 (fun (i, _) r -> results.(i) <- Some r) wave2 solved2;
   List.iter (fun i -> if results.(i) = None then replay i) other_idx;
-  (* Stage C: certificate-check every pair against its (possibly
-     replayed) solution, again order-preserving and in parallel. *)
+  (* Stage C: certificate-check every surviving pair against its
+     (possibly replayed) solution, again order-preserving and in
+     parallel.  Quarantined pairs pass through with their failure. *)
   let attempts =
     Exec.Par.map ~jobs
       (fun i ->
         let instance, _ = inst.(i) in
-        let solution, st = Option.get results.(i) in
+        let slot = Option.get results.(i) in
         let usable =
-          match solution.Gp.Solver.status with
-          | Gp.Solver.Infeasible -> None
-          | Gp.Solver.Optimal | Gp.Solver.Iteration_limit ->
-            if not (Float.is_finite solution.Gp.Solver.objective) then None
-            else begin
-              (* Post-solve certificate: a point with non-finite coordinates
-                 or constraint evaluations is discarded even when the solver
-                 reported a finite objective for it. *)
-              let cert =
-                Analysis.Certificate.check ~provenance:instance.Formulate.provenance
-                  instance.Formulate.problem
-                  (Formulate.solution_env instance solution)
-              in
-              if Analysis.Certificate.hard_failure cert then begin
-                Log.debug (fun m ->
-                    m "%s: certificate rejected solution: %s"
-                      instance.Formulate.provenance
-                      (Analysis.Diagnostic.summary cert.Analysis.Certificate.diagnostics));
-                None
-              end
-              else Some (instance, solution)
-            end
+          match slot.s_result with
+          | Error _ -> None
+          | Ok solution ->
+            (match solution.Gp.Solver.status with
+            | Gp.Solver.Infeasible | Gp.Solver.Deadline_exceeded -> None
+            | Gp.Solver.Optimal | Gp.Solver.Iteration_limit ->
+              if not (Float.is_finite solution.Gp.Solver.objective) then None
+              else begin
+                (* Post-solve certificate: a point with non-finite coordinates
+                   or constraint evaluations is discarded even when the solver
+                   reported a finite objective for it. *)
+                let cert =
+                  Analysis.Certificate.check ~provenance:instance.Formulate.provenance
+                    instance.Formulate.problem
+                    (Formulate.solution_env instance solution)
+                in
+                if Analysis.Certificate.hard_failure cert then begin
+                  Log.debug (fun m ->
+                      m "%s: certificate rejected solution: %s"
+                        instance.Formulate.provenance
+                        (Analysis.Diagnostic.summary cert.Analysis.Certificate.diagnostics));
+                  None
+                end
+                else Some (instance, solution)
+              end)
         in
-        (usable, st))
+        (usable, slot))
       (List.init npairs Fun.id)
   in
-  (* Accumulate telemetry over every solve (feasible or not), in the
-     deterministic sequential order Exec.Par.map preserves. *)
+  (* Accumulate telemetry over every solve (feasible, quarantined or
+     not), in the deterministic sequential order Exec.Par.map
+     preserves. *)
   let solve_totals =
     List.fold_left
-      (fun acc (_, st) -> Gp.Solver.accumulate acc st)
+      (fun acc (_, slot) -> Gp.Solver.accumulate acc slot.s_stats)
       Gp.Solver.zero_totals attempts
+  in
+  let solve_failures =
+    List.filter_map
+      (fun (_, slot) ->
+        match slot.s_result with Error f -> Some f | Ok _ -> None)
+      attempts
   in
   feed_solver_metrics solve_totals;
   Obs.Metrics.add m_cache_hits !cache_hits;
   Obs.Metrics.add m_warm_starts !warm_starts;
+  Obs.Metrics.add m_quarantined (List.length solve_failures);
+  Obs.Metrics.add m_retries
+    (List.fold_left (fun acc (_, slot) -> acc + slot.s_retries) 0 attempts);
+  Obs.Metrics.add m_deadline_hits
+    (List.fold_left (fun acc (_, slot) -> acc + slot.s_deadline_hits) 0 attempts);
+  List.iter
+    (fun f -> Log.warn (fun m -> m "quarantined: %s" (Robust.describe f)))
+    solve_failures;
   let solved = List.filter_map fst attempts in
   match solved with
   | [] ->
     Log.info (fun m ->
-        m "%s: 0/%d choices solved (raw %d)" (Workload.Nest.name nest)
-          (List.length plan.Permutations.choices) plan.Permutations.raw_count);
-    Error "optimize: no permutation choice produced a feasible program"
+        m "%s: 0/%d choices solved (raw %d, %d quarantined)"
+          (Workload.Nest.name nest)
+          (List.length plan.Permutations.choices) plan.Permutations.raw_count
+          (List.length solve_failures));
+    Error
+      (if solve_failures = [] then
+         "optimize: no permutation choice produced a feasible program"
+       else
+         Printf.sprintf
+           "optimize: no permutation choice produced a feasible program (%d \
+            pair(s) quarantined)"
+           (List.length solve_failures))
   | solved ->
     Log.info (fun m ->
         m "%s: %d/%d choices solved (raw %d, %d deduped, %d warm)"
@@ -300,22 +407,39 @@ let run ?(config = default_config) tech arch_mode objective nest =
     let best_continuous =
       match ranked with (_, s) :: _ -> s.Gp.Solver.objective | [] -> nan
     in
-    let outcomes =
-      Exec.Par.filter_map ~jobs
+    (* Guarded integerization: a crash in the model-evaluation stage
+       quarantines that shortlisted candidate (no retry — the stage is
+       deterministic in its inputs, so a second run would crash the same
+       way) instead of killing the sweep. *)
+    let staged =
+      Exec.Par.map ~jobs
         (fun (instance, solution) ->
+          let prov = instance.Formulate.provenance in
           match
-            Obs.Trace.span "integerize"
-              ~attrs:[ ("provenance", instance.Formulate.provenance) ]
+            Robust.guard ~inject:config.inject ~site:"integerize" ~provenance:prov
               (fun () ->
-                Integerize.run ~n_divisors:config.n_divisors ~n_pow2:config.n_pow2
-                  ~min_pe_utilization:config.min_pe_utilization tech instance solution)
+                Obs.Trace.span "integerize"
+                  ~attrs:[ ("provenance", prov) ]
+                  (fun () ->
+                    Integerize.run ~n_divisors:config.n_divisors
+                      ~n_pow2:config.n_pow2
+                      ~min_pe_utilization:config.min_pe_utilization tech instance
+                      solution))
           with
-          | Ok o -> Some o
-          | Error msg ->
+          | Ok (Ok o) -> (Some o, None)
+          | Ok (Error msg) ->
             Log.debug (fun m -> m "integerize failed: %s" msg);
-            None)
+            (None, None)
+          | Error f -> (None, Some f))
         shortlisted
     in
+    let outcomes = List.filter_map fst staged in
+    let integerize_failures = List.filter_map snd staged in
+    Obs.Metrics.add m_quarantined (List.length integerize_failures);
+    List.iter
+      (fun f -> Log.warn (fun m -> m "quarantined: %s" (Robust.describe f)))
+      integerize_failures;
+    let failures = solve_failures @ integerize_failures in
     let better a b =
       Integerize.score objective a.Integerize.metrics
       < Integerize.score objective b.Integerize.metrics
@@ -328,7 +452,15 @@ let run ?(config = default_config) tech arch_mode objective nest =
     in
     begin
       match best with
-      | None -> Error "optimize: no integer candidate survived model evaluation"
+      | None ->
+        Error
+          (if integerize_failures = [] then
+             "optimize: no integer candidate survived model evaluation"
+           else
+             Printf.sprintf
+               "optimize: no integer candidate survived model evaluation (%d \
+                pair(s) quarantined)"
+               (List.length integerize_failures))
       | Some outcome ->
         Ok
           {
@@ -337,6 +469,7 @@ let run ?(config = default_config) tech arch_mode objective nest =
             choices_solved = List.length solved;
             best_continuous;
             solve_totals;
+            failures;
           }
     end
 

@@ -55,6 +55,23 @@ type config = {
       (** solver evaluation/KKT strategy (default [`Compiled]); [`List]
           selects the legacy closure-per-function path, kept as the
           reference baseline for benchmarks and differential tests. *)
+  solve_deadline_ms : float option;
+      (** cooperative wall-clock budget per GP solve (default [None]):
+          checked at outer-iteration boundaries, so a solve may overrun
+          by one centering.  A deadline hit retries per [retries], then
+          quarantines the pair (DESIGN §11).  Positive budgets make the
+          set of surviving pairs timing-dependent; determinism tests use
+          injection instead. *)
+  retries : int;
+      (** extra solve attempts after a crash or deadline hit before the
+          pair is quarantined (default 1; negative behaves as 0).
+          Retried attempts escalate the solver's initial KKT
+          regularization from 1e-9 to 1e-5. *)
+  inject : Robust.Inject.t;
+      (** deterministic fault injection for testing the quarantine
+          machinery (default {!Robust.Inject.none}); decisions are a pure
+          function of (seed, kind, site, provenance, attempt), never of
+          time, so injected runs stay bit-identical across [jobs]. *)
 }
 
 val default_config : config
@@ -75,7 +92,16 @@ type report = {
   solve_totals : Gp.Solver.totals;
       (** solver telemetry summed over {e every} GP solve of the sweep,
           feasible or not, accumulated in deterministic enumeration
-          order *)
+          order.  For retried pairs only the final attempt's stats are
+          counted — one logical solve per pair, mirroring dedupe
+          replays; [robust.retries] counts the extra attempts. *)
+  failures : Robust.failure list;
+      (** quarantined pairs (crashed or deadline-exceeded solves, crashed
+          integerizations) in enumeration order — solve-stage failures
+          first, then integerization-stage ones.  The run succeeds as
+          long as any pair survives; an empty list means a clean sweep.
+          Dedupe replicas of a quarantined representative appear here
+          too, relabeled with their own provenance. *)
 }
 
 val run :

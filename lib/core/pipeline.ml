@@ -13,6 +13,11 @@ let run_layers ?config tech arch_mode objective nests =
     | Some c -> c.Optimize.jobs
     | None -> Optimize.default_config.Optimize.jobs
   in
+  let inject =
+    match config with
+    | Some c -> c.Optimize.inject
+    | None -> Optimize.default_config.Optimize.inject
+  in
   Obs.Trace.span "pipeline"
     ~attrs:[ ("layers", string_of_int (List.length nests)) ]
     (fun () ->
@@ -21,7 +26,22 @@ let run_layers ?config tech arch_mode objective nests =
           Obs.Trace.span "layer"
             ~attrs:[ ("name", Workload.Nest.name nest) ]
             (fun () ->
-              { nest; result = Optimize.run ?config tech arch_mode objective nest }))
+              (* Backstop guard: Optimize.run quarantines per-pair solve
+                 and integerize faults itself, so what reaches this guard
+                 is a crash outside those sites (formulation, ranking,
+                 enumeration).  Exec.Par.map re-raises the lowest-index
+                 exception, so without the guard one crashing layer would
+                 kill its siblings' results. *)
+              let result =
+                match
+                  Robust.guard ~inject ~site:"layer"
+                    ~provenance:(Workload.Nest.name nest)
+                    (fun () -> Optimize.run ?config tech arch_mode objective nest)
+                with
+                | Ok r -> r
+                | Error f -> Error (Robust.describe f)
+              in
+              { nest; result }))
         nests)
 
 let metrics entry =

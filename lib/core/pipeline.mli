@@ -21,7 +21,14 @@ val run_layers :
     list keeps the input layer order — results are identical for any
     [jobs].  The static-analysis gate ([config.lint]) applies per layer
     through {!Optimize.run}: under [Enforce] a lint rejection shows up as
-    that layer's [Error] entry rather than aborting the other layers. *)
+    that layer's [Error] entry rather than aborting the other layers.
+
+    Each layer body additionally runs under {!Robust.guard} (site
+    ["layer"], provenance = the nest name): a crash that escapes
+    {!Optimize.run}'s own per-pair quarantine — in formulation, ranking
+    or enumeration — becomes that layer's [Error] entry instead of
+    propagating through {!Exec.Par.map} and killing the sibling layers'
+    results (DESIGN §11). *)
 
 val dominant_arch :
   Formulate.objective -> entry list -> (Archspec.Arch.t, string) result

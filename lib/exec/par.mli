@@ -13,6 +13,11 @@
     after the whole batch finishes, the exception of the {e smallest
     item index} is re-raised on the caller with its original backtrace
     (mirroring which failure sequential evaluation would have surfaced).
+    Note the consequence: one crashing item discards the whole batch's
+    results.  Callers that want per-item fault isolation instead wrap
+    each item's body in [Robust.guard], which turns the crash into that
+    item's own failure value (see DESIGN §11) — the optimizer's solve
+    sweep and the pipeline's layer loop both do this.
 
     Nested calls (from inside a pool task) run sequentially — parallelism
     applies to the outermost loop only, which both bounds the domain

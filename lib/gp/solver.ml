@@ -3,7 +3,7 @@ module Mat = Linalg.Mat
 module P = Symexpr.Posynomial
 module M = Symexpr.Monomial
 
-type status = Optimal | Infeasible | Iteration_limit
+type status = Optimal | Infeasible | Iteration_limit | Deadline_exceeded
 
 type solution = { status : status; values : (string * float) list; objective : float }
 
@@ -33,6 +33,7 @@ type stats = {
   mutable backtracks : int;
   mutable kkt_regularizations : int;
   mutable cholesky_fallbacks : int;
+  mutable deadline_hits : int;
   mutable duality_gap : float;
 }
 
@@ -44,6 +45,7 @@ let fresh_stats () =
     backtracks = 0;
     kkt_regularizations = 0;
     cholesky_fallbacks = 0;
+    deadline_hits = 0;
     duality_gap = nan;
   }
 
@@ -54,6 +56,7 @@ let reset_stats st =
   st.backtracks <- 0;
   st.kkt_regularizations <- 0;
   st.cholesky_fallbacks <- 0;
+  st.deadline_hits <- 0;
   st.duality_gap <- nan
 
 let copy_stats ~into st =
@@ -63,6 +66,7 @@ let copy_stats ~into st =
   into.backtracks <- st.backtracks;
   into.kkt_regularizations <- st.kkt_regularizations;
   into.cholesky_fallbacks <- st.cholesky_fallbacks;
+  into.deadline_hits <- st.deadline_hits;
   into.duality_gap <- st.duality_gap
 
 type totals = {
@@ -73,6 +77,7 @@ type totals = {
   t_backtracks : int;
   t_kkt_regularizations : int;
   t_cholesky_fallbacks : int;
+  t_deadline_hits : int;
   max_duality_gap : float;
 }
 
@@ -85,6 +90,7 @@ let zero_totals =
     t_backtracks = 0;
     t_kkt_regularizations = 0;
     t_cholesky_fallbacks = 0;
+    t_deadline_hits = 0;
     max_duality_gap = 0.0;
   }
 
@@ -97,6 +103,7 @@ let accumulate t s =
     t_backtracks = t.t_backtracks + s.backtracks;
     t_kkt_regularizations = t.t_kkt_regularizations + s.kkt_regularizations;
     t_cholesky_fallbacks = t.t_cholesky_fallbacks + s.cholesky_fallbacks;
+    t_deadline_hits = t.t_deadline_hits + s.deadline_hits;
     max_duality_gap =
       (if Float.is_finite s.duality_gap then Float.max t.max_duality_gap s.duality_gap
        else t.max_duality_gap);
@@ -105,9 +112,9 @@ let accumulate t s =
 let pp_totals ppf t =
   Format.fprintf ppf
     "solves=%d phase1-outer=%d phase2-outer=%d newton=%d backtracks=%d kkt-reg=%d \
-     chol-fallback=%d max-gap=%.3g"
+     chol-fallback=%d deadline=%d max-gap=%.3g"
     t.solves t.t_phase1_outer t.t_phase2_outer t.t_newton_iters t.t_backtracks
-    t.t_kkt_regularizations t.t_cholesky_fallbacks t.max_duality_gap
+    t.t_kkt_regularizations t.t_cholesky_fallbacks t.t_deadline_hits t.max_duality_gap
 
 let log_src = Logs.Src.create "gp.solver" ~doc:"Geometric-program solver"
 
@@ -163,7 +170,7 @@ let solve_kkt_dense ~hess ~grad ~rows n p reg =
   done;
   Vec.slice (Mat.lu_solve kkt rhs) 0 n
 
-let attempt_dense ~st ~hess ~grad ~rows n p =
+let attempt_dense ~st ~initial_reg ~hess ~grad ~rows n p =
   let rec attempt reg tries =
     match solve_kkt_dense ~hess ~grad ~rows n p reg with
     | dy -> Some dy
@@ -174,7 +181,7 @@ let attempt_dense ~st ~hess ~grad ~rows n p =
         attempt (reg *. 100.0) (tries - 1)
       end
   in
-  attempt 1e-9 6
+  attempt initial_reg 6
 
 (* ------------------------------------------------------------------ *)
 (* Equality-constrained Newton centering — list kernel                *)
@@ -184,7 +191,8 @@ let attempt_dense ~st ~hess ~grad ~rows n p =
    fixed to its value at [y0] (the start must satisfy the equalities and
    be strictly feasible for the inequalities).  This is the pre-compiled
    reference path, kept verbatim as the benchmark baseline. *)
-let centering_list ~st ~barrier_t ~(objective : Smooth.t) ~(ineqs : Smooth.t list) ~rows y0 =
+let centering_list ~initial_reg ~st ~barrier_t ~(objective : Smooth.t)
+    ~(ineqs : Smooth.t list) ~rows y0 =
   let n = Vec.dim y0 in
   let p = List.length rows in
   let phi y =
@@ -221,7 +229,7 @@ let centering_list ~st ~barrier_t ~(objective : Smooth.t) ~(ineqs : Smooth.t lis
           done
         done)
       ineqs;
-    match attempt_dense ~st ~hess ~grad ~rows n p with
+    match attempt_dense ~st ~initial_reg ~hess ~grad ~rows n p with
     | None ->
       (* The KKT system is numerically singular even with heavy
          regularization: accept the current (feasible) point. *)
@@ -352,7 +360,7 @@ let nullspace_basis n rows_arr =
    by construction, unlike a range-space (Schur-complement) elimination,
    which amplifies roundoff by ||H^-1|| ~ barrier_t / reg along the
    curvature-free log-linear directions every GP formulation has. *)
-let centering_compiled ~ws_cache ~st ~barrier_t ~(objective : Compiled.t)
+let centering_compiled ~ws_cache ~initial_reg ~st ~barrier_t ~(objective : Compiled.t)
     ~(ineqs : Compiled.t list) ~rows y0 =
   let n = Vec.dim y0 in
   let p = List.length rows in
@@ -469,14 +477,14 @@ let centering_compiled ~ws_cache ~st ~barrier_t ~(objective : Compiled.t)
             attempt (reg *. 100.0) (tries - 1)
           end
       in
-      match attempt 1e-9 6 with
+      match attempt initial_reg 6 with
       | Some dy -> Some dy
       | None ->
         (* Cholesky keeps failing even under heavy regularization (an
            indefinite Hessian from numerical noise): fall back once to
            the dense pivoted-LU KKT path before giving up on the step. *)
         st.cholesky_fallbacks <- st.cholesky_fallbacks + 1;
-        attempt_dense ~st ~hess ~grad ~rows n p
+        attempt_dense ~st ~initial_reg ~hess ~grad ~rows n p
     in
     match dy with
     | None ->
@@ -545,18 +553,18 @@ let minus_slack n (f : Smooth.t) =
   in
   { Smooth.dim = n + 1; eval; value }
 
-let list_ops : Smooth.t ops =
+let list_ops ~initial_reg : Smooth.t ops =
   {
     k_value = (fun (f : Smooth.t) y -> f.Smooth.value y);
-    k_centering = centering_list;
+    k_centering = centering_list ~initial_reg;
     k_linear = Smooth.linear;
     k_minus_slack = minus_slack;
   }
 
-let compiled_ops ws_cache : Compiled.t ops =
+let compiled_ops ws_cache ~initial_reg : Compiled.t ops =
   {
     k_value = Compiled.value;
-    k_centering = centering_compiled ~ws_cache;
+    k_centering = centering_compiled ~ws_cache ~initial_reg;
     k_linear =
       (fun n a b ->
         let entries = ref [] in
@@ -571,8 +579,12 @@ let compiled_ops ws_cache : Compiled.t ops =
 (* Barrier loop                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let barrier ?(stop_early = fun _ -> false) ~ops ~st ~phase ~tol ~max_outer ~objective
-    ~ineqs ~rows y0 =
+(* [check] is the cooperative deadline hook: called before every outer
+   (centering) iteration, it raises {!Deadline} once the caller's budget
+   is spent.  Checks sit at outer-iteration boundaries only — a single
+   centering runs to completion — keeping the hot path untouched. *)
+let barrier ?(stop_early = fun _ -> false) ~check ~ops ~st ~phase ~tol ~max_outer
+    ~objective ~ineqs ~rows y0 =
   let m = List.length ineqs in
   let tick () =
     match phase with
@@ -580,6 +592,7 @@ let barrier ?(stop_early = fun _ -> false) ~ops ~st ~phase ~tol ~max_outer ~obje
     | `Two -> st.phase2_outer <- st.phase2_outer + 1
   in
   if m = 0 then begin
+    check ();
     if phase = `Two then st.duality_gap <- 0.0;
     (ops.k_centering ~st ~barrier_t:1.0 ~objective ~ineqs ~rows y0, true)
   end
@@ -593,6 +606,7 @@ let barrier ?(stop_early = fun _ -> false) ~ops ~st ~phase ~tol ~max_outer ~obje
     while not !done_ do
       incr outer;
       tick ();
+      check ();
       y := ops.k_centering ~st ~barrier_t:!t ~objective ~ineqs ~rows !y;
       if stop_early !y then begin
         done_ := true;
@@ -615,7 +629,7 @@ let barrier ?(stop_early = fun _ -> false) ~ops ~st ~phase ~tol ~max_outer ~obje
 
 (* Find a point satisfying the equalities and strictly satisfying the
    inequalities, or decide that none exists. *)
-let phase1 ~ops ~st ~tol ~max_outer n ineqs rows y0 =
+let phase1 ~check ~ops ~st ~tol ~max_outer n ineqs rows y0 =
   let strictly_ok y = List.for_all (fun g -> ops.k_value g y < -1e-9) ineqs in
   if strictly_ok y0 then Some y0
   else begin
@@ -632,7 +646,7 @@ let phase1 ~ops ~st ~tol ~max_outer n ineqs rows y0 =
     let start = Vec.concat y0 [| s0 |] in
     let stop_early y = y.(n) < -0.5 in
     let y1, _ =
-      barrier ~stop_early ~ops ~st ~phase:`One ~tol ~max_outer ~objective
+      barrier ~stop_early ~check ~ops ~st ~phase:`One ~tol ~max_outer ~objective
         ~ineqs:(lower :: g_ineqs) ~rows:rows1 start
     in
     let y = Vec.slice y1 0 n in
@@ -700,10 +714,25 @@ let warm_point n index vars rows warm =
        y
      with Mat.Singular -> least_norm_start n rows)
 
+(* Internal deadline signal; never escapes [solve]. *)
+exception Deadline
+
+let now_ns () = Unix.gettimeofday () *. 1e9
+
 let solve ?(tol = 1e-8) ?(max_outer = 60) ?stats ?warm_start ?(kernel = `Compiled)
-    problem =
+    ?deadline_ns ?(initial_reg = 1e-9) problem =
   let st = match stats with Some st -> st | None -> fresh_stats () in
   reset_stats st;
+  (* Cooperative deadline: checked at outer-iteration boundaries (see
+     [barrier]).  [deadline_ns <= 0] trips at the very first check, which
+     the fault-injection "stall" path relies on for determinism. *)
+  let check =
+    match deadline_ns with
+    | None -> fun () -> ()
+    | Some budget_ns ->
+      let start = now_ns () in
+      fun () -> if now_ns () -. start >= budget_ns then raise Deadline
+  in
   let vars = Problem.variables problem in
   let n = List.length vars in
   let index = Hashtbl.create (2 * n) in
@@ -739,24 +768,25 @@ let solve ?(tol = 1e-8) ?(max_outer = 60) ?stats ?warm_start ?(kernel = `Compile
         | Some warm -> warm_point n index vars rows warm
       in
       let run ops objective ineqs =
-        match phase1 ~ops ~st ~tol:1e-6 ~max_outer n ineqs rows y0 with
+        match phase1 ~check ~ops ~st ~tol:1e-6 ~max_outer n ineqs rows y0 with
         | None ->
           Log.debug (fun m -> m "phase I failed: problem infeasible");
           { status = Infeasible; values = []; objective = nan }
         | Some y_feas ->
           let y_opt, clean =
-            barrier ~ops ~st ~phase:`Two ~tol ~max_outer ~objective ~ineqs ~rows y_feas
+            barrier ~check ~ops ~st ~phase:`Two ~tol ~max_outer ~objective ~ineqs ~rows
+              y_feas
           in
           extract (if clean then Optimal else Iteration_limit) y_opt
       in
       match kernel with
       | `List ->
-        run list_ops
+        run (list_ops ~initial_reg)
           (compile_posynomial n index (Problem.objective problem))
           (List.map (fun (_, p) -> compile_posynomial n index p) (Problem.ineqs problem))
       | `Compiled ->
         let ws_cache = Hashtbl.create 4 in
-        run (compiled_ops ws_cache)
+        run (compiled_ops ws_cache ~initial_reg)
           (Compiled.of_posynomial n index (Problem.objective problem))
           (List.map
              (fun (_, p) -> Compiled.of_posynomial n index p)
@@ -766,4 +796,8 @@ let solve ?(tol = 1e-8) ?(max_outer = 60) ?stats ?warm_start ?(kernel = `Compile
     | exception Mat.Singular ->
       Log.debug (fun m -> m "numerical failure: treating the program as infeasible");
       { status = Infeasible; values = []; objective = nan }
+    | exception Deadline ->
+      st.deadline_hits <- st.deadline_hits + 1;
+      Log.debug (fun m -> m "solve deadline exceeded");
+      { status = Deadline_exceeded; values = []; objective = nan }
   end

@@ -30,6 +30,10 @@ type status =
   | Iteration_limit
       (** progress stalled; the returned point is the best found and is
           feasible, but optimality is not certified *)
+  | Deadline_exceeded
+      (** the cooperative [?deadline_ns] budget ran out before the solve
+          converged; [values] is empty and [objective] is [nan].  Counted
+          in {!stats.deadline_hits} / {!totals.t_deadline_hits}. *)
 
 type solution = {
   status : status;
@@ -72,6 +76,8 @@ type stats = {
       (** Newton steps where the structured Cholesky path failed at
           every regularization level and the dense LU path was tried
           instead; always 0 for the [`List] kernel *)
+  mutable deadline_hits : int;
+      (** 1 when this solve returned {!Deadline_exceeded}, else 0 *)
   mutable duality_gap : float;
       (** certified duality-gap bound [m / t] at the end of phase II;
           [0.0] for problems without inequalities, [nan] when phase II
@@ -93,6 +99,7 @@ type totals = {
   t_backtracks : int;
   t_kkt_regularizations : int;
   t_cholesky_fallbacks : int;
+  t_deadline_hits : int;
   max_duality_gap : float;  (** largest finite per-solve gap; [0.0] if none *)
 }
 (** Order-independent aggregation of per-solve {!stats} — summing is
@@ -111,6 +118,8 @@ val solve :
   ?stats:stats ->
   ?warm_start:(string * float) list ->
   ?kernel:kernel ->
+  ?deadline_ns:float ->
+  ?initial_reg:float ->
   Problem.t ->
   solution
 (** [solve problem] minimizes the problem objective.  [tol] bounds the
@@ -119,6 +128,19 @@ val solve :
     When [stats] is given, its fields are overwritten with this solve's
     telemetry; passing it does not change the returned solution in any
     way.
+
+    [deadline_ns] is a cooperative wall-clock budget for the whole
+    solve, checked at outer-iteration boundaries (a single centering
+    always runs to completion).  When it runs out the solve returns
+    {!Deadline_exceeded} instead of raising.  A non-positive budget
+    trips deterministically at the very first check, before any solver
+    work — the fault-injection "stall" path relies on this.  With the
+    default ([None]) no clock is ever read.
+
+    [initial_reg] (default [1e-9]) is the starting KKT regularization of
+    every Newton step's factorization ladder; the retry policy in
+    {!Optimize} escalates it when re-running a solve that crashed or
+    timed out.
 
     [warm_start] supplies a prior solution's positive-space values
     (e.g. [solution.values] from a structurally close problem); they

@@ -110,6 +110,13 @@ let search_parallel ?(config = default_config)
     | Some d -> Int.max 1 d
     | None -> Int.min 8 (Domain.recommended_domain_count ())
   in
+  (* Degenerate splits: with more streams than trials some streams would
+     get [max_trials = 0] yet still spawn and merge, and the per-stream
+     victory shares would collapse toward 1, changing the termination
+     semantics versus the sequential path.  Clamp so every stream owns at
+     least one trial; a budget of <= 1 trial runs the sequential path
+     outright. *)
+  let domains = Int.min domains (Int.max config.max_trials 1) in
   if domains = 1 then search ~config ~constraints tech arch criterion nest
   else
     Obs.Trace.span "mapper.search_parallel"

@@ -62,7 +62,10 @@ val search_parallel :
     {!Exec.Pool}, and the per-stream incumbents are merged in stream
     order.  Deterministic for a fixed [(config, domains)] pair regardless
     of scheduling.  [domains] defaults to the number of recognized CPUs,
-    capped at 8. *)
+    capped at 8, and is additionally clamped to [max config.max_trials 1]
+    so no stream ever owns zero trials (degenerate splits would otherwise
+    change the victory-condition semantics versus the sequential path); a
+    budget of [<= 1] trial runs {!search}'s exact sequential path. *)
 
 val exhaustive :
   Archspec.Technology.t ->

@@ -27,7 +27,14 @@ let budget = 6.0e5
 let fast_config = { O.default_config with O.max_choices = 8; top_choices = 1 }
 
 (* A bit-exact textual fingerprint of everything a run reports.  Floats
-   go through Int64.bits_of_float so "close enough" can't sneak by. *)
+   go through Int64.bits_of_float so "close enough" can't sneak by.
+   Quarantined failures enter through their deterministic fields (site,
+   provenance, exception, attempts) — elapsed time is wall clock and
+   excluded, like the timing histograms. *)
+let failure_sig (f : Robust.failure) =
+  Printf.sprintf "%s:%s:%s@%d" f.Robust.site f.Robust.provenance f.Robust.exn
+    f.Robust.attempts
+
 let fingerprint (e : Pl.entry) =
   let name = Workload.Nest.name e.Pl.nest in
   match e.Pl.result with
@@ -36,13 +43,14 @@ let fingerprint (e : Pl.entry) =
     let o = r.O.outcome in
     Format.asprintf
       "%s: arch=%s mapping=(%a) energy=%Lx cycles=%Lx continuous=%Lx enumerated=%d \
-       solved=%d tried=%d valid=%d totals=(%a)"
+       solved=%d tried=%d valid=%d totals=(%a) failures=[%s]"
       name o.I.arch.Arch.arch_name Mapping.pp o.I.mapping
       (Int64.bits_of_float o.I.metrics.Evaluate.energy_pj)
       (Int64.bits_of_float o.I.metrics.Evaluate.cycles)
       (Int64.bits_of_float r.O.best_continuous)
       r.O.choices_enumerated r.O.choices_solved o.I.candidates_tried
       o.I.candidates_valid Gp.Solver.pp_totals r.O.solve_totals
+      (String.concat ";" (List.map failure_sig r.O.failures))
 
 (* One instrumented pipeline run; returns fingerprints and the counter
    section of the metrics snapshot, leaving the registry clean. *)
@@ -87,6 +95,28 @@ let test_jobs_independent () =
   let par = run ~jobs:4 ~trace:false () in
   nonvacuous seq;
   check_same "jobs 1 vs jobs 4" seq par
+
+(* Same contract under deterministic fault injection: quarantine
+   decisions are pure functions of (seed, site, provenance, attempt),
+   so which pairs fail, which survive, and every robust.* counter must
+   be bit-identical for jobs 1 vs 4. *)
+let test_injected_jobs_independent () =
+  let inject =
+    match Robust.Inject.parse "seed=5,crash@solve=0.25,stall@solve=0.1" with
+    | Ok t -> t
+    | Error e -> Alcotest.fail e
+  in
+  let config = { fast_config with O.inject } in
+  let seq = run ~config ~jobs:1 ~trace:false () in
+  let par = run ~config ~jobs:4 ~trace:false () in
+  let entries, _, counters = seq in
+  Alcotest.(check bool) "injection quarantined some pairs" true
+    (match List.assoc_opt "robust.quarantined" counters with
+    | Some v -> v > 0
+    | None -> false);
+  Alcotest.(check bool) "some layer still survives" true
+    (List.exists (fun e -> Result.is_ok e.Pl.result) entries);
+  check_same "injected: jobs 1 vs jobs 4" seq par
 
 let test_trace_independent () =
   let plain = run ~jobs:4 ~trace:false () in
@@ -171,6 +201,8 @@ let () =
       ( "pipeline",
         [
           Alcotest.test_case "jobs-independent" `Quick test_jobs_independent;
+          Alcotest.test_case "injected jobs-independent" `Quick
+            test_injected_jobs_independent;
           Alcotest.test_case "trace-independent" `Quick test_trace_independent;
           Alcotest.test_case "dedupe-independent" `Quick test_dedupe_independent;
           Alcotest.test_case "warm-start outcomes" `Quick test_warm_start_outcomes;

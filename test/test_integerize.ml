@@ -130,6 +130,68 @@ let test_utilization_filter () =
       (Printf.sprintf "utilization %.2f >= 0.5" utilization)
       true (utilization >= 0.5)
 
+(* Pinned trip counts arrive from the solver as floats a few ulps off
+   the integer; truncation used to turn 3.9999999 into 3 and shift the
+   whole divisor ladder.  Rounding must absorb tiny perturbations, and
+   genuinely non-integer pinned values must be rejected up front. *)
+let test_pinned_rounding () =
+  let nest = small_conv () in
+  let arch = Arch.make ~name:"a" ~pes:64 ~registers:64 ~sram_words:4096 in
+  let inst, sol = solve_first (F.Fixed arch) nest in
+  let perturb delta =
+    { inst with F.pinned = List.map (fun (x, v) -> (x, v +. delta)) inst.F.pinned }
+  in
+  let baseline = Result.get_ok (I.run tech inst sol) in
+  (match I.run tech (perturb (-1e-9)) sol with
+  | Error msg -> Alcotest.failf "ulp-low pinned values rejected: %s" msg
+  | Ok o ->
+    Alcotest.(check string)
+      "same mapping as exact pinned values"
+      (Format.asprintf "%a" Mapping.pp baseline.I.mapping)
+      (Format.asprintf "%a" Mapping.pp o.I.mapping));
+  match I.run tech (perturb 0.3) sol with
+  | Ok _ -> Alcotest.fail "non-integer pinned value should be rejected"
+  | Error msg ->
+    Alcotest.(check bool) "error names the pinned factor" true
+      (String.length msg >= 25 && String.sub msg 0 25 = "integerize: pinned factor")
+
+(* The per-dim candidate budget is the largest b with b^dims <= max;
+   the old float pow round-trip undercounted exact roots (4096^(1/3)
+   evaluating to 15.999... gave 15, quartering a 3-dim ladder). *)
+let test_per_dim_budget () =
+  List.iter
+    (fun (max_candidates, dims, expected) ->
+      Alcotest.(check int)
+        (Printf.sprintf "budget %d^(1/%d)" max_candidates dims)
+        expected
+        (I.per_dim_budget ~max_candidates ~dims))
+    [
+      (4096, 3, 16);
+      (512, 3, 8);
+      (49, 2, 7);
+      (48, 2, 6);
+      (65536, 2, 256);
+      (65536, 1, 65536);
+      (65536, 0, 65536);
+      (1, 5, 1);
+      (0, 3, 1);
+    ];
+  (* Defining property on a sweep: b^dims <= max < (b+1)^dims. *)
+  for max_candidates = 1 to 500 do
+    for dims = 2 to 5 do
+      let b = I.per_dim_budget ~max_candidates ~dims in
+      let pow base = List.fold_left (fun acc _ -> acc * base) 1 (List.init dims Fun.id) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d^%d <= %d" b dims max_candidates)
+        true
+        (b >= 1 && pow b <= max_candidates);
+      Alcotest.(check bool)
+        (Printf.sprintf "%d^%d > %d" (b + 1) dims max_candidates)
+        true
+        (pow (b + 1) > max_candidates)
+    done
+  done
+
 let test_infeasible_arch_errors () =
   let nest = small_conv () in
   (* A 4-register PE cannot hold the pinned 3x3 window tiles. *)
@@ -153,6 +215,8 @@ let () =
           Alcotest.test_case "delay scoring" `Quick test_delay_scoring;
           Alcotest.test_case "ladder width monotone" `Quick test_ladder_width_monotone;
           Alcotest.test_case "utilization filter" `Quick test_utilization_filter;
+          Alcotest.test_case "pinned rounding" `Quick test_pinned_rounding;
+          Alcotest.test_case "per-dim budget" `Quick test_per_dim_budget;
           Alcotest.test_case "infeasible arch errors" `Quick test_infeasible_arch_errors;
         ] );
     ]

@@ -101,6 +101,40 @@ let test_parallel_search () =
       "domains=1 = sequential" a.Accmodel.Evaluate.energy_pj b.Accmodel.Evaluate.energy_pj
   | _ -> Alcotest.fail "searches found nothing"
 
+(* Degenerate splits: with more domains than trials, the per-stream
+   budgets used to collapse to zero trials and victory shares of one,
+   changing termination semantics versus the sequential path.  The
+   domain count is clamped to the budget, so tiny budgets must behave
+   exactly like the sequential search, and the total never exceeds the
+   budget. *)
+let test_parallel_tiny_budgets () =
+  List.iter
+    (fun max_trials ->
+      let config = { S.max_trials; victory_condition = 100; seed = 7 } in
+      let seq = S.search ~config tech tiny_arch S.Min_energy tiny_nest in
+      let par =
+        S.search_parallel ~config ~domains:8 tech tiny_arch S.Min_energy tiny_nest
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "budget %d: same trial count" max_trials)
+        seq.S.trials par.S.trials;
+      Alcotest.(check int)
+        (Printf.sprintf "budget %d: same valid count" max_trials)
+        seq.S.valid_trials par.S.valid_trials;
+      match (seq.S.best, par.S.best) with
+      | None, None -> ()
+      | Some (_, a), Some (_, b) ->
+        Alcotest.(check (float 0.0))
+          (Printf.sprintf "budget %d: same best" max_trials)
+          a.Accmodel.Evaluate.energy_pj b.Accmodel.Evaluate.energy_pj
+      | _ -> Alcotest.failf "budget %d: best presence differs" max_trials)
+    [ 0; 1 ];
+  let config = { S.max_trials = 5; victory_condition = 100; seed = 7 } in
+  let par = S.search_parallel ~config ~domains:8 tech tiny_arch S.Min_energy tiny_nest in
+  Alcotest.(check bool)
+    (Printf.sprintf "5-trial budget spends %d <= 5" par.S.trials)
+    true (par.S.trials <= 5)
+
 (* --- grid-search co-design baseline --- *)
 
 let test_grid_architectures () =
@@ -187,6 +221,7 @@ let () =
           Alcotest.test_case "space guard" `Quick test_exhaustive_space_guard;
           Alcotest.test_case "delay criterion" `Quick test_delay_criterion;
           Alcotest.test_case "parallel search" `Quick test_parallel_search;
+          Alcotest.test_case "parallel tiny budgets" `Quick test_parallel_tiny_budgets;
         ] );
       ( "grid",
         [
