@@ -177,6 +177,50 @@ let robust_opts =
   in
   Term.(const build $ deadline_arg $ retries_arg $ inject_arg)
 
+(* Sharding/journaling knobs (DESIGN §12), composing onto the config
+   like [solver_opts] and [robust_opts]. *)
+let shard_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Sweep.Partition.parse s) in
+  let print ppf t = Format.pp_print_string ppf (Sweep.Partition.to_string t) in
+  Arg.conv (parse, print)
+
+let sweep_opts =
+  let shard_arg =
+    Arg.(
+      value
+      & opt shard_conv Sweep.Partition.full
+      & info [ "shard" ] ~docv:"I/N"
+          ~doc:
+            "Own only the $(docv)-th of $(i,N) round-robin slices of the \
+             (choice x placement) work-list (whole choices per shard, 1-based).  A \
+             shard solves, journals and reports its own pairs; combine the shard \
+             journals with $(b,thistle merge) to recover the exact unsharded \
+             report.")
+  in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Append every completed (solved or quarantined) pair to the JSONL \
+             completion journal $(docv) as it finishes, so a killed run can be \
+             resumed with $(b,--resume).")
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Replay pairs recorded in $(b,--journal) instead of re-solving them.  \
+             Entries whose fingerprint no longer matches the formulation and solver \
+             configuration are re-solved and re-journaled.")
+  in
+  let build shard journal resume config =
+    { config with O.shard; journal; resume }
+  in
+  Term.(const build $ shard_arg $ journal_arg $ resume_arg)
+
 let lint_mode_arg =
   Arg.(
     value
@@ -297,7 +341,7 @@ let layers_cmd =
 
 let optimize_cmd =
   let run () layer objective arch top_choices max_choices emit emit_code node jobs lint
-      solver robust trace metrics =
+      solver robust sweep trace metrics =
     match nest_of_layer layer with
     | Error msg ->
       prerr_endline msg;
@@ -306,9 +350,10 @@ let optimize_cmd =
       with_obs ~trace ~metrics @@ fun () -> begin
         let tech = tech_of_node node in
         let config =
-          robust
-            (solver
-               { O.default_config with O.top_choices; max_choices; jobs; lint })
+          sweep
+            (robust
+               (solver
+                  { O.default_config with O.top_choices; max_choices; jobs; lint }))
         in
         match O.dataflow ~config tech arch objective nest with
         | Error msg ->
@@ -327,7 +372,8 @@ let optimize_cmd =
     Term.(
       const run $ setup_logs $ layer_arg $ objective_arg $ arch_args $ top_choices_arg
       $ sweep_max_choices_arg $ emit_arg $ emit_code_arg $ node_arg $ jobs_arg
-      $ lint_mode_arg $ solver_opts $ robust_opts $ trace_arg $ metrics_out_arg)
+      $ lint_mode_arg $ solver_opts $ robust_opts $ sweep_opts $ trace_arg
+      $ metrics_out_arg)
 
 let codesign_cmd =
   let area_arg =
@@ -338,7 +384,7 @@ let codesign_cmd =
           ~doc:"Chip-area budget in um^2 (defaults to the Eyeriss area).")
   in
   let run () layer objective area top_choices max_choices emit emit_code node jobs lint
-      solver robust trace metrics =
+      solver robust sweep trace metrics =
     match nest_of_layer layer with
     | Error msg ->
       prerr_endline msg;
@@ -350,9 +396,10 @@ let codesign_cmd =
           match area with Some a -> a | None -> Arch.eyeriss_area tech
         in
         let config =
-          robust
-            (solver
-               { O.default_config with O.top_choices; max_choices; jobs; lint })
+          sweep
+            (robust
+               (solver
+                  { O.default_config with O.top_choices; max_choices; jobs; lint }))
         in
         match O.codesign ~config tech ~area_budget objective nest with
         | Error msg ->
@@ -372,7 +419,8 @@ let codesign_cmd =
     Term.(
       const run $ setup_logs $ layer_arg $ objective_arg $ area_arg $ top_choices_arg
       $ sweep_max_choices_arg $ emit_arg $ emit_code_arg $ node_arg $ jobs_arg
-      $ lint_mode_arg $ solver_opts $ robust_opts $ trace_arg $ metrics_out_arg)
+      $ lint_mode_arg $ solver_opts $ robust_opts $ sweep_opts $ trace_arg
+      $ metrics_out_arg)
 
 let mapper_cmd =
   let trials_arg =
@@ -589,6 +637,103 @@ let pipeline_cmd =
       $ jobs_arg $ lint_mode_arg $ solver_opts $ robust_opts $ trace_arg
       $ metrics_out_arg)
 
+let merge_cmd =
+  let files_arg =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"JOURNAL"
+          ~doc:"Per-shard completion journals (JSONL) to combine.")
+  in
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "journal"; "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the combined journal to $(docv) (sorted by pair index, duplicates \
+             collapsed), then resume the sweep from it.")
+  in
+  let codesign_arg =
+    Arg.(
+      value & flag
+      & info [ "codesign" ]
+          ~doc:
+            "The shards ran $(b,thistle codesign); reproduce that command's report \
+             (the default reproduces $(b,thistle optimize) on the $(b,--pes/--regs/\
+             --sram) architecture).")
+  in
+  let area_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "area" ] ~docv:"UM2"
+          ~doc:
+            "Chip-area budget for $(b,--codesign) (defaults to the Eyeriss area); \
+             must match the shard runs.")
+  in
+  let run () layer objective arch codesign area top_choices max_choices node jobs lint
+      solver robust out files =
+    match nest_of_layer layer with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok nest -> (
+      match Sweep.Merge.load_files files with
+      | Error msg ->
+        prerr_endline msg;
+        1
+      | Ok entries ->
+        Sweep.Journal.write_file out entries;
+        let tech = tech_of_node node in
+        let config =
+          robust
+            (solver
+               {
+                 O.default_config with
+                 O.top_choices;
+                 max_choices;
+                 jobs;
+                 lint;
+                 journal = Some out;
+                 resume = true;
+               })
+        in
+        (* The merged run replays every journaled pair and re-runs
+           ranking + integerization over the full work-list: its report
+           is byte-identical to the corresponding unsharded command.
+           Pairs the shards never completed (or whose fingerprints went
+           stale) are re-solved here and appended to the merged
+           journal. *)
+        let result =
+          if codesign then begin
+            let area_budget =
+              match area with Some a -> a | None -> Arch.eyeriss_area tech
+            in
+            Format.printf "area budget: %.0f um^2@." area_budget;
+            O.codesign ~config tech ~area_budget objective nest
+          end
+          else O.dataflow ~config tech arch objective nest
+        in
+        match result with
+        | Error msg ->
+          prerr_endline msg;
+          1
+        | Ok report ->
+          print_outcome ~tech nest report None None;
+          0)
+  in
+  Cmd.v
+    (Cmd.info "merge"
+       ~doc:
+         "Combine per-shard sweep journals and replay them into the exact report an \
+          unsharded run would print.  Pass the same layer, objective, architecture \
+          and solver flags the shards ran with; pairs missing from the journals are \
+          re-solved.")
+    Term.(
+      const run $ setup_logs $ layer_arg $ objective_arg $ arch_args $ codesign_arg
+      $ area_arg $ top_choices_arg $ sweep_max_choices_arg $ node_arg $ jobs_arg
+      $ lint_mode_arg $ solver_opts $ robust_opts $ out_arg $ files_arg)
+
 let metrics_cmd =
   let json_arg =
     Arg.(
@@ -667,6 +812,7 @@ let main =
       mapper_cmd;
       pipeline_cmd;
       lint_cmd;
+      merge_cmd;
       metrics_cmd;
     ]
 

@@ -14,6 +14,9 @@ type config = {
   solve_deadline_ms : float option;
   retries : int;
   inject : Robust.Inject.t;
+  shard : Sweep.Partition.t;
+  journal : string option;
+  resume : bool;
 }
 
 let default_config =
@@ -33,6 +36,9 @@ let default_config =
     solve_deadline_ms = None;
     retries = 1;
     inject = Robust.Inject.none;
+    shard = Sweep.Partition.full;
+    journal = None;
+    resume = false;
   }
 
 type report = {
@@ -66,6 +72,54 @@ let g_gap = Obs.Metrics.gauge "solver.max_duality_gap"
 let m_quarantined = Obs.Metrics.counter "robust.quarantined"
 let m_retries = Obs.Metrics.counter "robust.retries"
 let m_deadline_hits = Obs.Metrics.counter "robust.deadline_hits"
+
+(* Sharded/resumable sweep counters (DESIGN §9/§12).  [sweep.pairs_solved]
+   counts physical solver invocations this run — the number a resumed or
+   merged run keeps low — while [solve_totals] keeps counting logical
+   solves (journal replays included) so reports stay identical. *)
+let m_journal_hits = Obs.Metrics.counter "sweep.journal_hits"
+let m_journal_stale = Obs.Metrics.counter "sweep.journal_stale"
+let m_pairs_solved = Obs.Metrics.counter "sweep.pairs_solved"
+
+(* Ascending on finite scores; any non-finite score (NaN, +/-inf from an
+   overflowed or failed model evaluation) orders after every finite one
+   and ties with other non-finite scores — under a minimization
+   objective a bogus score must never displace a real one.  Note
+   [Float.compare] alone orders NaN *first*, which would put a NaN
+   candidate at the top of the shortlist. *)
+let compare_scores a b =
+  match (Float.is_finite a, Float.is_finite b) with
+  | true, true -> Float.compare a b
+  | true, false -> -1
+  | false, true -> 1
+  | false, false -> 0
+
+(* Minimum of [score] over the list under [compare_scores]; exact ties
+   keep the last listed (the historical fold behavior).  In particular a
+   NaN-scored element can win only when every element is non-finite. *)
+let select_best ~score outcomes =
+  List.fold_left
+    (fun acc o ->
+      match acc with
+      | Some o' when compare_scores (score o') (score o) < 0 -> acc
+      | Some _ | None -> Some o)
+    None outcomes
+
+(* Everything that can change a pair's journaled fate besides the
+   problem itself: solver tolerance and kernel, reuse policy, the
+   deadline/retry/injection machinery.  Entering the pair fingerprint,
+   it versions the journal cache — change any of these and every
+   journal entry goes stale and is re-solved (DESIGN §12). *)
+let config_fingerprint config =
+  Printf.sprintf "v1|tol=%Lx|kernel=%s|warm=%b|dedupe=%b|deadline=%s|retries=%d|inject=%s"
+    (Int64.bits_of_float config.gp_tol)
+    (match config.gp_kernel with `Compiled -> "compiled" | `List -> "list")
+    config.warm_start config.dedupe
+    (match config.solve_deadline_ms with
+    | None -> "none"
+    | Some ms -> Printf.sprintf "%Lx" (Int64.bits_of_float ms))
+    config.retries
+    (Robust.Inject.to_string config.inject)
 
 (* Fed from the sequentially-accumulated totals (not from inside the
    parallel sweep), so the counter values are functions of the workload
@@ -142,25 +196,33 @@ let run ?(config = default_config) tech arch_mode objective nest =
       plan.Permutations.choices
   in
   let npairs = List.length pairs in
-  (* Stage A: formulate, lint and key every (choice, placement) pair.
-     The pairs are independent — Formulate.build shares no mutable state
-     — and Exec.Par.map preserves sequential order, so the stage is
-     bit-identical for any [jobs].  A lint rejection aborts the whole
-     sweep: every pair of one layer shares the formulation code, so one
-     malformed instance means the model itself is wrong, not that one
-     choice is unlucky. *)
+  (* The explicit indexed work-list: pair [i] is choice [i / nplac],
+     placement [i mod nplac], in exact enumeration order.  Shard
+     membership, journal entries and the merge step all speak this
+     indexing (DESIGN §12); a shard owns whole choices so every
+     warm-start source stays shard-local. *)
+  let pair_arr = Array.of_list pairs in
+  let shard_idx = Sweep.Partition.pair_indices config.shard ~nplac ~npairs in
+  (* Stage A: formulate, lint and key every owned (choice, placement)
+     pair.  The pairs are independent — Formulate.build shares no
+     mutable state — and Exec.Par.map preserves sequential order, so the
+     stage is bit-identical for any [jobs].  A lint rejection aborts the
+     whole sweep: every pair of one layer shares the formulation code,
+     so one malformed instance means the model itself is wrong, not that
+     one choice is unlucky. *)
   let formulated =
     try
       Ok
         (Exec.Par.map ~jobs
-           (fun (choice_vol, placement) ->
+           (fun i ->
+             let choice_vol, placement = pair_arr.(i) in
              let instance =
                Obs.Trace.span "formulate" (fun () ->
                    Formulate.build ~placement tech arch_mode objective plan choice_vol)
              in
              Analysis.Lint.gate config.lint (Formulate.lint instance);
              (instance, problem_key instance.Formulate.problem))
-           pairs)
+           shard_idx)
     with Analysis.Lint.Rejected diags ->
       Error
         (Printf.sprintf "optimize: lint rejected formulation: %s"
@@ -169,7 +231,13 @@ let run ?(config = default_config) tech arch_mode objective nest =
   match formulated with
   | Error _ as e -> e
   | Ok formulated ->
-  let inst = Array.of_list formulated in
+  let inst : (Formulate.instance * string) option array = Array.make npairs None in
+  List.iter2 (fun i v -> inst.(i) <- Some v) shard_idx formulated;
+  let instance_of i =
+    match inst.(i) with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "optimize: pair %d outside shard" i)
+  in
   (* Solve schedule: two waves with sweep-level reuse.
 
      Wave 1 solves the pinned-placement pair of every choice (pair
@@ -187,6 +255,84 @@ let run ?(config = default_config) tech arch_mode objective nest =
   let key_rep = Hashtbl.create (2 * npairs) in
   let cache_hits = ref 0 in
   let warm_starts = ref 0 in
+  (* Journal plumbing (DESIGN §12).  Each owned pair gets a fingerprint
+     of (canonical problem key, solver-config fingerprint); a resume
+     replays journal entries whose fingerprint still matches, and every
+     pair completed by THIS run is appended as it finishes — under a
+     mutex, flushed per entry — so a killed run loses at most the pairs
+     still in flight. *)
+  let config_fp = config_fingerprint config in
+  let pair_fp = Array.make npairs "" in
+  List.iter
+    (fun i ->
+      let _, key = instance_of i in
+      pair_fp.(i) <- Sweep.Journal.fingerprint ~config:config_fp ~problem_key:key)
+    shard_idx;
+  let journal_hits = ref 0 in
+  let journal_stale = ref 0 in
+  let resumed = Array.make npairs false in
+  (if config.resume then
+     match config.journal with
+     | Some path -> (
+       match Sweep.Journal.load_existing path with
+       | Error msg ->
+         Log.warn (fun m -> m "journal %s unreadable, resuming nothing: %s" path msg)
+       | Ok entries ->
+         let tbl = Hashtbl.create (2 * List.length entries + 1) in
+         (* Last entry per pair wins: a re-run may have appended a fresh
+            entry for a pair whose earlier one had gone stale. *)
+         List.iter
+           (fun (e : Sweep.Journal.entry) -> Hashtbl.replace tbl e.Sweep.Journal.pair e)
+           entries;
+         List.iter
+           (fun i ->
+             match Hashtbl.find_opt tbl i with
+             | Some e when String.equal e.Sweep.Journal.fingerprint pair_fp.(i) ->
+               results.(i) <-
+                 Some
+                   {
+                     s_result = e.Sweep.Journal.result;
+                     s_stats = e.Sweep.Journal.stats;
+                     s_retries = e.Sweep.Journal.retries;
+                     s_deadline_hits = e.Sweep.Journal.deadline_hits;
+                   };
+               resumed.(i) <- true;
+               incr journal_hits
+             | Some _ -> incr journal_stale
+             | None -> ())
+           shard_idx)
+     | None -> ());
+  let journal_oc =
+    Option.map
+      (fun path -> open_out_gen [ Open_append; Open_creat ] 0o644 path)
+      config.journal
+  in
+  let journal_mutex = Mutex.create () in
+  let journal_emit i (slot : slot) =
+    match journal_oc with
+    | None -> ()
+    | Some oc ->
+      if not resumed.(i) then begin
+        let instance, _ = instance_of i in
+        let entry =
+          {
+            Sweep.Journal.pair = i;
+            fingerprint = pair_fp.(i);
+            provenance = instance.Formulate.provenance;
+            result = slot.s_result;
+            stats = slot.s_stats;
+            retries = slot.s_retries;
+            deadline_hits = slot.s_deadline_hits;
+          }
+        in
+        Mutex.lock journal_mutex;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock journal_mutex)
+          (fun () -> Sweep.Journal.append_line oc entry)
+      end
+  in
+  Fun.protect ~finally:(fun () -> Option.iter close_out_noerr journal_oc)
+  @@ fun () ->
   let deadline_ns = Option.map (fun ms -> ms *. 1e6) config.solve_deadline_ms in
   let max_attempts = 1 + Int.max 0 config.retries in
   (* One guarded solve attempt.  A stall injection forces a zero deadline
@@ -195,7 +341,7 @@ let run ?(config = default_config) tech arch_mode objective nest =
      escalate the initial KKT regularization — a solve that crashed or
      stalled was usually fighting a near-singular system. *)
   let solve_pair ?warm_start i =
-    let instance, _ = inst.(i) in
+    let instance, _ = instance_of i in
     let prov = instance.Formulate.provenance in
     let attempt_once attempt =
       let st = Gp.Solver.fresh_stats () in
@@ -254,7 +400,7 @@ let run ?(config = default_config) tech arch_mode objective nest =
      quarantines its replicas too (same program, same fate), with the
      failure relabeled to the replica's own provenance. *)
   let replay i =
-    let instance, key = inst.(i) in
+    let instance, key = instance_of i in
     let rep = Hashtbl.find key_rep key in
     let r = Option.get results.(rep) in
     let st = Gp.Solver.fresh_stats () in
@@ -265,23 +411,42 @@ let run ?(config = default_config) tech arch_mode objective nest =
       | Error f -> Error { f with Robust.provenance = instance.Formulate.provenance }
     in
     incr cache_hits;
-    results.(i) <- Some { r with s_result; s_stats = st }
+    let slot = { r with s_result; s_stats = st } in
+    results.(i) <- Some slot;
+    journal_emit i slot
   in
   let is_rep i =
-    let _, key = inst.(i) in
+    let _, key = instance_of i in
     if config.dedupe && Hashtbl.mem key_rep key then false
     else begin
       Hashtbl.replace key_rep key i;
       true
     end
   in
-  let pinned_idx = List.init (npairs / nplac) (fun c -> c * nplac) in
-  let other_idx =
-    List.filter (fun i -> i mod nplac <> 0) (List.init npairs Fun.id)
+  let pinned_idx =
+    List.filter (fun i -> Sweep.Partition.is_pinned ~nplac i) shard_idx
   in
-  (* Wave 1: pinned placements, cold. *)
-  let wave1 = List.filter is_rep pinned_idx in
-  let solved1 = Exec.Par.map ~jobs (fun i -> solve_pair i) wave1 in
+  let other_idx =
+    List.filter (fun i -> not (Sweep.Partition.is_pinned ~nplac i)) shard_idx
+  in
+  (* Wave 1: pinned placements, cold.  Journal-resumed pairs still
+     register as dedupe representatives (their slot is present, so later
+     duplicates replay from it) but are never re-solved. *)
+  let wave1 =
+    List.filter
+      (fun i ->
+        let rep = is_rep i in
+        rep && results.(i) = None)
+      pinned_idx
+  in
+  let solved1 =
+    Exec.Par.map ~jobs
+      (fun i ->
+        let r = solve_pair i in
+        journal_emit i r;
+        r)
+      wave1
+  in
   List.iter2 (fun i r -> results.(i) <- Some r) wave1 solved1;
   List.iter (fun i -> if results.(i) = None then replay i) pinned_idx;
   (* Wave 2: remaining placements, warm-started from the choice's
@@ -298,21 +463,31 @@ let run ?(config = default_config) tech arch_mode objective nest =
       | _ -> None
   in
   let wave2 =
-    List.map (fun i -> (i, warm_of i)) (List.filter is_rep other_idx)
+    List.filter_map
+      (fun i ->
+        let rep = is_rep i in
+        if rep && results.(i) = None then Some (i, warm_of i) else None)
+      other_idx
   in
   List.iter (fun (_, w) -> if w <> None then incr warm_starts) wave2;
   let solved2 =
-    Exec.Par.map ~jobs (fun (i, warm_start) -> solve_pair ?warm_start i) wave2
+    Exec.Par.map ~jobs
+      (fun (i, warm_start) ->
+        let r = solve_pair ?warm_start i in
+        journal_emit i r;
+        r)
+      wave2
   in
   List.iter2 (fun (i, _) r -> results.(i) <- Some r) wave2 solved2;
   List.iter (fun i -> if results.(i) = None then replay i) other_idx;
+  let pairs_solved = List.length wave1 + List.length wave2 in
   (* Stage C: certificate-check every surviving pair against its
      (possibly replayed) solution, again order-preserving and in
      parallel.  Quarantined pairs pass through with their failure. *)
   let attempts =
     Exec.Par.map ~jobs
       (fun i ->
-        let instance, _ = inst.(i) in
+        let instance, _ = instance_of i in
         let slot = Option.get results.(i) in
         let usable =
           match slot.s_result with
@@ -342,7 +517,7 @@ let run ?(config = default_config) tech arch_mode objective nest =
               end)
         in
         (usable, slot))
-      (List.init npairs Fun.id)
+      shard_idx
   in
   (* Accumulate telemetry over every solve (feasible, quarantined or
      not), in the deterministic sequential order Exec.Par.map
@@ -361,6 +536,9 @@ let run ?(config = default_config) tech arch_mode objective nest =
   feed_solver_metrics solve_totals;
   Obs.Metrics.add m_cache_hits !cache_hits;
   Obs.Metrics.add m_warm_starts !warm_starts;
+  Obs.Metrics.add m_journal_hits !journal_hits;
+  Obs.Metrics.add m_journal_stale !journal_stale;
+  Obs.Metrics.add m_pairs_solved pairs_solved;
   Obs.Metrics.add m_quarantined (List.length solve_failures);
   Obs.Metrics.add m_retries
     (List.fold_left (fun acc (_, slot) -> acc + slot.s_retries) 0 attempts);
@@ -393,10 +571,14 @@ let run ?(config = default_config) tech arch_mode objective nest =
           !cache_hits !warm_starts);
     let ranked =
       (* List.sort is stable, and [solved] arrives in sequential order, so
-         ties keep the deterministic enumeration order. *)
+         ties keep the deterministic enumeration order.  [compare_scores]
+         (not [Float.compare], which sorts NaN first) ranks any
+         non-finite solver objective last, so a bogus solution can never
+         top the shortlist or become [best_continuous] while a finite
+         one exists. *)
       List.sort
         (fun (_, a) (_, b) ->
-          Float.compare a.Gp.Solver.objective b.Gp.Solver.objective)
+          compare_scores a.Gp.Solver.objective b.Gp.Solver.objective)
         solved
     in
     let rec take k = function
@@ -440,15 +622,14 @@ let run ?(config = default_config) tech arch_mode objective nest =
       (fun f -> Log.warn (fun m -> m "quarantined: %s" (Robust.describe f)))
       integerize_failures;
     let failures = solve_failures @ integerize_failures in
-    let better a b =
-      Integerize.score objective a.Integerize.metrics
-      < Integerize.score objective b.Integerize.metrics
-    in
+    (* [select_best] orders non-finite model scores after every finite
+       one: the old [<] fold returned false on NaN comparisons, so a
+       quarantine-surviving but NaN-scored candidate silently displaced
+       a finite best. *)
     let best =
-      List.fold_left
-        (fun acc o ->
-          match acc with Some o' when better o' o -> acc | Some _ | None -> Some o)
-        None outcomes
+      select_best
+        ~score:(fun o -> Integerize.score objective o.Integerize.metrics)
+        outcomes
     in
     begin
       match best with

@@ -72,9 +72,56 @@ type config = {
           machinery (default {!Robust.Inject.none}); decisions are a pure
           function of (seed, kind, site, provenance, attempt), never of
           time, so injected runs stay bit-identical across [jobs]. *)
+  shard : Sweep.Partition.t;
+      (** which slice of the (choice x placement) work-list this run
+          owns (default {!Sweep.Partition.full}).  Shards partition by
+          {e whole choices} so every warm-start source is shard-local;
+          a shard run formulates, solves, journals and reports only its
+          own pairs — the globally best design point comes from merging
+          the shard journals ({!Sweep.Merge}, [thistle merge]) and
+          resuming, which replays every pair and re-runs ranking and
+          integerization over the full set, byte-identical to an
+          unsharded run. *)
+  journal : string option;
+      (** append-only JSONL completion journal (default [None]).  Every
+          pair completed by this run — solved, replayed or quarantined —
+          is appended as it finishes and flushed, so a killed run loses
+          at most the pairs still in flight.  Entry order in a parallel
+          run is timing-dependent; entry {e content} is a function of
+          the workload and configuration alone (DESIGN §12). *)
+  resume : bool;
+      (** replay journal entries instead of re-solving (default
+          [false]; requires [journal]).  An entry is replayed only when
+          its fingerprint — {!Sweep.Journal.fingerprint} of the pair's
+          {!problem_key} and this config's solver fingerprint — still
+          matches, so stale pairs (changed formulation, tolerance,
+          kernel, retry or injection policy) are re-solved and
+          re-journaled.  [sweep.journal_hits] / [sweep.journal_stale]
+          count the two cases; [sweep.pairs_solved] counts physical
+          solves this run. *)
 }
 
 val default_config : config
+
+val compare_scores : float -> float -> int
+(** Ascending order on finite scores with every non-finite score (NaN,
+    [+/-infinity]) ranked after every finite one; non-finite scores tie
+    with each other.  This is the comparator behind both the continuous
+    shortlist ranking and {!select_best} — [Float.compare] alone orders
+    NaN {e first}, which under a minimization objective would crown a
+    bogus candidate. *)
+
+val select_best : score:('a -> float) -> 'a list -> 'a option
+(** Minimum of [score] under {!compare_scores}; exact ties keep the
+    last listed element.  A non-finite-scored element wins only when the
+    list contains nothing finite; [None] only for the empty list. *)
+
+val config_fingerprint : config -> string
+(** The solver-behavior fingerprint entering every journal entry's
+    {!Sweep.Journal.fingerprint}: tolerance, kernel, reuse policy,
+    deadline/retry/injection settings.  Changing any of them invalidates
+    journaled pairs on the next resume.  Exposed for tests; the format
+    is not a stability guarantee. *)
 
 val problem_key : Gp.Problem.t -> string
 (** Canonical structural key backing [dedupe]: the exact coefficient and

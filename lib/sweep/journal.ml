@@ -1,0 +1,385 @@
+type entry = {
+  pair : int;
+  fingerprint : string;
+  provenance : string;
+  result : (Gp.Solver.solution, Robust.failure) result;
+  stats : Gp.Solver.stats;
+  retries : int;
+  deadline_hits : int;
+}
+
+let version = 1
+
+(* FNV-1a 64 with murmur3's finalizer — the same construction lib/robust
+   uses for injection draws: stable across compilers (no Hashtbl.hash)
+   and diffusing enough that a one-character config change flips the
+   whole digest. *)
+let fnv64 s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    s;
+  !h
+
+let mix h =
+  let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+  let h = Int64.mul h 0xff51afd7ed558ccdL in
+  let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+  let h = Int64.mul h 0xc4ceb9fe1a85ec53L in
+  Int64.logxor h (Int64.shift_right_logical h 33)
+
+let fingerprint ~config ~problem_key =
+  Printf.sprintf "%016Lx" (mix (fnv64 (config ^ "\x00" ^ problem_key)))
+
+(* Floats travel as IEEE-754 bit patterns in hex so every value — NaN
+   payloads included — round-trips exactly. *)
+let bits v = Printf.sprintf "%Lx" (Int64.bits_of_float v)
+
+let of_bits s =
+  match Int64.of_string_opt ("0x" ^ s) with
+  | Some b -> Int64.float_of_bits b
+  | None -> failwith (Printf.sprintf "bad float bits %S" s)
+
+let status_name = function
+  | Gp.Solver.Optimal -> "optimal"
+  | Gp.Solver.Infeasible -> "infeasible"
+  | Gp.Solver.Iteration_limit -> "iteration_limit"
+  | Gp.Solver.Deadline_exceeded -> "deadline_exceeded"
+
+let status_of = function
+  | "optimal" -> Gp.Solver.Optimal
+  | "infeasible" -> Gp.Solver.Infeasible
+  | "iteration_limit" -> Gp.Solver.Iteration_limit
+  | "deadline_exceeded" -> Gp.Solver.Deadline_exceeded
+  | s -> failwith (Printf.sprintf "unknown solver status %S" s)
+
+(* ------------------------------------------------------------------ *)
+(* Encoding (via the Obs.Json writer)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let encode (e : entry) =
+  let b = Buffer.create 512 in
+  let j_str s b = Obs.Json.str b s in
+  let j_int i b = Obs.Json.int b i in
+  let field name v b = Obs.Json.field b name v in
+  let obj fields b = Obs.Json.obj b fields in
+  let arr vs b =
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char b ',';
+        v b)
+      vs;
+    Buffer.add_char b ']'
+  in
+  let stats =
+    let s = e.stats in
+    obj
+      [
+        field "p1" (j_int s.Gp.Solver.phase1_outer);
+        field "p2" (j_int s.Gp.Solver.phase2_outer);
+        field "newton" (j_int s.Gp.Solver.newton_iters);
+        field "backtracks" (j_int s.Gp.Solver.backtracks);
+        field "kkt" (j_int s.Gp.Solver.kkt_regularizations);
+        field "chol" (j_int s.Gp.Solver.cholesky_fallbacks);
+        field "dh" (j_int s.Gp.Solver.deadline_hits);
+        field "gap" (j_str (bits s.Gp.Solver.duality_gap));
+      ]
+  in
+  let result =
+    match e.result with
+    | Ok sol ->
+      field "ok"
+        (obj
+           [
+             field "status" (j_str (status_name sol.Gp.Solver.status));
+             field "objective" (j_str (bits sol.Gp.Solver.objective));
+             field "values"
+               (arr
+                  (List.map
+                     (fun (name, v) -> arr [ j_str name; j_str (bits v) ])
+                     sol.Gp.Solver.values));
+           ])
+    | Error f ->
+      field "err"
+        (obj
+           [
+             field "site" (j_str f.Robust.site);
+             field "prov" (j_str f.Robust.provenance);
+             field "exn" (j_str f.Robust.exn);
+             field "backtrace" (j_str f.Robust.backtrace);
+             field "elapsed" (j_str (bits f.Robust.elapsed_ns));
+             field "attempts" (j_int f.Robust.attempts);
+           ])
+  in
+  obj
+    [
+      field "v" (j_int version);
+      field "pair" (j_int e.pair);
+      field "fp" (j_str e.fingerprint);
+      field "prov" (j_str e.provenance);
+      field "retries" (j_int e.retries);
+      field "dh" (j_int e.deadline_hits);
+      result;
+      field "stats" stats;
+    ]
+    b;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Decoding — a minimal JSON subset parser (objects, arrays, strings, *)
+(* signed integers), enough for exactly what [encode] emits.          *)
+(* ------------------------------------------------------------------ *)
+
+module P = struct
+  type v = Obj of (string * v) list | Arr of v list | Str of string | Int of int
+
+  exception Bad of string
+
+  let bad fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then s.[!pos] else '\000' in
+    let skip_ws () =
+      while
+        !pos < n
+        && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+      do
+        incr pos
+      done
+    in
+    let expect c =
+      if peek () = c then incr pos else bad "expected %C at offset %d" c !pos
+    in
+    let string_lit () =
+      skip_ws ();
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then bad "unterminated string";
+        match s.[!pos] with
+        | '"' ->
+          incr pos;
+          Buffer.contents b
+        | '\\' ->
+          incr pos;
+          if !pos >= n then bad "unterminated escape";
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 'r' -> Buffer.add_char b '\r'
+          | 't' -> Buffer.add_char b '\t'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+            if !pos + 4 >= n then bad "truncated \\u escape";
+            let code =
+              match int_of_string_opt ("0x" ^ String.sub s (!pos + 1) 4) with
+              | Some c -> c
+              | None -> bad "bad \\u escape"
+            in
+            pos := !pos + 4;
+            (* The writer only emits \u for control characters; decode
+               the general BMP case as UTF-8 anyway. *)
+            if code < 0x80 then Buffer.add_char b (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+            end
+          | c -> bad "unknown escape \\%C" c);
+          incr pos;
+          go ()
+        | c ->
+          Buffer.add_char b c;
+          incr pos;
+          go ()
+      in
+      go ()
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | '{' ->
+        incr pos;
+        obj []
+      | '[' ->
+        incr pos;
+        arr []
+      | '"' -> Str (string_lit ())
+      | '-' | '0' .. '9' -> number ()
+      | c -> bad "unexpected %C at offset %d" c !pos
+    and obj acc =
+      skip_ws ();
+      if peek () = '}' then begin
+        incr pos;
+        Obj (List.rev acc)
+      end
+      else begin
+        let k = string_lit () in
+        skip_ws ();
+        expect ':';
+        let v = value () in
+        skip_ws ();
+        match peek () with
+        | ',' ->
+          incr pos;
+          obj ((k, v) :: acc)
+        | '}' ->
+          incr pos;
+          Obj (List.rev ((k, v) :: acc))
+        | c -> bad "expected ',' or '}' at offset %d, got %C" !pos c
+      end
+    and arr acc =
+      skip_ws ();
+      if peek () = ']' then begin
+        incr pos;
+        Arr (List.rev acc)
+      end
+      else begin
+        let v = value () in
+        skip_ws ();
+        match peek () with
+        | ',' ->
+          incr pos;
+          arr (v :: acc)
+        | ']' ->
+          incr pos;
+          Arr (List.rev (v :: acc))
+        | c -> bad "expected ',' or ']' at offset %d, got %C" !pos c
+      end
+    and number () =
+      let start = !pos in
+      if peek () = '-' then incr pos;
+      while match peek () with '0' .. '9' -> true | _ -> false do
+        incr pos
+      done;
+      match int_of_string_opt (String.sub s start (!pos - start)) with
+      | Some i -> Int i
+      | None -> bad "bad number at offset %d" start
+    in
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then bad "trailing bytes at offset %d" !pos;
+    v
+end
+
+let decode line =
+  let fields v = match v with P.Obj f -> f | _ -> failwith "not an object" in
+  let find f k =
+    match List.assoc_opt k f with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "missing field %S" k)
+  in
+  let int_of = function P.Int i -> i | _ -> failwith "expected an integer" in
+  let str_of = function P.Str s -> s | _ -> failwith "expected a string" in
+  let float_of v = of_bits (str_of v) in
+  match P.parse line with
+  | exception P.Bad m -> Error ("journal: " ^ m)
+  | v -> (
+    try
+      let f = fields v in
+      if int_of (find f "v") <> version then failwith "journal version mismatch";
+      let stats_f = fields (find f "stats") in
+      let stats : Gp.Solver.stats =
+        {
+          Gp.Solver.phase1_outer = int_of (find stats_f "p1");
+          phase2_outer = int_of (find stats_f "p2");
+          newton_iters = int_of (find stats_f "newton");
+          backtracks = int_of (find stats_f "backtracks");
+          kkt_regularizations = int_of (find stats_f "kkt");
+          cholesky_fallbacks = int_of (find stats_f "chol");
+          deadline_hits = int_of (find stats_f "dh");
+          duality_gap = float_of (find stats_f "gap");
+        }
+      in
+      let result =
+        match (List.assoc_opt "ok" f, List.assoc_opt "err" f) with
+        | Some ok, None ->
+          let ok_f = fields ok in
+          let values =
+            match find ok_f "values" with
+            | P.Arr vs ->
+              List.map
+                (function
+                  | P.Arr [ name; v ] -> (str_of name, float_of v)
+                  | _ -> failwith "malformed values pair")
+                vs
+            | _ -> failwith "values is not an array"
+          in
+          Ok
+            {
+              Gp.Solver.status = status_of (str_of (find ok_f "status"));
+              objective = float_of (find ok_f "objective");
+              values;
+            }
+        | None, Some err ->
+          let err_f = fields err in
+          Error
+            {
+              Robust.site = str_of (find err_f "site");
+              provenance = str_of (find err_f "prov");
+              exn = str_of (find err_f "exn");
+              backtrace = str_of (find err_f "backtrace");
+              elapsed_ns = float_of (find err_f "elapsed");
+              attempts = int_of (find err_f "attempts");
+            }
+        | _ -> failwith "entry carries neither ok nor err"
+      in
+      Ok
+        {
+          pair = int_of (find f "pair");
+          fingerprint = str_of (find f "fp");
+          provenance = str_of (find f "prov");
+          result;
+          stats;
+          retries = int_of (find f "retries");
+          deadline_hits = int_of (find f "dh");
+        }
+    with Failure m -> Error ("journal: " ^ m))
+
+let append_line oc e =
+  output_string oc (encode e);
+  output_char oc '\n';
+  flush oc
+
+let load path =
+  match open_in path with
+  | exception Sys_error m -> Error m
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let entries = ref [] in
+        (try
+           while true do
+             let line = input_line ic in
+             if String.trim line <> "" then
+               match decode line with
+               | Ok e -> entries := e :: !entries
+               | Error _ -> () (* torn tail of a killed run, or foreign line *)
+           done
+         with End_of_file -> ());
+        Ok (List.rev !entries))
+
+let load_existing path = if Sys.file_exists path then load path else Ok []
+
+let write_file path entries =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      List.iter
+        (fun e ->
+          output_string oc (encode e);
+          output_char oc '\n')
+        entries)

@@ -1,0 +1,26 @@
+(** Combining per-shard journals into one sweep journal.
+
+    Merge invariants (DESIGN §12):
+    - entries are keyed by global pair index; the merged journal is
+      sorted by it, so merging is independent of shard completion order
+      and of the timing-dependent line order within each shard file;
+    - two entries for the same pair must carry the same fingerprint —
+      same program, same solver configuration.  The first occurrence
+      wins (entries with equal fingerprints describe the same
+      deterministic solve); conflicting fingerprints mean the shards
+      were run against different formulations or solver configs, and
+      the merge refuses rather than silently mixing cache versions;
+    - merging never fabricates coverage: {!missing} reports the pair
+      indices a journal set does not cover, and the merge runner
+      re-solves exactly those (plus any stale-fingerprint pairs). *)
+
+val combine : Journal.entry list list -> (Journal.entry list, string) result
+(** Concatenate shard journals, sort by pair index, drop duplicate
+    entries whose fingerprints agree, and fail on conflicting
+    fingerprints for one pair. *)
+
+val load_files : string list -> (Journal.entry list, string) result
+(** {!Journal.load} each file and {!combine} the results. *)
+
+val missing : Journal.entry list -> npairs:int -> int list
+(** Pair indices in [0 .. npairs - 1] with no entry, ascending. *)

@@ -165,6 +165,42 @@ let test_problem_key () =
   Alcotest.(check bool) "perturbed coefficient changes key" true
     (base <> O.problem_key (problem ~coeff:2.0000000001 ()))
 
+(* Regression: a NaN-scored candidate must never displace a finite one.
+   The old best-outcome fold asked "is the incumbent strictly better than
+   the challenger?" — every comparison against NaN answers false, so a
+   NaN challenger *replaced* a finite incumbent; and raw [Float.compare]
+   orders NaN before every finite float, so a NaN objective topped the
+   ascending continuous shortlist. *)
+let test_nan_ordering () =
+  let check = Alcotest.(check int) in
+  check "finite ascending" (-1) (O.compare_scores 1.0 2.0);
+  check "finite descending" 1 (O.compare_scores 2.0 1.0);
+  check "finite ties" 0 (O.compare_scores 1.0 1.0);
+  check "nan after finite" 1 (O.compare_scores Float.nan 1.0);
+  check "finite before nan" (-1) (O.compare_scores 1.0 Float.nan);
+  check "inf after finite" 1 (O.compare_scores Float.infinity 1.0);
+  check "neg-inf after finite" 1 (O.compare_scores Float.neg_infinity 1.0);
+  check "non-finite ties" 0 (O.compare_scores Float.nan Float.infinity);
+  (* Sorting a shortlist with a NaN entry keeps the finite minimum on
+     top — the exact ranking the solve-stage shortlist performs. *)
+  let sorted = List.sort O.compare_scores [ 3.0; Float.nan; 1.0; 2.0 ] in
+  Alcotest.(check (float 0.0)) "nan sorts last" 1.0 (List.hd sorted)
+
+let test_select_best_nan () =
+  let best = O.select_best ~score:Fun.id in
+  let check_some name exp got =
+    match got with
+    | Some v when v = exp || (Float.is_nan exp && Float.is_nan v) -> ()
+    | Some v -> Alcotest.failf "%s: expected %h, got %h" name exp v
+    | None -> Alcotest.failf "%s: got None" name
+  in
+  Alcotest.(check bool) "empty list" true (best [] = None);
+  check_some "nan challenger loses" 1.0 (best [ 1.0; Float.nan ]);
+  check_some "nan incumbent loses" 1.0 (best [ Float.nan; 1.0 ]);
+  check_some "finite minimum wins" 1.0 (best [ 3.0; Float.nan; 1.0; 2.0 ]);
+  check_some "all-nan still answers" Float.nan (best [ Float.nan; Float.nan ]);
+  check_some "inf loses to finite" 1.0 (best [ Float.infinity; 1.0 ])
+
 let test_config_knobs () =
   let nest = small_conv () in
   let config = { O.default_config with O.max_choices = 2; top_choices = 1 } in
@@ -182,6 +218,8 @@ let () =
           Alcotest.test_case "infeasible arch" `Quick test_infeasible_arch;
           Alcotest.test_case "config knobs" `Quick test_config_knobs;
           Alcotest.test_case "problem key" `Quick test_problem_key;
+          Alcotest.test_case "nan ordering" `Quick test_nan_ordering;
+          Alcotest.test_case "select best vs nan" `Quick test_select_best_nan;
           Alcotest.test_case "jobs determinism" `Quick test_jobs_determinism;
         ] );
       ( "codesign",

@@ -9,6 +9,10 @@
 #   *solves_per_s       higher is better
 #   speedup             higher is better
 # All other keys are informational and only reported when they change.
+#
+# A directional key present in the baseline but absent from the current
+# file is itself a failure (exit 1): a bench that silently stops
+# emitting a tracked metric must not read as a pass.
 set -eu
 
 if [ $# -lt 2 ] || [ $# -gt 3 ]; then
@@ -32,7 +36,8 @@ pairs() {
 }
 
 pairs "$baseline" > "${TMPDIR:-/tmp}/perfdiff_base.$$"
-trap 'rm -f "${TMPDIR:-/tmp}/perfdiff_base.$$"' EXIT
+pairs "$current" > "${TMPDIR:-/tmp}/perfdiff_cur.$$"
+trap 'rm -f "${TMPDIR:-/tmp}/perfdiff_base.$$" "${TMPDIR:-/tmp}/perfdiff_cur.$$"' EXIT
 
 status=0
 found=0
@@ -56,11 +61,24 @@ while read -r key cur; do
     echo "$line"
     case $line in *REGRESSION) status=1 ;; esac
     case $dir in lower | higher) found=$((found + 1)) ;; esac
-done <<EOF
-$(pairs "$current")
-EOF
+done < "${TMPDIR:-/tmp}/perfdiff_cur.$$"
 
-if [ "$found" -eq 0 ]; then
+# Baseline-only directional keys: the current run dropped a tracked
+# metric, which would otherwise pass vacuously.
+missing=0
+while read -r key base; do
+    case $key in
+        *wall_s | *solves_per_s | speedup) ;;
+        *) continue ;;
+    esac
+    cur=$(awk -v k="$key" '$1 == k { print $2; exit }' "${TMPDIR:-/tmp}/perfdiff_cur.$$")
+    [ -n "$cur" ] && continue
+    printf '%-25s %14g %14s %9s  MISSING\n' "$key" "$base" "-" "-"
+    missing=$((missing + 1))
+    status=1
+done < "${TMPDIR:-/tmp}/perfdiff_base.$$"
+
+if [ "$found" -eq 0 ] && [ "$missing" -eq 0 ]; then
     echo "perfdiff: no tracked metrics in common between $baseline and $current" >&2
     exit 2
 fi

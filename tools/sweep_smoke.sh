@@ -1,0 +1,47 @@
+#!/bin/sh
+# sweep_smoke.sh THISTLE_CLI
+#
+# End-to-end smoke of the sharded/resumable sweep CLI (DESIGN §12),
+# capped small enough for `dune runtest`:
+#   1. an unsharded run is the reference report;
+#   2. --shard 1/2 and --shard 2/2 runs journal their halves, and
+#      `thistle merge` over the two journals must reproduce the
+#      reference byte-for-byte;
+#   3. resuming from the merged journal (no shard) must also reproduce
+#      it byte-for-byte without re-solving.
+set -eu
+
+if [ $# -ne 1 ]; then
+    echo "usage: $0 path/to/thistle_cli.exe" >&2
+    exit 2
+fi
+
+cli=$1
+case $cli in */*) ;; *) cli=./$cli ;; esac
+layer=resnet-2
+opts="--layer $layer --max-choices 4 --jobs 2"
+
+dir=$(mktemp -d "${TMPDIR:-/tmp}/thistle_sweep.XXXXXX")
+trap 'rm -rf "$dir"' EXIT
+
+"$cli" optimize $opts > "$dir/full.txt"
+
+"$cli" optimize $opts --shard 1/2 --journal "$dir/s1.jsonl" > /dev/null
+"$cli" optimize $opts --shard 2/2 --journal "$dir/s2.jsonl" > /dev/null
+
+"$cli" merge $opts --journal "$dir/merged.jsonl" \
+    "$dir/s1.jsonl" "$dir/s2.jsonl" > "$dir/merged.txt"
+if ! cmp -s "$dir/full.txt" "$dir/merged.txt"; then
+    echo "sweep smoke: merged shard report differs from unsharded run" >&2
+    diff "$dir/full.txt" "$dir/merged.txt" >&2 || true
+    exit 1
+fi
+
+"$cli" optimize $opts --journal "$dir/merged.jsonl" --resume > "$dir/resumed.txt"
+if ! cmp -s "$dir/full.txt" "$dir/resumed.txt"; then
+    echo "sweep smoke: resumed report differs from unsharded run" >&2
+    diff "$dir/full.txt" "$dir/resumed.txt" >&2 || true
+    exit 1
+fi
+
+echo "sweep smoke: shard+merge and resume byte-identical on $layer"
