@@ -76,24 +76,26 @@ type measurement = {
   solves : int;  (** logical GP solves (replayed duplicates included) *)
   newton_steps : int;
   objective_sum : float;  (** sum of best continuous objectives, sanity *)
+  pruned : int;  (** pairs skipped by presolve (0 with presolve off) *)
 }
 
-let measure options config nests =
+let measure ?(arch = Arch.eyeriss) options config nests =
   let one_pass () =
     let t0 = Unix.gettimeofday () in
     let acc =
       List.fold_left
-        (fun (solves, newton, obj) (name, nest) ->
-          match O.dataflow ~config tech Arch.eyeriss F.Energy nest with
+        (fun (solves, newton, obj, pruned) (name, nest) ->
+          match O.dataflow ~config tech arch F.Energy nest with
           | Ok r ->
             let t = r.O.solve_totals in
             ( solves + t.Gp.Solver.solves,
               newton + t.Gp.Solver.t_newton_iters,
-              obj +. r.O.best_continuous )
+              obj +. r.O.best_continuous,
+              pruned + List.length r.O.pruned )
           | Error msg ->
             Printf.eprintf "warning: %s failed: %s\n" name msg;
-            (solves, newton, obj))
-        (0, 0, 0.0) nests
+            (solves, newton, obj, pruned))
+        (0, 0, 0.0, 0) nests
     in
     (Unix.gettimeofday () -. t0, acc)
   in
@@ -107,8 +109,8 @@ let measure options config nests =
       loop (k - 1) best
   in
   match loop options.repeat None with
-  | Some (wall_s, (solves, newton_steps, objective_sum)) ->
-    { wall_s; solves; newton_steps; objective_sum }
+  | Some (wall_s, (solves, newton_steps, objective_sum, pruned)) ->
+    { wall_s; solves; newton_steps; objective_sum; pruned }
   | None -> assert false
 
 let () =
@@ -147,6 +149,27 @@ let () =
   show "compiled" compiled;
   let speedup = listed.wall_s /. compiled.wall_s in
   Printf.printf "speedup: %.2fx\n" speedup;
+  (* Presolve scenario: a capacity-starved edge accelerator where many
+     (choice, placement) pairs are statically infeasible, so interval
+     pruning skips whole solves.  The roomy Eyeriss runs above prune
+     nothing — this is the workload the analysis pays off on. *)
+  let edge = Arch.make ~name:"edge" ~pes:32 ~registers:16 ~sram_words:4096 in
+  let presolve_off =
+    measure ~arch:edge options
+      { base with O.presolve = Analysis.Presolve.Off }
+      nests
+  in
+  let presolve_on =
+    measure ~arch:edge options
+      { base with O.presolve = Analysis.Presolve.Prune }
+      nests
+  in
+  let presolve_speedup = presolve_off.wall_s /. presolve_on.wall_s in
+  Printf.printf "edge arch (P=32 R=16 S=4096), presolve off vs prune:\n";
+  show "off" presolve_off;
+  show "prune" presolve_on;
+  Printf.printf "presolve: pruned %d pair(s), speedup %.2fx\n" presolve_on.pruned
+    presolve_speedup;
   let drift =
     Float.abs (listed.objective_sum -. compiled.objective_sum)
     /. (1.0 +. Float.abs listed.objective_sum)
@@ -173,6 +196,10 @@ let () =
       i "compiled_newton_steps" compiled.newton_steps;
       f "compiled_solves_per_s" (float_of_int compiled.solves /. compiled.wall_s);
       f "speedup" speedup;
+      f "presolve_off_wall_s" presolve_off.wall_s;
+      f "presolve_on_wall_s" presolve_on.wall_s;
+      i "presolve_pruned" presolve_on.pruned;
+      f "presolve_speedup" presolve_speedup;
     ];
   Buffer.add_char buf '\n';
   let oc = open_out options.out in

@@ -127,10 +127,30 @@ let solver_opts =
             "Start every solve from the least-norm point instead of seeding \
              non-pinned placements from their choice's pinned solution.")
   in
-  let build gp_kernel no_dedupe no_warm config =
-    { config with O.gp_kernel; dedupe = not no_dedupe; warm_start = not no_warm }
+  let presolve_arg =
+    Arg.(
+      value
+      & opt (Arg.enum An.Presolve.modes) An.Presolve.Prune
+      & info [ "presolve" ] ~docv:"MODE"
+          ~doc:
+            "Interval-propagation presolve over every formulated program: \
+             $(b,prune) (default) skips statically infeasible pairs — each \
+             carries an independently re-checked proof — and solves reduced \
+             problems (monotone variables pinned, redundant constraints \
+             dropped); $(b,check) solves everything and fails the run if any \
+             verdict disagrees with the solver; $(b,off) disables the \
+             analysis.")
   in
-  Term.(const build $ kernel_arg $ no_dedupe_arg $ no_warm_arg)
+  let build gp_kernel no_dedupe no_warm presolve config =
+    {
+      config with
+      O.gp_kernel;
+      dedupe = not no_dedupe;
+      warm_start = not no_warm;
+      presolve;
+    }
+  in
+  Term.(const build $ kernel_arg $ no_dedupe_arg $ no_warm_arg $ presolve_arg)
 
 (* Fault-tolerance knobs (DESIGN §11), composing onto the config the same
    way [solver_opts] does. *)
@@ -296,6 +316,15 @@ let print_outcome ?(tech = base_tech) nest (report : O.report) emit emit_code =
   if report.O.failures <> [] then begin
     Format.printf "quarantined %d pair(s):@." (List.length report.O.failures);
     Format.printf "%a" Robust.pp_summary report.O.failures
+  end;
+  if report.O.pruned <> [] then begin
+    Format.printf "presolve pruned %d pair(s):@." (List.length report.O.pruned);
+    List.iter
+      (fun (prov, (proof : An.Presolve.proof)) ->
+        Format.printf "  %s: constraint %s bounded to %.6g (%d step(s))@." prov
+          proof.An.Presolve.culprit proof.An.Presolve.bound
+          (List.length proof.An.Presolve.steps))
+      report.O.pruned
   end;
   Format.printf "architecture: %a (area %.0f um^2)@." Arch.pp o.I.arch
     (Arch.area tech o.I.arch);
@@ -569,6 +598,224 @@ let lint_cmd =
       const run $ setup_logs $ layer_filter_arg $ max_choices_arg $ certify_arg
       $ node_arg $ jobs_arg)
 
+let presolve_cmd =
+  let layer_filter_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "layer" ] ~docv:"NAME"
+          ~doc:"Audit only this layer (default: the whole Table II zoo).")
+  in
+  let max_choices_arg =
+    Arg.(
+      value
+      & opt int 32
+      & info [ "max-choices" ] ~docv:"N"
+          ~doc:"Cap on permutation choices audited per layer and mode.")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Also solve every audited program and differentially validate the \
+             presolve verdicts against the solver: a solved presolve-infeasible \
+             program, a solution escaping the propagated box, or an eliminated \
+             constraint active at an optimum is a disagreement — much slower.")
+  in
+  let run () layer max_choices check arch node jobs =
+    let tech = tech_of_node node in
+    let layers =
+      match layer with
+      | None -> Ok (List.map Conv.to_nest Workload.Zoo.all_layers)
+      | Some name -> Result.map (fun n -> [ n ]) (nest_of_layer name)
+    in
+    match layers with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok nests ->
+      let modes =
+        [ F.Fixed arch; F.Codesign { area_budget = Arch.eyeriss_area tech } ]
+      in
+      let objectives = [ F.Energy; F.Delay; F.Edp ] in
+      (* Solve-and-certify, as Optimize.run would gate a usable point. *)
+      let usable_solution (instance : F.instance) =
+        let sol = Gp.Solver.solve instance.F.problem in
+        match sol.Gp.Solver.status with
+        | Gp.Solver.Infeasible | Gp.Solver.Deadline_exceeded -> None
+        | Gp.Solver.Optimal | Gp.Solver.Iteration_limit ->
+          if not (Float.is_finite sol.Gp.Solver.objective) then None
+          else
+            let cert =
+              An.Certificate.check ~provenance:instance.F.provenance
+                instance.F.problem
+                (F.solution_env instance sol)
+            in
+            if An.Certificate.hard_failure cert then None else Some sol
+      in
+      let audit nest =
+        let plan = Thistle.Permutations.enumerate ~max_choices nest in
+        let count = ref 0 in
+        let pruned = ref 0 in
+        let fixed = ref 0 in
+        let dropped = ref 0 in
+        let disagreements = ref [] in
+        let disagree fmt =
+          Printf.ksprintf (fun m -> disagreements := m :: !disagreements) fmt
+        in
+        List.iter
+          (fun mode ->
+            List.iter
+              (fun objective ->
+                List.iter
+                  (fun choice_vol ->
+                    List.iter
+                      (fun placement ->
+                        let instance =
+                          F.build ~placement tech mode objective plan choice_vol
+                        in
+                        let problem = instance.F.problem in
+                        let prov = instance.F.provenance in
+                        incr count;
+                        let t = An.Presolve.analyze problem in
+                        match t.An.Presolve.verdict with
+                        | An.Presolve.Infeasible proof -> (
+                          incr pruned;
+                          (match An.Certificate.check_prune problem proof with
+                          | Ok () -> ()
+                          | Error m ->
+                            disagree "%s: proof checker rejected the pruning \
+                                      proof: %s" prov m);
+                          if check then
+                            match usable_solution instance with
+                            | Some sol ->
+                              disagree
+                                "%s: solved to %.6g despite an infeasibility \
+                                 proof (culprit %s)"
+                                prov sol.Gp.Solver.objective
+                                proof.An.Presolve.culprit
+                            | None -> ())
+                        | An.Presolve.Feasible red -> (
+                          fixed := !fixed + List.length red.An.Presolve.fixed;
+                          dropped :=
+                            !dropped + List.length red.An.Presolve.dropped;
+                          if check then
+                            match usable_solution instance with
+                            | None -> ()
+                            | Some sol ->
+                              List.iter
+                                (fun (x, v) ->
+                                  match List.assoc_opt x t.An.Presolve.box with
+                                  | Some iv
+                                    when not (An.Interval.mem ~slack:1e-4 v iv)
+                                    ->
+                                    disagree
+                                      "%s: solution %s = %g escapes the \
+                                       presolve box"
+                                      prov x v
+                                  | Some _ | None -> ())
+                                sol.Gp.Solver.values;
+                              List.iter
+                                (fun (name, _) ->
+                                  match
+                                    List.assoc_opt name (Gp.Problem.ineqs problem)
+                                  with
+                                  | None -> ()
+                                  | Some p ->
+                                    let v =
+                                      Symexpr.Posynomial.eval
+                                        (F.solution_env instance sol) p
+                                    in
+                                    if v >= 1.0 -. 1e-7 then
+                                      disagree
+                                        "%s: eliminated constraint %s \
+                                         evaluates to %g at the optimum"
+                                        prov name v)
+                                red.An.Presolve.dropped))
+                      plan.Thistle.Permutations.placements)
+                  plan.Thistle.Permutations.choices)
+              objectives)
+          modes;
+        ( Nest.name nest,
+          !count,
+          !pruned,
+          !fixed,
+          !dropped,
+          List.rev !disagreements )
+      in
+      let results = Exec.Par.map ~jobs audit nests in
+      Printf.printf "%-10s %14s %8s %6s %8s\n" "layer" "formulations" "pruned"
+        "fixed" "dropped";
+      List.iter
+        (fun (name, count, pruned, fixed, dropped, _) ->
+          Printf.printf "%-10s %14d %8d %6d %8d\n" name count pruned fixed dropped)
+        results;
+      let total f = List.fold_left (fun acc r -> acc + f r) 0 results in
+      Printf.printf "total: %d formulations, %d pruned, %d fixed, %d dropped\n"
+        (total (fun (_, c, _, _, _, _) -> c))
+        (total (fun (_, _, p, _, _, _) -> p))
+        (total (fun (_, _, _, f, _, _) -> f))
+        (total (fun (_, _, _, _, d, _) -> d));
+      let disagreements =
+        List.concat_map (fun (_, _, _, _, _, ds) -> ds) results
+      in
+      if disagreements <> [] then begin
+        Printf.printf "%d disagreement(s):\n" (List.length disagreements);
+        List.iter (fun d -> Printf.printf "  %s\n" d) disagreements;
+        1
+      end
+      else 0
+  in
+  Cmd.v
+    (Cmd.info "presolve"
+       ~doc:
+         "Audit the presolve layer: run interval bound propagation over every \
+          program the optimizer would formulate (all modes, objectives, \
+          permutation choices and placements, per layer), re-check every \
+          infeasibility proof, and report prune/fix/drop counts.  With \
+          $(b,--check), also solve everything and fail on any verdict the \
+          solver contradicts.")
+    Term.(
+      const run $ setup_logs $ layer_filter_arg $ max_choices_arg $ check_arg
+      $ arch_args $ node_arg $ jobs_arg)
+
+let journal_cmd =
+  let compact_cmd =
+    let files_arg =
+      Arg.(
+        non_empty & pos_all string []
+        & info [] ~docv:"JOURNAL"
+            ~doc:"Completion journals (JSONL) to compact in place.")
+    in
+    let run () files =
+      List.fold_left
+        (fun rc path ->
+          match Sweep.Journal.load path with
+          | Error msg ->
+            Printf.eprintf "%s: %s\n" path msg;
+            1
+          | Ok entries ->
+            let compacted = Sweep.Journal.compact entries in
+            Sweep.Journal.write_file path compacted;
+            Printf.printf "%s: %d entries -> %d\n" path (List.length entries)
+              (List.length compacted);
+            rc)
+        0 files
+    in
+    Cmd.v
+      (Cmd.info "compact"
+         ~doc:
+           "Rewrite completion journals in place to one line per pair — the last \
+            entry wins, exactly as $(b,--resume) replays them — dropping \
+            superseded and torn lines.  Resuming from a compacted journal is \
+            byte-identical to resuming from the original.")
+      Term.(const run $ setup_logs $ files_arg)
+  in
+  Cmd.group
+    (Cmd.info "journal" ~doc:"Completion-journal maintenance utilities.")
+    [ compact_cmd ]
+
 let pipeline_cmd =
   let pipeline_arg =
     let doc = "DNN pipeline: $(b,resnet18), $(b,yolo9000), $(b,alexnet) or $(b,vgg16)." in
@@ -812,6 +1059,8 @@ let main =
       mapper_cmd;
       pipeline_cmd;
       lint_cmd;
+      presolve_cmd;
+      journal_cmd;
       merge_cmd;
       metrics_cmd;
     ]

@@ -1,0 +1,405 @@
+module M = Symexpr.Monomial
+module P = Symexpr.Posynomial
+
+type mode = Prune | Check | Off
+
+let modes = [ ("prune", Prune); ("check", Check); ("off", Off) ]
+
+let mode_name = function Prune -> "prune" | Check -> "check" | Off -> "off"
+
+type side = Lo | Hi
+
+type step = { var : string; side : side; bound : float; via : string }
+
+type culprit_kind = Ineq_low | Eq_low | Eq_high
+
+type proof = {
+  steps : step list;
+  culprit : string;
+  kind : culprit_kind;
+  bound : float;
+}
+
+type reduction = {
+  reduced : Gp.Problem.t;
+  fixed : (string * float) list;
+  dropped : (string * float) list;
+}
+
+type verdict = Infeasible of proof | Feasible of reduction
+
+type t = { box : (string * Interval.t) list; verdict : verdict }
+
+let prune_margin = 1e-6
+
+let drop_margin = 1e-6
+
+(* A new endpoint must beat the old one by this relative amount to be
+   recorded — both a proof-size and a termination guard (propagation
+   also has a hard round cap). *)
+let improve_margin = 1e-9
+
+let max_rounds = 8
+
+exception Found_infeasible of step list (* trail, latest first *) * string * culprit_kind * float
+
+module SS = Set.Make (String)
+
+(* ------------------------------------------------------------------ *)
+(* Propagation core                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* One propagation state: a mutable box plus (optionally) the trail of
+   recorded steps, latest first.  The same core runs twice — once with
+   recording for the main pass, once silently when re-verifying
+   redundancy candidates against the kept constraints only. *)
+type state = {
+  box : (string, Interval.t) Hashtbl.t;
+  mutable trail : step list;
+  record : bool;
+  mutable dirty : bool;
+}
+
+let env st x =
+  match Hashtbl.find_opt st.box x with Some i -> i | None -> Interval.full
+
+let fresh_state ~record problem =
+  let box = Hashtbl.create 32 in
+  List.iter (fun x -> Hashtbl.replace box x Interval.full) (Gp.Problem.variables problem);
+  { box; trail = []; record; dirty = false }
+
+(* Tighten one endpoint.  [empty_bound] certifies the infeasibility that
+   a crossing (new lower bound above the current upper bound, or vice
+   versa) implies: it re-evaluates the implying constraint over the
+   *current* box and returns its culprit kind and bound when the margin
+   holds.  When the crossing is real but not provable beyond the margin,
+   the update is skipped — the box stays a sound superset. *)
+let try_hi st ~empty_bound x v via =
+  if Float.is_finite v && v > 0.0 then begin
+    let cur = env st x in
+    if v < cur.Interval.hi *. (1.0 -. improve_margin) then begin
+      if v < cur.Interval.lo then begin
+        match empty_bound () with
+        | Some (kind, bound) -> raise (Found_infeasible (st.trail, via, kind, bound))
+        | None -> ()
+      end
+      else begin
+        Hashtbl.replace st.box x { cur with Interval.hi = v };
+        if st.record then st.trail <- { var = x; side = Hi; bound = v; via } :: st.trail;
+        st.dirty <- true
+      end
+    end
+  end
+
+let try_lo st ~empty_bound x v via =
+  if Float.is_finite v && v > 0.0 then begin
+    let cur = env st x in
+    if v > cur.Interval.lo *. (1.0 +. improve_margin) && v > cur.Interval.lo then begin
+      if v > cur.Interval.hi then begin
+        match empty_bound () with
+        | Some (kind, bound) -> raise (Found_infeasible (st.trail, via, kind, bound))
+        | None -> ()
+      end
+      else begin
+        Hashtbl.replace st.box x { cur with Interval.lo = v };
+        if st.record then st.trail <- { var = x; side = Lo; bound = v; via } :: st.trail;
+        st.dirty <- true
+      end
+    end
+  end
+
+(* Lower bound of the inequality over the current box when it certifies
+   infeasibility (finite and beyond the margin), for both the
+   constraint-level check and the crossing certificate. *)
+let ineq_infeasibility st p =
+  let lb = (Interval.posynomial (env st) p).Interval.lo in
+  if Float.is_finite lb && lb > 1.0 +. prune_margin then Some (Ineq_low, lb) else None
+
+let eq_low_infeasibility st m =
+  let lb = (Interval.monomial (env st) m).Interval.lo in
+  if Float.is_finite lb && lb > 1.0 +. prune_margin then Some (Eq_low, lb) else None
+
+let eq_high_infeasibility st m =
+  let ub = (Interval.monomial (env st) m).Interval.hi in
+  (* [ub < 1.] is finite by construction. *)
+  if ub < 1.0 -. prune_margin then Some (Eq_high, ub) else None
+
+let propagate_ineq st (name, p) =
+  (match ineq_infeasibility st p with
+  | Some (kind, bound) -> raise (Found_infeasible (st.trail, name, kind, bound))
+  | None -> ());
+  let terms = P.terms p in
+  let lbs = List.map (fun m -> (Interval.monomial (env st) m).Interval.lo) terms in
+  let total = List.fold_left ( +. ) 0.0 lbs in
+  List.iteri
+    (fun k m ->
+      let slack = 1.0 -. (total -. List.nth lbs k) in
+      if slack > 0.0 then
+        List.iter
+          (fun (x, e) ->
+            let rest = (Interval.monomial_without (env st) ~var:x m).Interval.lo in
+            if rest > 0.0 && Float.is_finite rest then begin
+              (* x ** e <= slack / rest over every feasible point. *)
+              let b = (slack /. rest) ** (1.0 /. e) in
+              if e > 0.0 then
+                try_hi st ~empty_bound:(fun () -> ineq_infeasibility st p) x b name
+              else try_lo st ~empty_bound:(fun () -> ineq_infeasibility st p) x b name
+            end)
+          (M.exponents m))
+    terms
+
+let propagate_eq st (name, m) =
+  (match eq_low_infeasibility st m with
+  | Some (kind, bound) -> raise (Found_infeasible (st.trail, name, kind, bound))
+  | None -> ());
+  (match eq_high_infeasibility st m with
+  | Some (kind, bound) -> raise (Found_infeasible (st.trail, name, kind, bound))
+  | None -> ());
+  List.iter
+    (fun (x, e) ->
+      let rest = Interval.monomial_without (env st) ~var:x m in
+      (* x ** e = 1 / rest, so x ** e lies in the inverse interval. *)
+      let p_lo = if rest.Interval.hi = infinity then 0.0 else 1.0 /. rest.Interval.hi in
+      let p_hi = if rest.Interval.lo = 0.0 then infinity else 1.0 /. rest.Interval.lo in
+      let ie = 1.0 /. e in
+      let x_lo, x_hi =
+        if e > 0.0 then (p_lo ** ie, p_hi ** ie) else (p_hi ** ie, p_lo ** ie)
+      in
+      (* A crossing from an equality bound means the equality itself is
+         statically violated on the opposite side. *)
+      try_lo st ~empty_bound:(fun () -> eq_high_infeasibility st m) x x_lo name;
+      try_hi st ~empty_bound:(fun () -> eq_low_infeasibility st m) x x_hi name)
+    (M.exponents m)
+
+let propagate st ~ineqs ~eqs =
+  let rounds = ref 0 in
+  st.dirty <- true;
+  while st.dirty && !rounds < max_rounds do
+    st.dirty <- false;
+    incr rounds;
+    List.iter (propagate_ineq st) ineqs;
+    List.iter (propagate_eq st) eqs
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Proof slicing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let constraint_vars problem name =
+  match List.assoc_opt name (Gp.Problem.ineqs problem) with
+  | Some p -> P.variables p
+  | None -> (
+    match List.assoc_opt name (Gp.Problem.eqs problem) with
+    | Some m -> M.variables m
+    | None -> [])
+
+(* Backward slice: walking the trail latest-first, keep a step iff its
+   variable supports the culprit (or an already-kept step's implying
+   constraint).  Every earlier step a kept step's bound rests on is
+   reached later in the walk, so the slice is support-closed; reversing
+   restores application order. *)
+let slice problem trail culprit =
+  let needed = ref (SS.of_list (constraint_vars problem culprit)) in
+  let kept =
+    List.filter
+      (fun s ->
+        if SS.mem s.var !needed then begin
+          needed := SS.union !needed (SS.of_list (constraint_vars problem s.via));
+          true
+        end
+        else false)
+      trail
+  in
+  List.rev kept
+
+(* ------------------------------------------------------------------ *)
+(* Monotonicity fixing                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* A simple bound is a single-monomial inequality over a single
+   variable (the formulation's [bound:<var>] constraints): it shapes
+   the box but never opposes moving the variable to a box endpoint, so
+   it is excluded from the monotonicity scan. *)
+let is_simple_bound (_, p) =
+  match P.terms p with
+  | [ m ] -> ( match M.variables m with [ _ ] -> true | _ -> false)
+  | _ -> false
+
+let fixable problem st =
+  let eq_vars =
+    List.fold_left
+      (fun acc (_, m) -> SS.union acc (SS.of_list (M.variables m)))
+      SS.empty (Gp.Problem.eqs problem)
+  in
+  let scanned =
+    P.terms (Gp.Problem.objective problem)
+    @ List.concat_map
+        (fun c -> if is_simple_bound c then [] else P.terms (snd c))
+        (Gp.Problem.ineqs problem)
+  in
+  let sign x =
+    List.fold_left
+      (fun acc m ->
+        let e = M.exponent m x in
+        match acc with
+        | `Mixed -> `Mixed
+        | `Nonneg when e >= 0.0 -> `Nonneg
+        | `Nonpos when e <= 0.0 -> `Nonpos
+        | _ -> `Mixed)
+      `Nonneg scanned
+    |> fun first ->
+    (* [`Nonneg] is the fold seed; re-run for the nonpositive case only
+       when the first pass failed, so a variable absent everywhere
+       stays `Nonneg (pinned to its lower endpoint). *)
+    if first = `Mixed then
+      List.fold_left
+        (fun acc m ->
+          let e = M.exponent m x in
+          match acc with `Nonpos when e <= 0.0 -> `Nonpos | _ -> `Mixed)
+        `Nonpos scanned
+    else first
+  in
+  List.filter_map
+    (fun x ->
+      if SS.mem x eq_vars then None
+      else
+        let i = env st x in
+        match sign x with
+        | `Nonneg when Float.is_finite i.Interval.lo && i.Interval.lo > 0.0 ->
+          Some (x, i.Interval.lo)
+        | `Nonpos when Float.is_finite i.Interval.hi && i.Interval.hi > 0.0 ->
+          Some (x, i.Interval.hi)
+        | _ -> None)
+    (Gp.Problem.variables problem)
+
+(* ------------------------------------------------------------------ *)
+(* Redundancy elimination                                             *)
+(* ------------------------------------------------------------------ *)
+
+let redundant problem st =
+  let ineqs = Gp.Problem.ineqs problem in
+  let ub (_, p) = (Interval.posynomial (env st) p).Interval.hi in
+  let candidates =
+    List.filter (fun c -> ub c <= 1.0 -. drop_margin) ineqs
+  in
+  if candidates = [] then []
+  else begin
+    (* A candidate's slackness may rest on bounds it propagated itself.
+       Re-propagate from scratch with the kept constraints only; a
+       candidate still slack over that (weaker) box is implied by the
+       rest of the problem and safe to drop. *)
+    let cand_names = SS.of_list (List.map fst candidates) in
+    let kept = List.filter (fun (n, _) -> not (SS.mem n cand_names)) ineqs in
+    let st' = fresh_state ~record:false problem in
+    match propagate st' ~ineqs:kept ~eqs:(Gp.Problem.eqs problem) with
+    | () ->
+      let ub' (_, p) = (Interval.posynomial (env st') p).Interval.hi in
+      List.filter_map
+        (fun c -> if ub' c <= 1.0 -. drop_margin then Some (fst c, ub' c) else None)
+        candidates
+    | exception Found_infeasible _ ->
+      (* The kept-only relaxation cannot be infeasible when the full
+         problem was not; reachable only through margin corner cases —
+         drop nothing, stay conservative. *)
+      []
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Reduction construction                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Binding the fixed variables collapses any inequality mentioning only
+   fixed variables to a constant: such a constraint no longer restricts
+   the remaining variables — drop it, recording its constant value as
+   the certified bound.  A constant meaningfully above 1 would
+   contradict the infeasibility check that already passed; it can only
+   arise inside the float-rounding slack of an active bound, in which
+   case fixing is abandoned wholesale rather than risking an unsound
+   drop. *)
+exception Abort_fixing
+
+let reduction problem st =
+  let fixed = fixable problem st in
+  let dropped0 = redundant problem st in
+  if fixed = [] && dropped0 = [] then
+    { reduced = problem; fixed = []; dropped = [] }
+  else begin
+    let drop_names = SS.of_list (List.map fst dropped0) in
+    let build fixed =
+      let fixed_set = SS.of_list (List.map fst fixed) in
+      let fixed_env x = List.assoc x fixed in
+      let collapsed =
+        List.filter_map
+          (fun (name, p) ->
+            if
+              (not (SS.mem name drop_names))
+              && List.for_all (fun x -> SS.mem x fixed_set) (P.variables p)
+            then begin
+              let v = P.eval fixed_env p in
+              if v <= 1.0 +. 1e-9 then Some (name, v) else raise Abort_fixing
+            end
+            else None)
+          (Gp.Problem.ineqs problem)
+      in
+      let collapsed_names = SS.of_list (List.map fst collapsed) in
+      let keep name = not (SS.mem name drop_names || SS.mem name collapsed_names) in
+      let reduced = Gp.Problem.bind fixed (Gp.Problem.filter_ineqs keep problem) in
+      (* Keep [dropped] in original constraint order: binding-collapsed
+         constants interleave with interval-certified drops. *)
+      let all = dropped0 @ collapsed in
+      let dropped =
+        List.filter_map
+          (fun (name, _) -> Option.map (fun v -> (name, v)) (List.assoc_opt name all))
+          (Gp.Problem.ineqs problem)
+      in
+      { reduced; fixed; dropped }
+    in
+    try build fixed
+    with Abort_fixing -> (
+      try build []
+      with Abort_fixing -> { reduced = problem; fixed = []; dropped = [] })
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let box_list problem st =
+  List.map (fun x -> (x, env st x)) (Gp.Problem.variables problem)
+
+let analyze problem =
+  let st = fresh_state ~record:true problem in
+  match propagate st ~ineqs:(Gp.Problem.ineqs problem) ~eqs:(Gp.Problem.eqs problem) with
+  | () -> { box = box_list problem st; verdict = Feasible (reduction problem st) }
+  | exception Found_infeasible (trail, culprit, kind, bound) ->
+    let steps = slice problem trail culprit in
+    { box = box_list problem st; verdict = Infeasible { steps; culprit; kind; bound } }
+
+let pp_side ppf = function
+  | Lo -> Format.pp_print_string ppf ">="
+  | Hi -> Format.pp_print_string ppf "<="
+
+let pp_proof ppf proof =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "%s %a %.6g  (via %s)@," s.var pp_side s.side s.bound s.via)
+    proof.steps;
+  (match proof.kind with
+  | Ineq_low ->
+    Format.fprintf ppf "constraint %s: interval lower bound %.6g > 1" proof.culprit
+      proof.bound
+  | Eq_low ->
+    Format.fprintf ppf "equality %s: interval lower bound %.6g > 1" proof.culprit
+      proof.bound
+  | Eq_high ->
+    Format.fprintf ppf "equality %s: interval upper bound %.6g < 1" proof.culprit
+      proof.bound);
+  Format.fprintf ppf "@]"
+
+let pp ppf t =
+  match t.verdict with
+  | Infeasible proof -> Format.fprintf ppf "@[<v>infeasible:@,%a@]" pp_proof proof
+  | Feasible r ->
+    Format.fprintf ppf "feasible: %d fixed, %d dropped" (List.length r.fixed)
+      (List.length r.dropped)

@@ -8,6 +8,7 @@ type config = {
   min_pe_utilization : float;
   jobs : int;
   lint : Analysis.Lint.mode;
+  presolve : Analysis.Presolve.mode;
   dedupe : bool;
   warm_start : bool;
   gp_kernel : Gp.Solver.kernel;
@@ -30,6 +31,7 @@ let default_config =
     min_pe_utilization = 0.0;
     jobs = Domain.recommended_domain_count ();
     lint = Analysis.Lint.Enforce;
+    presolve = Analysis.Presolve.Prune;
     dedupe = true;
     warm_start = true;
     gp_kernel = `Compiled;
@@ -48,6 +50,7 @@ type report = {
   best_continuous : float;
   solve_totals : Gp.Solver.totals;
   failures : Robust.failure list;
+  pruned : (string * Analysis.Presolve.proof) list;
 }
 
 let log_src = Logs.Src.create "thistle.optimize" ~doc:"Thistle optimizer driver"
@@ -81,6 +84,15 @@ let m_journal_hits = Obs.Metrics.counter "sweep.journal_hits"
 let m_journal_stale = Obs.Metrics.counter "sweep.journal_stale"
 let m_pairs_solved = Obs.Metrics.counter "sweep.pairs_solved"
 
+(* Presolve counters (DESIGN §9/§13): derived from the stage-A verdicts
+   over the owned pairs — a pure function of the workload and the
+   presolve mode — and fed sequentially after the waves.  [Prune] and
+   [Check] produce identical verdicts, hence identical counters; [Off]
+   leaves all three at zero. *)
+let m_presolve_pruned = Obs.Metrics.counter "presolve.pruned"
+let m_presolve_vars_fixed = Obs.Metrics.counter "presolve.vars_fixed"
+let m_presolve_dropped = Obs.Metrics.counter "presolve.constraints_dropped"
+
 (* Ascending on finite scores; any non-finite score (NaN, +/-inf from an
    overflowed or failed model evaluation) orders after every finite one
    and ties with other non-finite scores — under a minimization
@@ -111,7 +123,8 @@ let select_best ~score outcomes =
    it versions the journal cache — change any of these and every
    journal entry goes stale and is re-solved (DESIGN §12). *)
 let config_fingerprint config =
-  Printf.sprintf "v1|tol=%Lx|kernel=%s|warm=%b|dedupe=%b|deadline=%s|retries=%d|inject=%s"
+  Printf.sprintf
+    "v2|tol=%Lx|kernel=%s|warm=%b|dedupe=%b|deadline=%s|retries=%d|inject=%s|presolve=%s"
     (Int64.bits_of_float config.gp_tol)
     (match config.gp_kernel with `Compiled -> "compiled" | `List -> "list")
     config.warm_start config.dedupe
@@ -120,6 +133,13 @@ let config_fingerprint config =
     | Some ms -> Printf.sprintf "%Lx" (Int64.bits_of_float ms))
     config.retries
     (Robust.Inject.to_string config.inject)
+    (* [Check] solves every original problem exactly as [Off] does —
+       presolve only audits — so their journal entries are
+       interchangeable; [Prune] solves reduced problems and skips pruned
+       pairs, which is a different workload. *)
+    (match config.presolve with
+    | Analysis.Presolve.Prune -> "prune"
+    | Analysis.Presolve.Check | Analysis.Presolve.Off -> "off")
 
 (* Fed from the sequentially-accumulated totals (not from inside the
    parallel sweep), so the counter values are functions of the workload
@@ -171,12 +191,13 @@ let problem_key problem =
   Buffer.contents buf
 
 (* Fate of one (choice, placement) pair after the guarded solve stage:
-   either a solver solution or the quarantining failure, plus the final
-   attempt's telemetry, the number of extra attempts spent, and the
-   deadline hits accumulated across every attempt (retried stalls
-   included, which the final attempt's stats alone would miss). *)
+   a solver solution, the quarantining failure, or the presolve proof
+   that pruned the pair without a solve, plus the final attempt's
+   telemetry, the number of extra attempts spent, and the deadline hits
+   accumulated across every attempt (retried stalls included, which the
+   final attempt's stats alone would miss). *)
 type slot = {
-  s_result : (Gp.Solver.solution, Robust.failure) result;
+  s_fate : Sweep.Journal.fate;
   s_stats : Gp.Solver.stats;
   s_retries : int;
   s_deadline_hits : int;
@@ -203,13 +224,52 @@ let run ?(config = default_config) tech arch_mode objective nest =
      warm-start source stays shard-local. *)
   let pair_arr = Array.of_list pairs in
   let shard_idx = Sweep.Partition.pair_indices config.shard ~nplac ~npairs in
-  (* Stage A: formulate, lint and key every owned (choice, placement)
-     pair.  The pairs are independent — Formulate.build shares no
-     mutable state — and Exec.Par.map preserves sequential order, so the
-     stage is bit-identical for any [jobs].  A lint rejection aborts the
-     whole sweep: every pair of one layer shares the formulation code,
-     so one malformed instance means the model itself is wrong, not that
-     one choice is unlucky. *)
+  (* Stage A: formulate, lint, key and presolve every owned (choice,
+     placement) pair.  The pairs are independent — Formulate.build
+     shares no mutable state — and Exec.Par.map preserves sequential
+     order, so the stage is bit-identical for any [jobs].  A lint
+     rejection aborts the whole sweep: every pair of one layer shares
+     the formulation code, so one malformed instance means the model
+     itself is wrong, not that one choice is unlucky.
+
+     Presolve (DESIGN §13) is defense-in-depth the other way around: its
+     verdicts gate individual pairs, never the sweep, and before an
+     infeasibility verdict is allowed to stand, the proof is re-checked
+     by {!Analysis.Certificate.check_prune}.  A rejected proof — or a
+     crash inside the propagator — downgrades the pair to "solve
+     normally" with a warning, in [Prune] and [Check] alike, so a buggy
+     propagator can never silently discard a feasible pair. *)
+  let presolve_of instance =
+    match config.presolve with
+    | Analysis.Presolve.Off -> None
+    | Analysis.Presolve.Prune | Analysis.Presolve.Check -> (
+      let problem = instance.Formulate.problem in
+      let no_reduction t =
+        {
+          t with
+          Analysis.Presolve.verdict =
+            Analysis.Presolve.Feasible
+              { Analysis.Presolve.reduced = problem; fixed = []; dropped = [] };
+        }
+      in
+      match Analysis.Presolve.analyze problem with
+      | exception e ->
+        Log.warn (fun m ->
+            m "%s: presolve crashed, solving anyway: %s"
+              instance.Formulate.provenance (Printexc.to_string e));
+        None
+      | t -> (
+        match t.Analysis.Presolve.verdict with
+        | Analysis.Presolve.Feasible _ -> Some t
+        | Analysis.Presolve.Infeasible proof -> (
+          match Analysis.Certificate.check_prune problem proof with
+          | Ok () -> Some t
+          | Error msg ->
+            Log.warn (fun m ->
+                m "%s: presolve proof rejected, solving anyway: %s"
+                  instance.Formulate.provenance msg);
+            Some (no_reduction t))))
+  in
   let formulated =
     try
       Ok
@@ -221,7 +281,7 @@ let run ?(config = default_config) tech arch_mode objective nest =
                    Formulate.build ~placement tech arch_mode objective plan choice_vol)
              in
              Analysis.Lint.gate config.lint (Formulate.lint instance);
-             (instance, problem_key instance.Formulate.problem))
+             (instance, problem_key instance.Formulate.problem, presolve_of instance))
            shard_idx)
     with Analysis.Lint.Rejected diags ->
       Error
@@ -231,7 +291,10 @@ let run ?(config = default_config) tech arch_mode objective nest =
   match formulated with
   | Error _ as e -> e
   | Ok formulated ->
-  let inst : (Formulate.instance * string) option array = Array.make npairs None in
+  let inst :
+      (Formulate.instance * string * Analysis.Presolve.t option) option array =
+    Array.make npairs None
+  in
   List.iter2 (fun i v -> inst.(i) <- Some v) shard_idx formulated;
   let instance_of i =
     match inst.(i) with
@@ -265,7 +328,7 @@ let run ?(config = default_config) tech arch_mode objective nest =
   let pair_fp = Array.make npairs "" in
   List.iter
     (fun i ->
-      let _, key = instance_of i in
+      let _, key, _ = instance_of i in
       pair_fp.(i) <- Sweep.Journal.fingerprint ~config:config_fp ~problem_key:key)
     shard_idx;
   let journal_hits = ref 0 in
@@ -291,7 +354,7 @@ let run ?(config = default_config) tech arch_mode objective nest =
                results.(i) <-
                  Some
                    {
-                     s_result = e.Sweep.Journal.result;
+                     s_fate = e.Sweep.Journal.fate;
                      s_stats = e.Sweep.Journal.stats;
                      s_retries = e.Sweep.Journal.retries;
                      s_deadline_hits = e.Sweep.Journal.deadline_hits;
@@ -313,13 +376,13 @@ let run ?(config = default_config) tech arch_mode objective nest =
     | None -> ()
     | Some oc ->
       if not resumed.(i) then begin
-        let instance, _ = instance_of i in
+        let instance, _, _ = instance_of i in
         let entry =
           {
             Sweep.Journal.pair = i;
             fingerprint = pair_fp.(i);
             provenance = instance.Formulate.provenance;
-            result = slot.s_result;
+            fate = slot.s_fate;
             stats = slot.s_stats;
             retries = slot.s_retries;
             deadline_hits = slot.s_deadline_hits;
@@ -333,6 +396,36 @@ let run ?(config = default_config) tech arch_mode objective nest =
   in
   Fun.protect ~finally:(fun () -> Option.iter close_out_noerr journal_oc)
   @@ fun () ->
+  (* Presolve pruning ([Prune] mode only): statically infeasible pairs
+     get their fate slot before wave selection — like journal-resumed
+     pairs they register as dedupe representatives and are never
+     handed to the solver.  The proof was independently re-checked in
+     stage A; the stats are all-zero because no solver ran. *)
+  (match config.presolve with
+  | Analysis.Presolve.Check | Analysis.Presolve.Off -> ()
+  | Analysis.Presolve.Prune ->
+    List.iter
+      (fun i ->
+        if results.(i) = None then
+          let _, _, pre = instance_of i in
+          match pre with
+          | Some
+              { Analysis.Presolve.verdict = Analysis.Presolve.Infeasible proof; _ }
+            ->
+            let slot =
+              {
+                s_fate = Sweep.Journal.Pruned proof;
+                s_stats = Gp.Solver.fresh_stats ();
+                s_retries = 0;
+                s_deadline_hits = 0;
+              }
+            in
+            results.(i) <- Some slot;
+            journal_emit i slot
+          | Some { Analysis.Presolve.verdict = Analysis.Presolve.Feasible _; _ }
+          | None ->
+            ())
+      shard_idx);
   let deadline_ns = Option.map (fun ms -> ms *. 1e6) config.solve_deadline_ms in
   let max_attempts = 1 + Int.max 0 config.retries in
   (* One guarded solve attempt.  A stall injection forces a zero deadline
@@ -341,8 +434,45 @@ let run ?(config = default_config) tech arch_mode objective nest =
      escalate the initial KKT regularization — a solve that crashed or
      stalled was usually fighting a near-singular system. *)
   let solve_pair ?warm_start i =
-    let instance, _ = instance_of i in
+    let instance, _, pre = instance_of i in
     let prov = instance.Formulate.provenance in
+    (* In [Prune] mode a feasible presolve verdict swaps in the reduced
+       problem: fixed variables are gone (the compiled kernel's
+       nullspace basis shrinks accordingly) and redundant constraints
+       are dropped.  The fixed values are re-injected into every
+       solution so downstream consumers — certificates, integerization,
+       warm starts, journal replays — see a complete assignment;
+       {!Formulate.solution_env} would otherwise default them to 1. *)
+    let problem, fixed =
+      match (config.presolve, pre) with
+      | ( Analysis.Presolve.Prune,
+          Some { Analysis.Presolve.verdict = Analysis.Presolve.Feasible red; _ } )
+        ->
+        (red.Analysis.Presolve.reduced, red.Analysis.Presolve.fixed)
+      | _ -> (instance.Formulate.problem, [])
+    in
+    let reinstate (sol : Gp.Solver.solution) =
+      if fixed = [] then sol
+      else { sol with Gp.Solver.values = sol.Gp.Solver.values @ fixed }
+    in
+    if fixed <> [] && Gp.Problem.variables problem = [] then
+      (* Every variable was pinned by monotonicity: the program is a
+         point, already proven feasible, so there is nothing to solve. *)
+      {
+        s_fate =
+          Sweep.Journal.Solved
+            {
+              Gp.Solver.status = Gp.Solver.Optimal;
+              objective =
+                Symexpr.Posynomial.eval (fun _ -> 1.0)
+                  (Gp.Problem.objective problem);
+              values = fixed;
+            };
+        s_stats = Gp.Solver.fresh_stats ();
+        s_retries = 0;
+        s_deadline_hits = 0;
+      }
+    else begin
     let attempt_once attempt =
       let st = Gp.Solver.fresh_stats () in
       let deadline_ns =
@@ -359,15 +489,15 @@ let run ?(config = default_config) tech arch_mode objective nest =
               (fun () ->
                 Gp.Solver.solve ~tol:config.gp_tol ~stats:st
                   ~kernel:config.gp_kernel ?deadline_ns ~initial_reg ?warm_start
-                  instance.Formulate.problem))
+                  problem))
       in
       (result, st)
     in
     let start = Robust.now_ns () in
     let rec go ~dh attempt =
-      let finish s_result st =
+      let finish s_fate st =
         {
-          s_result;
+          s_fate;
           s_stats = st;
           s_retries = attempt;
           s_deadline_hits = dh + st.Gp.Solver.deadline_hits;
@@ -379,7 +509,7 @@ let run ?(config = default_config) tech arch_mode objective nest =
           go ~dh:(dh + st.Gp.Solver.deadline_hits) (attempt + 1)
         else
           finish
-            (Error
+            (Sweep.Journal.Quarantined
                (Robust.deadline_failure ~attempts:(attempt + 1) ~site:"solve"
                   ~provenance:prov
                   ~elapsed_ns:(Robust.now_ns () -. start)
@@ -388,10 +518,11 @@ let run ?(config = default_config) tech arch_mode objective nest =
       | Error f, st ->
         if attempt + 1 < max_attempts then
           go ~dh:(dh + st.Gp.Solver.deadline_hits) (attempt + 1)
-        else finish (Error f) st
-      | Ok sol, st -> finish (Ok sol) st
+        else finish (Sweep.Journal.Quarantined f) st
+      | Ok sol, st -> finish (Sweep.Journal.Solved (reinstate sol)) st
     in
     go ~dh:0 0
+    end
   in
   (* Replaying a cached solve copies the representative's telemetry
      into a fresh stats record, so [solve_totals] keeps counting
@@ -400,23 +531,25 @@ let run ?(config = default_config) tech arch_mode objective nest =
      quarantines its replicas too (same program, same fate), with the
      failure relabeled to the replica's own provenance. *)
   let replay i =
-    let instance, key = instance_of i in
+    let instance, key, _ = instance_of i in
     let rep = Hashtbl.find key_rep key in
     let r = Option.get results.(rep) in
     let st = Gp.Solver.fresh_stats () in
     Gp.Solver.copy_stats ~into:st r.s_stats;
-    let s_result =
-      match r.s_result with
-      | Ok _ as ok -> ok
-      | Error f -> Error { f with Robust.provenance = instance.Formulate.provenance }
+    let s_fate =
+      match r.s_fate with
+      | (Sweep.Journal.Solved _ | Sweep.Journal.Pruned _) as fate -> fate
+      | Sweep.Journal.Quarantined f ->
+        Sweep.Journal.Quarantined
+          { f with Robust.provenance = instance.Formulate.provenance }
     in
     incr cache_hits;
-    let slot = { r with s_result; s_stats = st } in
+    let slot = { r with s_fate; s_stats = st } in
     results.(i) <- Some slot;
     journal_emit i slot
   in
   let is_rep i =
-    let _, key = instance_of i in
+    let _, key, _ = instance_of i in
     if config.dedupe && Hashtbl.mem key_rep key then false
     else begin
       Hashtbl.replace key_rep key i;
@@ -456,7 +589,7 @@ let run ?(config = default_config) tech arch_mode objective nest =
     else
       let pinned = i / nplac * nplac in
       match results.(pinned) with
-      | Some { s_result = Ok sol; _ }
+      | Some { s_fate = Sweep.Journal.Solved sol; _ }
         when sol.Gp.Solver.status <> Gp.Solver.Infeasible
              && sol.Gp.Solver.values <> [] ->
         Some sol.Gp.Solver.values
@@ -487,12 +620,12 @@ let run ?(config = default_config) tech arch_mode objective nest =
   let attempts =
     Exec.Par.map ~jobs
       (fun i ->
-        let instance, _ = instance_of i in
+        let instance, _, _ = instance_of i in
         let slot = Option.get results.(i) in
         let usable =
-          match slot.s_result with
-          | Error _ -> None
-          | Ok solution ->
+          match slot.s_fate with
+          | Sweep.Journal.Quarantined _ | Sweep.Journal.Pruned _ -> None
+          | Sweep.Journal.Solved solution ->
             (match solution.Gp.Solver.status with
             | Gp.Solver.Infeasible | Gp.Solver.Deadline_exceeded -> None
             | Gp.Solver.Optimal | Gp.Solver.Iteration_limit ->
@@ -530,8 +663,82 @@ let run ?(config = default_config) tech arch_mode objective nest =
   let solve_failures =
     List.filter_map
       (fun (_, slot) ->
-        match slot.s_result with Error f -> Some f | Ok _ -> None)
+        match slot.s_fate with Sweep.Journal.Quarantined f -> Some f | _ -> None)
       attempts
+  in
+  (* Pruned pairs, with provenance, in enumeration order — reported like
+     quarantined pairs so audits can re-check every proof. *)
+  let pruned =
+    List.filter_map
+      (fun i ->
+        match results.(i) with
+        | Some { s_fate = Sweep.Journal.Pruned proof; _ } ->
+          let instance, _, _ = instance_of i in
+          Some (instance.Formulate.provenance, proof)
+        | _ -> None)
+      shard_idx
+  in
+  (* Check mode: every pair was solved as formulated; compare the
+     solver's findings against the presolve verdicts.  Any disagreement
+     is a presolve soundness bug and fails the run — after the counters
+     are fed, so [Check] and [Prune] report identical telemetry. *)
+  let disagreements =
+    if config.presolve <> Analysis.Presolve.Check then []
+    else
+      List.concat
+        (List.map2
+           (fun i (usable, _) ->
+             let instance, _, pre = instance_of i in
+             let prov = instance.Formulate.provenance in
+             match (pre, usable) with
+             | None, _ | _, None -> []
+             | Some t, Some (_, (solution : Gp.Solver.solution)) -> (
+               match t.Analysis.Presolve.verdict with
+               | Analysis.Presolve.Infeasible proof ->
+                 [
+                   Printf.sprintf
+                     "%s: solved despite an infeasibility proof (culprit %s)" prov
+                     proof.Analysis.Presolve.culprit;
+                 ]
+               | Analysis.Presolve.Feasible red ->
+                 let escaped =
+                   List.filter_map
+                     (fun (x, v) ->
+                       match List.assoc_opt x t.Analysis.Presolve.box with
+                       | Some iv when not (Analysis.Interval.mem ~slack:1e-4 v iv)
+                         ->
+                         Some
+                           (Format.asprintf
+                              "%s: solution %s = %g escapes the presolve box %a"
+                              prov x v Analysis.Interval.pp iv)
+                       | Some _ | None -> None)
+                     solution.Gp.Solver.values
+                 in
+                 let active =
+                   List.filter_map
+                     (fun (name, _) ->
+                       match
+                         List.assoc_opt name
+                           (Gp.Problem.ineqs instance.Formulate.problem)
+                       with
+                       | None -> None
+                       | Some p ->
+                         let v =
+                           Symexpr.Posynomial.eval
+                             (Formulate.solution_env instance solution)
+                             p
+                         in
+                         if v >= 1.0 -. 1e-7 then
+                           Some
+                             (Printf.sprintf
+                                "%s: eliminated constraint %s evaluates to %g at \
+                                 the optimum"
+                                prov name v)
+                         else None)
+                     red.Analysis.Presolve.dropped
+                 in
+                 escaped @ active))
+           shard_idx attempts)
   in
   feed_solver_metrics solve_totals;
   Obs.Metrics.add m_cache_hits !cache_hits;
@@ -539,6 +746,25 @@ let run ?(config = default_config) tech arch_mode objective nest =
   Obs.Metrics.add m_journal_hits !journal_hits;
   Obs.Metrics.add m_journal_stale !journal_stale;
   Obs.Metrics.add m_pairs_solved pairs_solved;
+  let presolve_pruned = ref 0 in
+  let presolve_fixed = ref 0 in
+  let presolve_dropped = ref 0 in
+  List.iter
+    (fun i ->
+      let _, _, pre = instance_of i in
+      match pre with
+      | Some { Analysis.Presolve.verdict = Analysis.Presolve.Infeasible _; _ } ->
+        incr presolve_pruned
+      | Some { Analysis.Presolve.verdict = Analysis.Presolve.Feasible red; _ } ->
+        presolve_fixed :=
+          !presolve_fixed + List.length red.Analysis.Presolve.fixed;
+        presolve_dropped :=
+          !presolve_dropped + List.length red.Analysis.Presolve.dropped
+      | None -> ())
+    shard_idx;
+  Obs.Metrics.add m_presolve_pruned !presolve_pruned;
+  Obs.Metrics.add m_presolve_vars_fixed !presolve_fixed;
+  Obs.Metrics.add m_presolve_dropped !presolve_dropped;
   Obs.Metrics.add m_quarantined (List.length solve_failures);
   Obs.Metrics.add m_retries
     (List.fold_left (fun acc (_, slot) -> acc + slot.s_retries) 0 attempts);
@@ -547,22 +773,39 @@ let run ?(config = default_config) tech arch_mode objective nest =
   List.iter
     (fun f -> Log.warn (fun m -> m "quarantined: %s" (Robust.describe f)))
     solve_failures;
+  match disagreements with
+  | first :: _ ->
+    List.iter
+      (fun d -> Log.err (fun m -> m "presolve check: %s" d))
+      disagreements;
+    Error
+      (Printf.sprintf
+         "optimize: presolve check found %d disagreement(s); first: %s"
+         (List.length disagreements) first)
+  | [] ->
   let solved = List.filter_map fst attempts in
   match solved with
   | [] ->
     Log.info (fun m ->
-        m "%s: 0/%d choices solved (raw %d, %d quarantined)"
+        m "%s: 0/%d choices solved (raw %d, %d quarantined, %d pruned)"
           (Workload.Nest.name nest)
           (List.length plan.Permutations.choices) plan.Permutations.raw_count
-          (List.length solve_failures));
-    Error
-      (if solve_failures = [] then
-         "optimize: no permutation choice produced a feasible program"
+          (List.length solve_failures) (List.length pruned));
+    let reasons =
+      (if solve_failures = [] then []
        else
-         Printf.sprintf
-           "optimize: no permutation choice produced a feasible program (%d \
-            pair(s) quarantined)"
-           (List.length solve_failures))
+         [ Printf.sprintf "%d pair(s) quarantined" (List.length solve_failures) ])
+      @
+      if pruned = [] then []
+      else [ Printf.sprintf "%d pair(s) presolve-pruned" (List.length pruned) ]
+    in
+    Error
+      (match reasons with
+      | [] -> "optimize: no permutation choice produced a feasible program"
+      | reasons ->
+        Printf.sprintf
+          "optimize: no permutation choice produced a feasible program (%s)"
+          (String.concat ", " reasons))
   | solved ->
     Log.info (fun m ->
         m "%s: %d/%d choices solved (raw %d, %d deduped, %d warm)"
@@ -651,6 +894,7 @@ let run ?(config = default_config) tech arch_mode objective nest =
             best_continuous;
             solve_totals;
             failures;
+            pruned;
           }
     end
 

@@ -37,6 +37,26 @@ type config = {
           are additionally certified post-solve
           ({!Analysis.Certificate.check}); points with non-finite
           coordinates or constraint values are discarded in every mode. *)
+  presolve : Analysis.Presolve.mode;
+      (** interval-propagation presolve over every formulated GP
+          ({!Analysis.Presolve.analyze}, DESIGN §13).  [Prune] (default)
+          skips statically infeasible pairs — each carries a
+          machine-checkable proof, independently re-verified by
+          {!Analysis.Certificate.check_prune} before it is acted on
+          (a rejected proof solves the pair normally) — and solves the
+          reduced problem of feasible pairs (monotone variables pinned,
+          redundant constraints dropped), with fixed values re-injected
+          into every solution.  [Check] solves everything exactly as
+          [Off] does and differentially validates the verdicts against
+          the solver's findings: a solved presolve-infeasible pair, a
+          solution escaping the propagated box, or an eliminated
+          constraint active at an optimum turns the whole run into an
+          [Error].  Pruning alone never changes the selected outcome
+          (infeasible pairs cannot rank or warm-start); fixing and
+          dropping may move the solver's iteration path within
+          tolerance, like [warm_start].
+          [presolve.pruned] / [presolve.vars_fixed] /
+          [presolve.constraints_dropped] count the verdicts. *)
   dedupe : bool;
       (** solve each structurally identical GP once per sweep (canonical
           coefficient/exponent key, constraint names excluded) and replay
@@ -149,6 +169,13 @@ type report = {
           long as any pair survives; an empty list means a clean sweep.
           Dedupe replicas of a quarantined representative appear here
           too, relabeled with their own provenance. *)
+  pruned : (string * Analysis.Presolve.proof) list;
+      (** presolve-pruned pairs in enumeration order, as (provenance,
+          infeasibility proof) — empty unless [config.presolve = Prune].
+          Every proof was re-verified by
+          {!Analysis.Certificate.check_prune} before the pair was
+          pruned, and is journaled with the pair so audits can re-check
+          it offline. *)
 }
 
 val run :

@@ -1,14 +1,22 @@
+type fate =
+  | Solved of Gp.Solver.solution
+  | Quarantined of Robust.failure
+  | Pruned of Analysis.Presolve.proof
+
 type entry = {
   pair : int;
   fingerprint : string;
   provenance : string;
-  result : (Gp.Solver.solution, Robust.failure) result;
+  fate : fate;
   stats : Gp.Solver.stats;
   retries : int;
   deadline_hits : int;
 }
 
-let version = 1
+(* v2 added the [Pruned] fate (presolve infeasibility proofs).  v1
+   journals no longer decode: a presolve-capable binary would otherwise
+   replay pre-presolve entries whose fingerprints happen to match. *)
+let version = 2
 
 (* FNV-1a 64 with murmur3's finalizer — the same construction lib/robust
    uses for injection draws: stable across compilers (no Hashtbl.hash)
@@ -54,6 +62,24 @@ let status_of = function
   | "deadline_exceeded" -> Gp.Solver.Deadline_exceeded
   | s -> failwith (Printf.sprintf "unknown solver status %S" s)
 
+let kind_name = function
+  | Analysis.Presolve.Ineq_low -> "ineq_low"
+  | Analysis.Presolve.Eq_low -> "eq_low"
+  | Analysis.Presolve.Eq_high -> "eq_high"
+
+let kind_of = function
+  | "ineq_low" -> Analysis.Presolve.Ineq_low
+  | "eq_low" -> Analysis.Presolve.Eq_low
+  | "eq_high" -> Analysis.Presolve.Eq_high
+  | s -> failwith (Printf.sprintf "unknown culprit kind %S" s)
+
+let side_name = function Analysis.Presolve.Lo -> "lo" | Analysis.Presolve.Hi -> "hi"
+
+let side_of = function
+  | "lo" -> Analysis.Presolve.Lo
+  | "hi" -> Analysis.Presolve.Hi
+  | s -> failwith (Printf.sprintf "unknown bound side %S" s)
+
 (* ------------------------------------------------------------------ *)
 (* Encoding (via the Obs.Json writer)                                 *)
 (* ------------------------------------------------------------------ *)
@@ -87,9 +113,9 @@ let encode (e : entry) =
         field "gap" (j_str (bits s.Gp.Solver.duality_gap));
       ]
   in
-  let result =
-    match e.result with
-    | Ok sol ->
+  let fate =
+    match e.fate with
+    | Solved sol ->
       field "ok"
         (obj
            [
@@ -101,7 +127,7 @@ let encode (e : entry) =
                      (fun (name, v) -> arr [ j_str name; j_str (bits v) ])
                      sol.Gp.Solver.values));
            ])
-    | Error f ->
+    | Quarantined f ->
       field "err"
         (obj
            [
@@ -112,6 +138,26 @@ let encode (e : entry) =
              field "elapsed" (j_str (bits f.Robust.elapsed_ns));
              field "attempts" (j_int f.Robust.attempts);
            ])
+    | Pruned proof ->
+      field "pruned"
+        (obj
+           [
+             field "culprit" (j_str proof.Analysis.Presolve.culprit);
+             field "kind" (j_str (kind_name proof.Analysis.Presolve.kind));
+             field "bound" (j_str (bits proof.Analysis.Presolve.bound));
+             field "steps"
+               (arr
+                  (List.map
+                     (fun (s : Analysis.Presolve.step) ->
+                       arr
+                         [
+                           j_str s.Analysis.Presolve.var;
+                           j_str (side_name s.Analysis.Presolve.side);
+                           j_str (bits s.Analysis.Presolve.bound);
+                           j_str s.Analysis.Presolve.via;
+                         ])
+                     proof.Analysis.Presolve.steps));
+           ])
   in
   obj
     [
@@ -121,7 +167,7 @@ let encode (e : entry) =
       field "prov" (j_str e.provenance);
       field "retries" (j_int e.retries);
       field "dh" (j_int e.deadline_hits);
-      result;
+      fate;
       field "stats" stats;
     ]
     b;
@@ -302,9 +348,13 @@ let decode line =
           duality_gap = float_of (find stats_f "gap");
         }
       in
-      let result =
-        match (List.assoc_opt "ok" f, List.assoc_opt "err" f) with
-        | Some ok, None ->
+      let fate =
+        match
+          ( List.assoc_opt "ok" f,
+            List.assoc_opt "err" f,
+            List.assoc_opt "pruned" f )
+        with
+        | Some ok, None, None ->
           let ok_f = fields ok in
           let values =
             match find ok_f "values" with
@@ -316,15 +366,15 @@ let decode line =
                 vs
             | _ -> failwith "values is not an array"
           in
-          Ok
+          Solved
             {
               Gp.Solver.status = status_of (str_of (find ok_f "status"));
               objective = float_of (find ok_f "objective");
               values;
             }
-        | None, Some err ->
+        | None, Some err, None ->
           let err_f = fields err in
-          Error
+          Quarantined
             {
               Robust.site = str_of (find err_f "site");
               provenance = str_of (find err_f "prov");
@@ -333,14 +383,39 @@ let decode line =
               elapsed_ns = float_of (find err_f "elapsed");
               attempts = int_of (find err_f "attempts");
             }
-        | _ -> failwith "entry carries neither ok nor err"
+        | None, None, Some pruned ->
+          let pr_f = fields pruned in
+          let steps =
+            match find pr_f "steps" with
+            | P.Arr vs ->
+              List.map
+                (function
+                  | P.Arr [ var; side; bound; via ] ->
+                    {
+                      Analysis.Presolve.var = str_of var;
+                      side = side_of (str_of side);
+                      bound = float_of bound;
+                      via = str_of via;
+                    }
+                  | _ -> failwith "malformed proof step")
+                vs
+            | _ -> failwith "steps is not an array"
+          in
+          Pruned
+            {
+              Analysis.Presolve.steps;
+              culprit = str_of (find pr_f "culprit");
+              kind = kind_of (str_of (find pr_f "kind"));
+              bound = float_of (find pr_f "bound");
+            }
+        | _ -> failwith "entry carries none or several of ok/err/pruned"
       in
       Ok
         {
           pair = int_of (find f "pair");
           fingerprint = str_of (find f "fp");
           provenance = str_of (find f "prov");
-          result;
+          fate;
           stats;
           retries = int_of (find f "retries");
           deadline_hits = int_of (find f "dh");
@@ -372,6 +447,12 @@ let load path =
         Ok (List.rev !entries))
 
 let load_existing path = if Sys.file_exists path then load path else Ok []
+
+let compact entries =
+  let tbl = Hashtbl.create 256 in
+  List.iter (fun e -> Hashtbl.replace tbl e.pair e) entries;
+  let kept = Hashtbl.fold (fun _ e acc -> e :: acc) tbl [] in
+  List.sort (fun a b -> Int.compare a.pair b.pair) kept
 
 let write_file path entries =
   let oc = open_out path in

@@ -4,11 +4,13 @@
     pair's global index, a 64-bit fingerprint of (problem structure,
     solver configuration), and the pair's full fate: the solver solution
     (status, objective and variable values as exact IEEE-754 bit
-    patterns) or the quarantining {!Robust.failure}, plus the final
-    attempt's solver telemetry, retry count and accumulated deadline
-    hits.  Replaying an entry therefore reconstructs the in-memory slot
-    of {!Thistle.Optimize.run} bit-for-bit — a resumed or merged run
-    reports exactly what the uninterrupted run would have.
+    patterns), the quarantining {!Robust.failure}, or the presolve
+    infeasibility {!Analysis.Presolve.proof} that pruned the pair
+    without a solve, plus the final attempt's solver telemetry, retry
+    count and accumulated deadline hits.  Replaying an entry therefore
+    reconstructs the in-memory slot of {!Thistle.Optimize.run}
+    bit-for-bit — a resumed or merged run reports exactly what the
+    uninterrupted run would have.
 
     Crash-safety contract: entries are appended (and flushed) as each
     pair completes, so a killed run's journal holds every pair that
@@ -27,13 +29,21 @@
     formulation change invalidates stale pairs pair-by-pair and an
     incremental re-sweep re-solves only what changed. *)
 
+type fate =
+  | Solved of Gp.Solver.solution
+  | Quarantined of Robust.failure
+  | Pruned of Analysis.Presolve.proof
+      (** statically infeasible: never solved; the proof is
+          re-checkable via {!Analysis.Certificate.check_prune} *)
+
 type entry = {
   pair : int;  (** global pair index in the deterministic enumeration *)
   fingerprint : string;  (** {!fingerprint} of the pair's problem + config *)
   provenance : string;  (** human-readable origin, for audits only *)
-  result : (Gp.Solver.solution, Robust.failure) result;
-  stats : Gp.Solver.stats;  (** final attempt's telemetry *)
-  retries : int;  (** extra attempts spent before [result] *)
+  fate : fate;
+  stats : Gp.Solver.stats;
+      (** final attempt's telemetry; all-zero for pruned pairs *)
+  retries : int;  (** extra attempts spent before [fate] *)
   deadline_hits : int;  (** deadline hits across every attempt *)
 }
 
@@ -65,6 +75,14 @@ val load : string -> (entry list, string) result
 val load_existing : string -> (entry list, string) result
 (** Like {!load} but a missing file is an empty journal. *)
 
+val compact : entry list -> entry list
+(** Collapse an incrementally-grown journal to its effective contents:
+    one entry per pair index (the last occurrence wins, matching the
+    resume loader's replacement order), sorted by ascending pair index.
+    Idempotent; loading the compacted list replays exactly like loading
+    the original. *)
+
 val write_file : string -> entry list -> unit
 (** Replace [path] with exactly [entries], one line each (used by the
-    merge step to materialize a combined journal). *)
+    merge step to materialize a combined journal, and by
+    [thistle journal compact]). *)

@@ -195,6 +195,55 @@ let test_warm_start_outcomes () =
       | Error m, Ok _ -> Alcotest.failf "%s: warm run failed: %s" name m)
     warm cold
 
+(* Presolve reductions (variable fixing, constraint elimination) may
+   move the solver's iteration path within tolerance, like warm starts —
+   but the selected design point and its integer metrics must be
+   bit-identical with the pass on or off, and pruning itself never
+   touches a rankable pair.  The presolve.* counters enter the jobs-1
+   vs jobs-4 equality above automatically (the default config runs the
+   pass in Prune mode). *)
+let test_presolve_outcomes () =
+  let cfg presolve = { fast_config with O.presolve } in
+  let on, _, counters_on = run ~config:(cfg Analysis.Presolve.Prune) ~jobs:4 ~trace:false () in
+  let off, _, counters_off = run ~config:(cfg Analysis.Presolve.Off) ~jobs:4 ~trace:false () in
+  let value = counter_value counters_off in
+  Alcotest.(check int) "off reports no prunes" 0 (value "presolve.pruned");
+  Alcotest.(check int) "off fixes nothing" 0 (value "presolve.vars_fixed");
+  Alcotest.(check int) "off drops nothing" 0 (value "presolve.constraints_dropped");
+  Alcotest.(check bool) "on-mode counters present" true
+    (List.mem_assoc "presolve.pruned" counters_on);
+  List.iter2
+    (fun (w : Pl.entry) (c : Pl.entry) ->
+      let name = Workload.Nest.name w.Pl.nest in
+      match (w.Pl.result, c.Pl.result) with
+      | Error a, Error b -> Alcotest.(check string) (name ^ ": same error") b a
+      | Ok w, Ok c ->
+        let ow = w.O.outcome and oc = c.O.outcome in
+        Alcotest.(check string)
+          (name ^ ": same arch")
+          oc.I.arch.Arch.arch_name ow.I.arch.Arch.arch_name;
+        Alcotest.(check string)
+          (name ^ ": same mapping")
+          (Format.asprintf "%a" Mapping.pp oc.I.mapping)
+          (Format.asprintf "%a" Mapping.pp ow.I.mapping);
+        Alcotest.(check int64)
+          (name ^ ": bit-identical integer energy")
+          (Int64.bits_of_float oc.I.metrics.Evaluate.energy_pj)
+          (Int64.bits_of_float ow.I.metrics.Evaluate.energy_pj);
+        Alcotest.(check int64)
+          (name ^ ": bit-identical integer cycles")
+          (Int64.bits_of_float oc.I.metrics.Evaluate.cycles)
+          (Int64.bits_of_float ow.I.metrics.Evaluate.cycles);
+        let rel = Float.abs (w.O.best_continuous -. c.O.best_continuous) in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: continuous objective within tolerance (|Δ| = %.3g)" name
+             rel)
+          true
+          (rel <= 1e-6 *. (1.0 +. Float.abs c.O.best_continuous))
+      | Ok _, Error m -> Alcotest.failf "%s: presolve-off run failed: %s" name m
+      | Error m, Ok _ -> Alcotest.failf "%s: presolve-on run failed: %s" name m)
+    on off
+
 let () =
   Alcotest.run "determinism"
     [
@@ -206,5 +255,6 @@ let () =
           Alcotest.test_case "trace-independent" `Quick test_trace_independent;
           Alcotest.test_case "dedupe-independent" `Quick test_dedupe_independent;
           Alcotest.test_case "warm-start outcomes" `Quick test_warm_start_outcomes;
+          Alcotest.test_case "presolve outcomes" `Quick test_presolve_outcomes;
         ] );
     ]

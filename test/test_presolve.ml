@@ -1,0 +1,362 @@
+(* Tests for the presolve pass: the interval substrate's hazard cases
+   (0 * inf products, negative-exponent powers), hand-built propagation
+   verdicts with machine-checked proofs, tampered-proof rejection by the
+   independent checker, a QCheck soundness property (the propagated box
+   always contains a known feasible point), and the end-to-end contracts
+   over a capacity-starved architecture: Check mode agrees with the
+   solver, and Prune mode selects a bit-identical outcome to Off while
+   actually pruning pairs. *)
+
+module M = Symexpr.Monomial
+module P = Symexpr.Posynomial
+module Iv = Analysis.Interval
+module Ps = Analysis.Presolve
+module Cert = Analysis.Certificate
+module O = Thistle.Optimize
+module F = Thistle.Formulate
+module I = Thistle.Integerize
+module Arch = Archspec.Arch
+module Evaluate = Accmodel.Evaluate
+module Mapping = Mapspace.Mapping
+
+let tech = Archspec.Technology.table3
+
+let raises_invalid name f =
+  Alcotest.(check bool) name true
+    (match f () with () -> false | exception Invalid_argument _ -> true)
+
+let check_interval name expected got =
+  Alcotest.(check (float 0.0)) (name ^ ".lo") expected.Iv.lo got.Iv.lo;
+  Alcotest.(check (float 0.0)) (name ^ ".hi") expected.Iv.hi got.Iv.hi
+
+(* --- interval arithmetic: the 0 * inf and endpoint-swap hazards --- *)
+
+let test_interval_products () =
+  Alcotest.(check (float 0.0)) "mul_lo 0 inf" 0.0 (Iv.mul_lo 0.0 Float.infinity);
+  Alcotest.(check (float 0.0)) "mul_lo inf 0" 0.0 (Iv.mul_lo Float.infinity 0.0);
+  Alcotest.(check (float 0.0)) "mul_hi 0 inf" Float.infinity
+    (Iv.mul_hi 0.0 Float.infinity);
+  check_interval "[0,1]*[2,inf]"
+    { Iv.lo = 0.0; hi = Float.infinity }
+    (Iv.mul (Iv.make ~lo:0.0 ~hi:1.0) (Iv.make ~lo:2.0 ~hi:Float.infinity));
+  check_interval "point product" (Iv.point 6.0) (Iv.mul (Iv.point 2.0) (Iv.point 3.0))
+
+let test_interval_powers () =
+  (* Negative exponents swap the endpoints; the full axis is a fixed
+     point of every power. *)
+  check_interval "[2,3]^-1"
+    { Iv.lo = 1.0 /. 3.0; hi = 0.5 }
+    (Iv.pow (Iv.make ~lo:2.0 ~hi:3.0) (-1.0));
+  check_interval "full^-2 stays full" Iv.full (Iv.pow Iv.full (-2.0));
+  check_interval "x^0 is 1" (Iv.point 1.0) (Iv.pow Iv.full 0.0);
+  check_interval "inv of [0,2]"
+    { Iv.lo = 0.5; hi = Float.infinity }
+    (Iv.inv (Iv.make ~lo:0.0 ~hi:2.0))
+
+let test_interval_guards_and_mem () =
+  raises_invalid "make lo > hi" (fun () -> ignore (Iv.make ~lo:2.0 ~hi:1.0));
+  raises_invalid "make negative lo" (fun () -> ignore (Iv.make ~lo:(-1.0) ~hi:1.0));
+  raises_invalid "make nan" (fun () -> ignore (Iv.make ~lo:Float.nan ~hi:1.0));
+  raises_invalid "point 0" (fun () -> ignore (Iv.point 0.0));
+  raises_invalid "point inf" (fun () -> ignore (Iv.point Float.infinity));
+  let i = Iv.make ~lo:2.0 ~hi:3.0 in
+  Alcotest.(check bool) "endpoint is a member" true (Iv.mem 2.0 i);
+  Alcotest.(check bool) "outside is not" false (Iv.mem 1.99 i);
+  Alcotest.(check bool) "slack relaxes the endpoint" true
+    (Iv.mem ~slack:1e-2 1.99 i);
+  Alcotest.(check bool) "nan is never a member" false (Iv.mem Float.nan i);
+  Alcotest.(check bool) "inf outside a bounded side" false (Iv.mem Float.infinity i)
+
+let test_interval_monomials () =
+  let env = function
+    | "x" -> Iv.make ~lo:1.0 ~hi:2.0
+    | "y" -> Iv.make ~lo:2.0 ~hi:4.0
+    | _ -> Iv.full
+  in
+  (* 3 x y^-1 over x in [1,2], y in [2,4]: [3/4, 3]. *)
+  check_interval "3 x y^-1"
+    { Iv.lo = 0.75; hi = 3.0 }
+    (Iv.monomial env (M.make 3.0 [ ("x", 1.0); ("y", -1.0) ]));
+  check_interval "posynomial sums termwise"
+    { Iv.lo = 1.75; hi = 5.0 }
+    (Iv.posynomial env (P.add (P.var "x") (P.of_monomial (M.make 3.0 [ ("x", 1.0); ("y", -1.0) ]))))
+
+(* --- propagation verdicts on hand-built programs --- *)
+
+(* x >= 2 (as 2 x^-1 <= 1) against x <= 1: statically infeasible. *)
+let conflicting =
+  Gp.Problem.make ~objective:(P.var "x")
+    ~ineqs:
+      [ ("x>=2", P.of_monomial (M.make 2.0 [ ("x", -1.0) ])); ("x<=1", P.var "x") ]
+    ()
+
+let require_infeasible name problem =
+  match (Ps.analyze problem).Ps.verdict with
+  | Ps.Infeasible proof ->
+    (match Cert.check_prune problem proof with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "%s: checker rejected analyze's proof: %s" name msg);
+    proof
+  | Ps.Feasible _ -> Alcotest.failf "%s: expected infeasible" name
+
+let test_infeasible_bound_conflict () =
+  let proof = require_infeasible "bound conflict" conflicting in
+  Alcotest.(check bool) "bound violates 1 beyond the margin" true
+    (proof.Ps.bound > 1.0 +. Ps.prune_margin)
+
+let test_infeasible_constant_term () =
+  (* A constant term above 1 needs no propagation at all. *)
+  let problem =
+    Gp.Problem.make ~objective:(P.var "x")
+      ~ineqs:[ ("cap", P.add (P.const 2.0) (P.var "x")) ]
+      ()
+  in
+  let proof = require_infeasible "constant term" problem in
+  Alcotest.(check string) "culprit is the capacity constraint" "cap" proof.Ps.culprit;
+  Alcotest.(check bool) "kind" true (proof.Ps.kind = Ps.Ineq_low)
+
+let test_infeasible_equality () =
+  (* x y = 8 cannot hold under x <= 2, y <= 2 (product tops out at 4). *)
+  let problem =
+    Gp.Problem.make
+      ~objective:(P.add (P.var "x") (P.var "y"))
+      ~ineqs:
+        [
+          ("x<=2", P.of_monomial (M.make 0.5 [ ("x", 1.0) ]));
+          ("y<=2", P.of_monomial (M.make 0.5 [ ("y", 1.0) ]));
+        ]
+      ~eqs:[ ("xy=8", Gp.Problem.eq (M.mul (M.var "x") (M.var "y")) (M.const 8.0)) ]
+      ()
+  in
+  ignore (require_infeasible "equality conflict" problem)
+
+let test_monotone_fixing () =
+  (* Minimizing x y with both variables bounded below pins both to their
+     lower endpoints; the simple bounds collapse to constants and are
+     recorded as dropped. *)
+  let problem =
+    Gp.Problem.make
+      ~objective:(P.of_monomial (M.mul (M.var "x") (M.var "y")))
+      ~ineqs:
+        [
+          ("x>=2", P.of_monomial (M.make 2.0 [ ("x", -1.0) ]));
+          ("y>=3", P.of_monomial (M.make 3.0 [ ("y", -1.0) ]));
+        ]
+      ()
+  in
+  match (Ps.analyze problem).Ps.verdict with
+  | Ps.Infeasible _ -> Alcotest.fail "expected feasible"
+  | Ps.Feasible red ->
+    Alcotest.(check (list (pair string (float 0.0))))
+      "both variables pinned"
+      [ ("x", 2.0); ("y", 3.0) ]
+      red.Ps.fixed;
+    Alcotest.(check (list string)) "reduced problem is fully solved" []
+      (Gp.Problem.variables red.Ps.reduced);
+    Alcotest.(check (list string))
+      "collapsed bounds recorded in original order" [ "x>=2"; "y>=3" ]
+      (List.map fst red.Ps.dropped)
+
+let test_redundant_elimination () =
+  (* x <= 10 is implied by x <= 2 (certified upper bound 0.2); the
+     objective x + 1/x is sign-mixed, so nothing is fixed. *)
+  let problem =
+    Gp.Problem.make
+      ~objective:(P.add (P.var "x") (P.of_monomial (M.var_pow "x" (-1.0))))
+      ~ineqs:
+        [
+          ("x<=2", P.of_monomial (M.make 0.5 [ ("x", 1.0) ]));
+          ("x<=10", P.of_monomial (M.make 0.1 [ ("x", 1.0) ]));
+        ]
+      ()
+  in
+  match (Ps.analyze problem).Ps.verdict with
+  | Ps.Infeasible _ -> Alcotest.fail "expected feasible"
+  | Ps.Feasible red ->
+    Alcotest.(check (list string)) "nothing fixed" [] (List.map fst red.Ps.fixed);
+    (match red.Ps.dropped with
+    | [ ("x<=10", ub) ] ->
+      Alcotest.(check (float 1e-12)) "certified upper bound" 0.2 ub
+    | d -> Alcotest.failf "expected x<=10 dropped, got %d" (List.length d));
+    Alcotest.(check (list string)) "tight constraint kept" [ "x<=2" ]
+      (List.map fst (Gp.Problem.ineqs red.Ps.reduced))
+
+let test_duplicates_not_mutually_dropped () =
+  (* Two copies of the same binding constraint imply each other; the
+     kept-only re-verification must prevent dropping either. *)
+  let bound = P.of_monomial (M.make 0.5 [ ("x", 1.0) ]) in
+  let problem =
+    Gp.Problem.make
+      ~objective:(P.add (P.var "x") (P.of_monomial (M.var_pow "x" (-1.0))))
+      ~ineqs:[ ("a", bound); ("b", bound) ]
+      ()
+  in
+  match (Ps.analyze problem).Ps.verdict with
+  | Ps.Infeasible _ -> Alcotest.fail "expected feasible"
+  | Ps.Feasible red ->
+    Alcotest.(check (list string)) "neither copy dropped" []
+      (List.map fst red.Ps.dropped);
+    Alcotest.(check int) "both constraints survive" 2
+      (List.length (Gp.Problem.ineqs red.Ps.reduced))
+
+(* --- the independent proof checker: sound proofs pass, tampered fail --- *)
+
+let proof_of ~steps ~bound =
+  { Ps.steps; culprit = "x<=1"; kind = Ps.Ineq_low; bound }
+
+let step bound = { Ps.var = "x"; side = Ps.Lo; bound; via = "x>=2" }
+
+let test_checker_accepts_sound_proofs () =
+  (* The exactly-derivable proof, and a deliberately weaker one (x >= 1.5
+     instead of the derivable x >= 2, with the culprit bound recomputed
+     accordingly): the checker accepts any sound derivation, not just the
+     one the propagator happens to emit. *)
+  (match Cert.check_prune conflicting (proof_of ~steps:[ step 2.0 ] ~bound:2.0) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "exact proof rejected: %s" msg);
+  match Cert.check_prune conflicting (proof_of ~steps:[ step 1.5 ] ~bound:1.5) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "weaker sound proof rejected: %s" msg
+
+let test_checker_rejects_tampered_proofs () =
+  let rejected name proof =
+    match Cert.check_prune conflicting proof with
+    | Ok () -> Alcotest.failf "%s: tampered proof accepted" name
+    | Error _ -> ()
+  in
+  (* A step claiming more than its constraint implies (x >= 3 from
+     2 x^-1 <= 1). *)
+  rejected "overstated step" (proof_of ~steps:[ step 3.0 ] ~bound:3.0);
+  (* A culprit bound that does not match the replayed box. *)
+  rejected "inflated culprit bound" (proof_of ~steps:[ step 2.0 ] ~bound:4.0);
+  (* Non-finite and non-positive step bounds are rejected outright. *)
+  rejected "nan step bound" (proof_of ~steps:[ step Float.nan ] ~bound:2.0);
+  rejected "zero step bound" (proof_of ~steps:[ step 0.0 ] ~bound:2.0);
+  (* A culprit that is not violated at all. *)
+  rejected "unviolated culprit"
+    { Ps.steps = []; culprit = "x>=2"; kind = Ps.Ineq_low; bound = 1.0 }
+
+(* --- QCheck soundness: the box contains every feasible point --- *)
+
+let prop_box_contains_feasible_point =
+  (* Build random two-variable programs that are feasible at a sampled
+     point by construction (each inequality gets 5% slack at the point;
+     the optional equality holds there exactly).  Soundness of the
+     propagation demands the verdict is not Infeasible and the final box
+     contains the point. *)
+  let open QCheck2.Gen in
+  let coord = oneofl [ 0.5; 1.0; 1.5; 2.0; 3.0 ] in
+  let expo = map float_of_int (int_range (-2) 2) in
+  let mono = map2 (fun ex ey -> M.make 1.0 [ ("x", ex); ("y", ey) ]) expo expo in
+  let gen = tup4 coord coord (list_size (int_range 1 4) mono) (option mono) in
+  QCheck2.Test.make ~name:"propagated box contains a known feasible point"
+    ~count:200 gen (fun (px, py, ineq_monos, eq_mono) ->
+      let at_point m = M.eval (function "x" -> px | _ -> py) m in
+      let ineqs =
+        List.mapi
+          (fun k m ->
+            (Printf.sprintf "c%d" k, P.of_monomial (M.scale (1.0 /. (1.05 *. at_point m)) m)))
+          ineq_monos
+      in
+      let eqs =
+        match eq_mono with
+        | None -> []
+        | Some m -> [ ("eq", M.scale (1.0 /. at_point m) m) ]
+      in
+      let problem =
+        Gp.Problem.make ~objective:(P.add (P.var "x") (P.var "y")) ~ineqs ~eqs ()
+      in
+      let t = Ps.analyze problem in
+      match t.Ps.verdict with
+      | Ps.Infeasible _ -> false (* a feasible point existed: unsound *)
+      | Ps.Feasible _ ->
+        List.for_all
+          (fun (v, value) ->
+            match List.assoc_opt v t.Ps.box with
+            | None -> true
+            | Some i -> Iv.mem ~slack:1e-9 value i)
+          [ ("x", px); ("y", py) ])
+
+(* --- end-to-end over a capacity-starved architecture --- *)
+
+(* 32 PEs with 16 registers each and a 4K-word SRAM: many (choice,
+   placement) pairs of resnet-2 are statically over capacity, so the
+   pass has real prunes to find (the roomy Eyeriss default prunes
+   nothing). *)
+let edge = Arch.make ~name:"edge" ~pes:32 ~registers:16 ~sram_words:4096
+
+let nest = Workload.Conv.to_nest (Workload.Zoo.find "resnet-2")
+
+let config presolve = { O.default_config with O.max_choices = 16; presolve }
+
+let test_check_mode_agrees_with_solver () =
+  (* Check mode solves everything and turns any presolve/solver
+     disagreement into an Error; a clean run is the differential pass. *)
+  match O.dataflow ~config:(config Ps.Check) tech edge F.Energy nest with
+  | Ok r -> Alcotest.(check int) "check mode prunes nothing" 0 (List.length r.O.pruned)
+  | Error msg -> Alcotest.failf "check mode found a disagreement: %s" msg
+
+let test_prune_outcome_identical_to_off () =
+  let run presolve =
+    match O.dataflow ~config:(config presolve) tech edge F.Energy nest with
+    | Ok r -> r
+    | Error msg -> Alcotest.failf "optimize failed: %s" msg
+  in
+  let pruned = run Ps.Prune and off = run Ps.Off in
+  Alcotest.(check bool) "presolve actually pruned pairs" true
+    (List.length pruned.O.pruned > 0);
+  Alcotest.(check int) "off prunes nothing" 0 (List.length off.O.pruned);
+  let op = pruned.O.outcome and oo = off.O.outcome in
+  Alcotest.(check string) "same arch" oo.I.arch.Arch.arch_name op.I.arch.Arch.arch_name;
+  Alcotest.(check string) "same mapping"
+    (Format.asprintf "%a" Mapping.pp oo.I.mapping)
+    (Format.asprintf "%a" Mapping.pp op.I.mapping);
+  Alcotest.(check int64) "bit-identical energy"
+    (Int64.bits_of_float oo.I.metrics.Evaluate.energy_pj)
+    (Int64.bits_of_float op.I.metrics.Evaluate.energy_pj);
+  Alcotest.(check int64) "bit-identical cycles"
+    (Int64.bits_of_float oo.I.metrics.Evaluate.cycles)
+    (Int64.bits_of_float op.I.metrics.Evaluate.cycles);
+  let rel =
+    Float.abs (pruned.O.best_continuous -. off.O.best_continuous)
+    /. (1.0 +. Float.abs off.O.best_continuous)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "continuous objective within tolerance (|Δ| = %.3g)" rel)
+    true (rel <= 1e-6)
+
+let () =
+  Alcotest.run "presolve"
+    [
+      ( "interval",
+        [
+          Alcotest.test_case "products" `Quick test_interval_products;
+          Alcotest.test_case "powers" `Quick test_interval_powers;
+          Alcotest.test_case "guards and membership" `Quick test_interval_guards_and_mem;
+          Alcotest.test_case "monomials" `Quick test_interval_monomials;
+        ] );
+      ( "verdicts",
+        [
+          Alcotest.test_case "bound conflict" `Quick test_infeasible_bound_conflict;
+          Alcotest.test_case "constant term" `Quick test_infeasible_constant_term;
+          Alcotest.test_case "equality conflict" `Quick test_infeasible_equality;
+          Alcotest.test_case "monotone fixing" `Quick test_monotone_fixing;
+          Alcotest.test_case "redundant elimination" `Quick test_redundant_elimination;
+          Alcotest.test_case "duplicates kept" `Quick test_duplicates_not_mutually_dropped;
+        ] );
+      ( "checker",
+        [
+          Alcotest.test_case "accepts sound proofs" `Quick test_checker_accepts_sound_proofs;
+          Alcotest.test_case "rejects tampered proofs" `Quick
+            test_checker_rejects_tampered_proofs;
+        ] );
+      ( "soundness",
+        List.map QCheck_alcotest.to_alcotest [ prop_box_contains_feasible_point ] );
+      ( "optimize",
+        [
+          Alcotest.test_case "check mode agrees with solver" `Slow
+            test_check_mode_agrees_with_solver;
+          Alcotest.test_case "prune outcome identical to off" `Slow
+            test_prune_outcome_identical_to_off;
+        ] );
+    ]

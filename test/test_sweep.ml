@@ -114,8 +114,8 @@ let ok_entry =
     Journal.pair = 3;
     fingerprint = "00deadbeef00f00d";
     provenance = "l-small energy pe=[k,c] dram=[h,w]";
-    result =
-      Ok
+    fate =
+      Journal.Solved
         {
           Gp.Solver.status = Gp.Solver.Optimal;
           objective = 1.25e-7;
@@ -131,8 +131,8 @@ let err_entry =
     Journal.pair = 9;
     fingerprint = "0123456789abcdef";
     provenance = "l-small energy pe=[w] dram=[k]";
-    result =
-      Error
+    fate =
+      Journal.Quarantined
         {
           Robust.site = "solve";
           provenance = "l-small energy pe=[w] dram=[k]";
@@ -144,6 +144,48 @@ let err_entry =
     stats = stats ();
     retries = 1;
     deadline_hits = 1;
+  }
+
+let pruned_entry =
+  {
+    Journal.pair = 5;
+    fingerprint = "feedface00000001";
+    provenance = "l-small energy pe=[c] dram=[k,h]";
+    fate =
+      Journal.Pruned
+        {
+          Analysis.Presolve.steps =
+            [
+              {
+                Analysis.Presolve.var = "t0.k";
+                side = Analysis.Presolve.Hi;
+                bound = 2.0;
+                via = "reg-capacity";
+              };
+              {
+                Analysis.Presolve.var = "t1.c";
+                side = Analysis.Presolve.Lo;
+                bound = 0x1.8p1;
+                via = "vol.c";
+              };
+            ];
+          culprit = "pe-count";
+          kind = Analysis.Presolve.Ineq_low;
+          bound = 1.0 +. 3e-5;
+        };
+    stats =
+      {
+        Gp.Solver.phase1_outer = 0;
+        phase2_outer = 0;
+        newton_iters = 0;
+        backtracks = 0;
+        kkt_regularizations = 0;
+        cholesky_fallbacks = 0;
+        deadline_hits = 0;
+        duality_gap = Float.infinity;
+      };
+    retries = 0;
+    deadline_hits = 0;
   }
 
 (* Structural equality is useless under NaN, and bit-exactness is the
@@ -158,24 +200,25 @@ let test_journal_roundtrip () =
         Alcotest.(check string)
           (Printf.sprintf "pair %d round-trips bit-exactly" e.Journal.pair)
           line (Journal.encode e'))
-    [ ok_entry; err_entry ]
+    [ ok_entry; err_entry; pruned_entry ]
 
 let test_journal_bit_exact_floats () =
   match Journal.decode (Journal.encode ok_entry) with
   | Error msg -> Alcotest.failf "decode failed: %s" msg
   | Ok e -> (
-    match e.Journal.result with
-    | Error _ -> Alcotest.fail "expected Ok result"
-    | Ok sol ->
+    match e.Journal.fate with
+    | Journal.Quarantined _ | Journal.Pruned _ ->
+      Alcotest.fail "expected Solved fate"
+    | Journal.Solved sol ->
       List.iter2
         (fun (n, v) (n', v') ->
           Alcotest.(check string) "variable name" n n';
           Alcotest.(check int64)
             (Printf.sprintf "%s bits" n)
             (Int64.bits_of_float v) (Int64.bits_of_float v'))
-        (match ok_entry.Journal.result with
-        | Ok s -> s.Gp.Solver.values
-        | Error _ -> assert false)
+        (match ok_entry.Journal.fate with
+        | Journal.Solved s -> s.Gp.Solver.values
+        | Journal.Quarantined _ | Journal.Pruned _ -> assert false)
         sol.Gp.Solver.values;
       Alcotest.(check bool) "nan gap survives" true
         (Float.is_nan e.Journal.stats.Gp.Solver.duality_gap))
@@ -224,6 +267,49 @@ let test_journal_missing_file () =
   | Ok [] -> ()
   | Ok _ -> Alcotest.fail "expected empty journal"
   | Error msg -> Alcotest.failf "missing file should be empty, got: %s" msg
+
+(* Compaction: last entry per pair wins (exactly the resume loader's
+   replacement order), output sorted and one line per pair, and the
+   compacted file replays byte-identically to the original. *)
+let test_journal_compact () =
+  let stale = { ok_entry with Journal.fingerprint = "0000000000000000" } in
+  let entries = [ stale; err_entry; pruned_entry; ok_entry ] in
+  let compacted = Journal.compact entries in
+  Alcotest.(check (list int)) "sorted, one entry per pair" [ 3; 5; 9 ]
+    (List.map (fun e -> e.Journal.pair) compacted);
+  (match List.find_opt (fun e -> e.Journal.pair = 3) compacted with
+  | Some e ->
+    Alcotest.(check string) "last entry for the pair wins"
+      ok_entry.Journal.fingerprint e.Journal.fingerprint
+  | None -> Alcotest.fail "pair 3 missing after compaction");
+  Alcotest.(check (list string)) "idempotent"
+    (List.map Journal.encode compacted)
+    (List.map Journal.encode (Journal.compact compacted));
+  with_temp @@ fun path ->
+  Journal.write_file path entries;
+  (match Journal.load path with
+  | Error msg -> Alcotest.failf "load failed: %s" msg
+  | Ok loaded ->
+    Journal.write_file path (Journal.compact loaded);
+    let shrunk =
+      In_channel.with_open_text path @@ fun ic -> In_channel.input_lines ic
+    in
+    Alcotest.(check int) "file shrank to one line per pair" 3
+      (List.length shrunk);
+    (* replay equivalence: the effective (last-wins) entry per pair is
+       unchanged, compared through the encoder for bit-exactness *)
+    let effective es =
+      let tbl = Hashtbl.create 8 in
+      List.iter (fun e -> Hashtbl.replace tbl e.Journal.pair e) es;
+      List.sort compare
+        (Hashtbl.fold (fun p e acc -> (p, Journal.encode e) :: acc) tbl [])
+    in
+    match Journal.load path with
+    | Error msg -> Alcotest.failf "reload failed: %s" msg
+    | Ok reloaded ->
+      Alcotest.(check (list (pair int string)))
+        "compacted journal replays identically" (effective loaded)
+        (effective reloaded))
 
 let test_fingerprint_sensitivity () =
   let base = Journal.fingerprint ~config:"cfg-a" ~problem_key:"key-a" in
@@ -441,6 +527,7 @@ let () =
           Alcotest.test_case "torn tail" `Quick test_journal_torn_tail;
           Alcotest.test_case "version gate" `Quick test_journal_version_gate;
           Alcotest.test_case "missing file" `Quick test_journal_missing_file;
+          Alcotest.test_case "compact" `Quick test_journal_compact;
           Alcotest.test_case "fingerprint sensitivity" `Quick
             test_fingerprint_sensitivity;
         ] );

@@ -7,7 +7,8 @@
 # (default 10%).  Direction is inferred from the key name:
 #   *wall_s             lower is better
 #   *solves_per_s       higher is better
-#   speedup             higher is better
+#   *speedup            higher is better
+#   *_pruned            higher is better (presolve coverage)
 # All other keys are informational and only reported when they change.
 #
 # A directional key present in the baseline but absent from the current
@@ -46,7 +47,7 @@ while read -r key cur; do
     [ -n "$base" ] || continue
     case $key in
         *wall_s) dir=lower ;;
-        *solves_per_s | speedup) dir=higher ;;
+        *solves_per_s | *speedup | *_pruned) dir=higher ;;
         *) dir=info ;;
     esac
     line=$(awk -v k="$key" -v b="$base" -v c="$cur" -v d="$dir" -v tol="$tolerance" '
@@ -68,7 +69,7 @@ done < "${TMPDIR:-/tmp}/perfdiff_cur.$$"
 missing=0
 while read -r key base; do
     case $key in
-        *wall_s | *solves_per_s | speedup) ;;
+        *wall_s | *solves_per_s | *speedup | *_pruned) ;;
         *) continue ;;
     esac
     cur=$(awk -v k="$key" '$1 == k { print $2; exit }' "${TMPDIR:-/tmp}/perfdiff_cur.$$")
