@@ -308,28 +308,12 @@ let emit_code_arg =
     & info [ "emit-code" ] ~docv:"FILE"
         ~doc:"Write the tiled pseudocode of the chosen mapping to $(docv).")
 
+(* The report text itself comes from Serve.Render, the renderer shared
+   with the daemon: a served answer — warm or cold — is byte-identical
+   to this command's output by construction (DESIGN §14). *)
 let print_outcome ?(tech = base_tech) nest (report : O.report) emit emit_code =
   let o = report.O.outcome in
-  Format.printf "explored %d pruned permutation choices, %d programs solved@."
-    report.O.choices_enumerated report.O.choices_solved;
-  Format.printf "solver: %a@." Gp.Solver.pp_totals report.O.solve_totals;
-  if report.O.failures <> [] then begin
-    Format.printf "quarantined %d pair(s):@." (List.length report.O.failures);
-    Format.printf "%a" Robust.pp_summary report.O.failures
-  end;
-  if report.O.pruned <> [] then begin
-    Format.printf "presolve pruned %d pair(s):@." (List.length report.O.pruned);
-    List.iter
-      (fun (prov, (proof : An.Presolve.proof)) ->
-        Format.printf "  %s: constraint %s bounded to %.6g (%d step(s))@." prov
-          proof.An.Presolve.culprit proof.An.Presolve.bound
-          (List.length proof.An.Presolve.steps))
-      report.O.pruned
-  end;
-  Format.printf "architecture: %a (area %.0f um^2)@." Arch.pp o.I.arch
-    (Arch.area tech o.I.arch);
-  Format.printf "mapping:@.%a@." Mapspace.Mapping.pp o.I.mapping;
-  Format.printf "metrics:@.%a@." Evaluate.pp o.I.metrics;
+  print_string (Serve.Render.outcome ~tech report);
   (match emit with
   | None -> ()
   | Some dir ->
@@ -435,7 +419,7 @@ let codesign_cmd =
           prerr_endline msg;
           1
         | Ok report ->
-          Format.printf "area budget: %.0f um^2@." area_budget;
+          print_string (Serve.Render.area_header area_budget);
           print_outcome ~tech nest report emit emit_code;
           0
       end
@@ -827,51 +811,13 @@ let pipeline_cmd =
   let run () layers objective max_choices jobs lint solver robust trace metrics =
     with_obs ~trace ~metrics @@ fun () ->
     let nests = List.map Conv.to_nest layers in
-    let area_budget = Arch.eyeriss_area tech in
     let config =
       robust (solver { O.default_config with O.max_choices; jobs; lint })
     in
-    let entries = Pl.run_layers ~config tech (F.Codesign { area_budget }) objective nests in
-    List.iter
-      (fun (e : Pl.entry) ->
-        match e.Pl.result with
-        | Error msg -> Printf.printf "layer %s failed: %s\n" (Nest.name e.Pl.nest) msg
-        | Ok _ -> ())
-      entries;
-    let failures =
-      List.concat_map
-        (fun (e : Pl.entry) ->
-          match e.Pl.result with Ok r -> r.O.failures | Error _ -> [])
-        entries
-    in
-    if failures <> [] then begin
-      Format.printf "quarantined %d pair(s) across layers:@." (List.length failures);
-      Format.printf "%a" Robust.pp_summary failures
-    end;
-    (match Pl.dominant_arch objective entries with
-    | Error msg ->
-      Printf.printf "dominant architecture failed: %s\n" msg
-    | Ok arch ->
-      Format.printf "dominant-layer architecture: %a@.@." Arch.pp arch;
-      Printf.printf "%-10s %16s %16s\n" "layer" "layer-wise" "shared-arch";
-      List.iter
-        (fun (e : Pl.entry) ->
-          let name = Nest.name e.Pl.nest in
-          let value (m : Evaluate.t option) =
-            match (m, objective) with
-            | Some m, F.Energy -> Printf.sprintf "%.2f pJ/MAC" m.Evaluate.energy_per_mac
-            | Some m, F.Delay -> Printf.sprintf "%.1f IPC" m.Evaluate.ipc
-            | Some m, F.Edp ->
-              Printf.sprintf "%.3g pJ*cyc" (m.Evaluate.energy_pj *. m.Evaluate.cycles)
-            | None, _ -> "-"
-          in
-          let shared =
-            match O.dataflow ~config tech arch objective e.Pl.nest with
-            | Ok r -> Some r.O.outcome.I.metrics
-            | Error _ -> None
-          in
-          Printf.printf "%-10s %16s %16s\n%!" name (value (Pl.metrics e)) (value shared))
-        entries);
+    (* The whole run — layer-wise co-design, dominant-arch selection,
+       comparison table — renders through the module shared with the
+       daemon, so `thistle client pipeline` replies byte-identically. *)
+    print_string (Serve.Render.pipeline ~config tech objective nests);
     0
   in
   Cmd.v
@@ -956,7 +902,7 @@ let merge_cmd =
             let area_budget =
               match area with Some a -> a | None -> Arch.eyeriss_area tech
             in
-            Format.printf "area budget: %.0f um^2@." area_budget;
+            print_string (Serve.Render.area_header area_budget);
             O.codesign ~config tech ~area_budget objective nest
           end
           else O.dataflow ~config tech arch objective nest
@@ -1044,6 +990,208 @@ let metrics_cmd =
       $ sweep_max_choices_arg $ node_arg $ jobs_arg $ lint_mode_arg $ solver_opts
       $ robust_opts $ json_arg $ out_arg)
 
+(* ------------------------------------------------------------------ *)
+(* Serve daemon and client (DESIGN §14)                               *)
+(* ------------------------------------------------------------------ *)
+
+let addr_args =
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+  in
+  let port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"TCP port on 127.0.0.1 (the daemon accepts 0 for an ephemeral port).")
+  in
+  let build socket port =
+    match (socket, port) with
+    | Some path, None -> Ok (`Unix path)
+    | None, Some port -> Ok (`Tcp port)
+    | None, None -> Error "one of --socket or --port is required"
+    | Some _, Some _ -> Error "--socket and --port are mutually exclusive"
+  in
+  Term.(const build $ socket_arg $ port_arg)
+
+let serve_cmd =
+  let store_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Persist every rendered answer in the content-addressed result store \
+             rooted at $(docv); a repeated request — across connections, restarts \
+             and solver-config-compatible daemons — replays the stored bytes.")
+  in
+  let max_inflight_arg =
+    Arg.(
+      value
+      & opt int 8
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:
+            "Admission limit: requests arriving while $(docv) others are being \
+             served are rejected immediately with a structured response instead of \
+             queueing.")
+  in
+  let run () addr store max_inflight jobs lint solver robust =
+    match addr with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok addr -> (
+      let where =
+        match addr with
+        | `Unix path -> Serve.Server.Unix_sock path
+        | `Tcp port -> Serve.Server.Tcp port
+      in
+      let base = robust (solver { O.default_config with O.jobs; lint }) in
+      let config =
+        { (Serve.Server.default where) with
+          Serve.Server.store_dir = store;
+          base;
+          max_inflight;
+        }
+      in
+      match Serve.Server.start config with
+      | Error msg ->
+        prerr_endline msg;
+        1
+      | Ok server ->
+        (match Serve.Server.address server with
+        | Unix.ADDR_UNIX path -> Printf.printf "listening on %s\n%!" path
+        | Unix.ADDR_INET (_, port) ->
+          Printf.printf "listening on 127.0.0.1:%d\n%!" port);
+        Serve.Server.wait server;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the co-design daemon: answer optimize/codesign/pipeline/metrics \
+          requests over a Unix or TCP socket, solving on the shared domain pool and \
+          replaying repeated requests byte-identically from the $(b,--store).")
+    Term.(
+      const run $ setup_logs $ addr_args $ store_arg $ max_inflight_arg $ jobs_arg
+      $ lint_mode_arg $ solver_opts $ robust_opts)
+
+let client_cmd =
+  let run_request addr req =
+    match addr with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok addr -> (
+      let sockaddr =
+        match addr with
+        | `Unix path -> Serve.Client.unix_addr path
+        | `Tcp port -> Serve.Client.tcp_addr port
+      in
+      match Serve.Client.connect sockaddr with
+      | Error msg ->
+        prerr_endline msg;
+        1
+      | Ok client ->
+        let result = Serve.Client.request client req in
+        Serve.Client.close client;
+        (match result with
+        | Error msg ->
+          prerr_endline msg;
+          1
+        | Ok (Serve.Protocol.Payload { body; _ }) ->
+          print_string body;
+          0
+        | Ok (Serve.Protocol.Refused { kind; message }) ->
+          let kind_name =
+            match kind with
+            | Serve.Protocol.Rejected -> "rejected"
+            | Serve.Protocol.Bad_request -> "bad request"
+            | Serve.Protocol.Failed -> "failed"
+          in
+          Printf.eprintf "%s: %s\n" kind_name message;
+          1))
+  in
+  let opts_of top_choices max_choices node =
+    {
+      Serve.Protocol.top_choices;
+      max_choices;
+      node_nm = node;
+    }
+  in
+  let optimize =
+    let run () addr layer objective arch top_choices max_choices node =
+      run_request addr
+        (Serve.Protocol.Optimize
+           { layer; objective; arch; opts = opts_of top_choices max_choices node })
+    in
+    Cmd.v
+      (Cmd.info "optimize"
+         ~doc:"Ask the daemon to optimize one layer on a fixed architecture.")
+      Term.(
+        const run $ setup_logs $ addr_args $ layer_arg $ objective_arg $ arch_args
+        $ top_choices_arg $ sweep_max_choices_arg $ node_arg)
+  in
+  let codesign =
+    let area_arg =
+      Arg.(
+        value
+        & opt (some float) None
+        & info [ "area" ] ~docv:"UM2"
+            ~doc:"Chip-area budget in um^2 (defaults to the Eyeriss area).")
+    in
+    let run () addr layer objective area top_choices max_choices node =
+      run_request addr
+        (Serve.Protocol.Codesign
+           { layer; objective; area; opts = opts_of top_choices max_choices node })
+    in
+    Cmd.v
+      (Cmd.info "codesign"
+         ~doc:"Ask the daemon to co-design one layer under an area budget.")
+      Term.(
+        const run $ setup_logs $ addr_args $ layer_arg $ objective_arg $ area_arg
+        $ top_choices_arg $ sweep_max_choices_arg $ node_arg)
+  in
+  let pipeline =
+    let pipeline_arg =
+      let doc = "DNN pipeline: $(b,resnet18), $(b,yolo9000), $(b,alexnet) or $(b,vgg16)." in
+      Arg.(
+        required
+        & opt (some (Arg.enum (List.map (fun (n, _) -> (n, n)) Workload.Zoo.pipelines))) None
+        & info [ "pipeline" ] ~docv:"NAME" ~doc)
+    in
+    let run () addr pipeline objective max_choices node =
+      run_request addr
+        (Serve.Protocol.Pipeline
+           {
+             pipeline;
+             objective;
+             opts = opts_of O.default_config.O.top_choices max_choices node;
+           })
+    in
+    Cmd.v
+      (Cmd.info "pipeline"
+         ~doc:"Ask the daemon for a whole-pipeline co-design run.")
+      Term.(
+        const run $ setup_logs $ addr_args $ pipeline_arg $ objective_arg
+        $ sweep_max_choices_arg $ node_arg)
+  in
+  let metrics =
+    let run () addr = run_request addr Serve.Protocol.Metrics in
+    Cmd.v
+      (Cmd.info "metrics" ~doc:"Dump the daemon's counter snapshot as JSON.")
+      Term.(const run $ setup_logs $ addr_args)
+  in
+  Cmd.group
+    (Cmd.info "client"
+       ~doc:
+         "Send one request to a running $(b,thistle serve) daemon and print the \
+          response body — byte-identical to the corresponding local subcommand.")
+    [ optimize; codesign; pipeline; metrics ]
+
 let main =
   let info =
     Cmd.info "thistle" ~version:"1.0.0"
@@ -1063,6 +1211,8 @@ let main =
       journal_cmd;
       merge_cmd;
       metrics_cmd;
+      serve_cmd;
+      client_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

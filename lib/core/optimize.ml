@@ -190,6 +190,81 @@ let problem_key problem =
     (Gp.Problem.eqs problem);
   Buffer.contents buf
 
+(* Canonical identity of a whole optimization request, for the serve
+   layer's cross-request result store (DESIGN §14).  [problem_key] keys
+   only the GP structure, which is not enough at request granularity:
+   two arches with identical capacities but different names formulate
+   bit-identical GPs yet print different reports, and the integerization
+   knobs never enter the GP at all.  This key therefore covers
+   everything outside the solver that determines the report: the
+   technology point (exact bits), the arch mode, the objective, the full
+   nest (dims, extents, tensors, projections) and the enumeration /
+   integerization / lint configuration.  Solver behavior is versioned
+   separately by {!config_fingerprint}; a result cache keys on both.
+   [jobs], [shard] and the journal fields are excluded — they never
+   change the report (the bit-identity contracts of §7/§12). *)
+let request_key ~config tech arch_mode objective nest =
+  let buf = Buffer.create 512 in
+  let add = Buffer.add_string buf in
+  let fl v = add (Printf.sprintf "%Lx;" (Int64.bits_of_float v)) in
+  add "rk1|tech:";
+  fl tech.Archspec.Technology.area_mac;
+  fl tech.Archspec.Technology.area_register;
+  fl tech.Archspec.Technology.area_sram_word;
+  fl tech.Archspec.Technology.energy_mac;
+  fl tech.Archspec.Technology.sigma_register;
+  fl tech.Archspec.Technology.sigma_sram;
+  fl tech.Archspec.Technology.energy_dram;
+  fl tech.Archspec.Technology.dram_bandwidth;
+  fl tech.Archspec.Technology.sram_bandwidth;
+  (match arch_mode with
+  | Formulate.Fixed a ->
+    add
+      (Printf.sprintf "|arch:%s:%d:%d:%d" a.Archspec.Arch.arch_name
+         a.Archspec.Arch.pe_count a.Archspec.Arch.registers_per_pe
+         a.Archspec.Arch.sram_words)
+  | Formulate.Codesign { area_budget } ->
+    add "|codesign:";
+    fl area_budget);
+  add
+    (match objective with
+    | Formulate.Energy -> "|obj:energy"
+    | Formulate.Delay -> "|obj:delay"
+    | Formulate.Edp -> "|obj:edp");
+  add (Printf.sprintf "|nest:%s" (Workload.Nest.name nest));
+  List.iter
+    (fun (d : Workload.Nest.dim) ->
+      add (Printf.sprintf ";%s=%d" d.Workload.Nest.dim_name d.Workload.Nest.extent))
+    (Workload.Nest.dims nest);
+  List.iter
+    (fun (t : Workload.Nest.tensor) ->
+      add
+        (Printf.sprintf "|T:%s:%b" t.Workload.Nest.tensor_name
+           t.Workload.Nest.read_write);
+      List.iter
+        (fun (proj : Workload.Nest.projection) ->
+          add "[";
+          List.iter
+            (fun (ix : Workload.Nest.index) ->
+              add
+                (Printf.sprintf "%d*%s," ix.Workload.Nest.stride
+                   ix.Workload.Nest.iter))
+            proj;
+          add "]")
+        t.Workload.Nest.projections)
+    (Workload.Nest.tensors nest);
+  add
+    (Printf.sprintf "|cfg:nd=%d;np=%d;top=%d;max=%d;expl=%b;util=" config.n_divisors
+       config.n_pow2 config.top_choices config.max_choices
+       config.explore_placements);
+  fl config.min_pe_utilization;
+  add
+    (match config.lint with
+    | Analysis.Lint.Enforce -> "lint=enforce"
+    | Analysis.Lint.Warn -> "lint=warn"
+    | Analysis.Lint.Off -> "lint=off");
+  Buffer.contents buf
+
 (* Fate of one (choice, placement) pair after the guarded solve stage:
    a solver solution, the quarantining failure, or the presolve proof
    that pruned the pair without a solve, plus the final attempt's

@@ -151,6 +151,25 @@ val problem_key : Gp.Problem.t -> string
     same mathematical program, so one solve serves both.  Exposed for
     tests; the key format is not a stability guarantee. *)
 
+val request_key :
+  config:config ->
+  Archspec.Technology.t ->
+  Formulate.arch_mode ->
+  Formulate.objective ->
+  Workload.Nest.t ->
+  string
+(** Canonical identity of a whole optimization request — what the serve
+    layer's cross-request result store keys on (DESIGN §14).  Covers the
+    technology point (exact float bits), the arch mode {e including the
+    architecture name} (two arches with identical capacities formulate
+    bit-identical GPs, so {!problem_key} alone collides), the objective,
+    the full nest (dims, extents, tensors, projections) and every
+    enumeration/integerization/lint knob that shapes the report.  Solver
+    behavior is versioned separately by {!config_fingerprint}; a result
+    cache must key on both.  [jobs]/[shard]/[journal]/[resume] are
+    excluded — they never change the report.  Exposed for the serve
+    store and tests; the format is not a stability guarantee. *)
+
 type report = {
   outcome : Integerize.outcome;
   choices_enumerated : int;

@@ -27,3 +27,22 @@ val obj : Buffer.t -> (Buffer.t -> unit) list -> unit
 
 val field : Buffer.t -> string -> (Buffer.t -> unit) -> unit
 (** [field b name v] appends ["name":<v>] — use inside {!obj}. *)
+
+(** {2 Parsing}
+
+    A parser for exactly the subset the writers above emit — objects,
+    arrays, strings and signed integers.  Floats that must round-trip
+    exactly (journal entries, wire payloads) travel as IEEE-754 bit
+    patterns inside strings, so JSON-number floats, booleans and [null]
+    are deliberately outside the grammar.  Shared by the sweep journal
+    decoder and the serve wire protocol. *)
+
+type value =
+  | Obj of (string * value) list
+  | Arr of value list
+  | Str of string
+  | Int of int
+
+val parse : string -> (value, string) result
+(** Parse one complete JSON value; trailing bytes are an error.  The
+    error message names the offending offset. *)

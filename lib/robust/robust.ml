@@ -194,3 +194,45 @@ let guard ?(inject = Inject.none) ?(attempt = 0) ~site ~provenance body =
 
 let deadline_failure ?(attempts = 1) ~site ~provenance ~elapsed_ns () =
   { site; provenance; exn = "Deadline_exceeded"; backtrace = ""; elapsed_ns; attempts }
+
+(* ------------------------------------------------------------------ *)
+(* Admission control                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Admission = struct
+  type t = { lock : Mutex.t; limit : int; mutable inflight : int }
+
+  let create limit =
+    if limit < 0 then invalid_arg "Robust.Admission.create: negative limit";
+    { lock = Mutex.create (); limit; inflight = 0 }
+
+  let limit t = t.limit
+
+  let try_admit t =
+    Mutex.lock t.lock;
+    let admitted = t.inflight < t.limit in
+    if admitted then t.inflight <- t.inflight + 1;
+    Mutex.unlock t.lock;
+    admitted
+
+  let release t =
+    Mutex.lock t.lock;
+    if t.inflight <= 0 then begin
+      Mutex.unlock t.lock;
+      invalid_arg "Robust.Admission.release: nothing admitted"
+    end
+    else begin
+      t.inflight <- t.inflight - 1;
+      Mutex.unlock t.lock
+    end
+
+  let inflight t =
+    Mutex.lock t.lock;
+    let n = t.inflight in
+    Mutex.unlock t.lock;
+    n
+
+  let with_admission t ~rejected body =
+    if not (try_admit t) then rejected ()
+    else Fun.protect ~finally:(fun () -> release t) body
+end

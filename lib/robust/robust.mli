@@ -115,3 +115,37 @@ val deadline_failure :
   ?attempts:int -> site:string -> provenance:string -> elapsed_ns:float -> unit -> failure
 (** Synthetic failure for a solve that exhausted its deadline (and its
     retries): [exn] is ["Deadline_exceeded"]. *)
+
+module Admission : sig
+  (** Bounded-concurrency admission control: a counting semaphore that
+      {e rejects} instead of queueing.  The serve daemon (DESIGN §14)
+      admits each request through one of these — a request arriving
+      while [limit] others are in flight is turned away immediately
+      with a structured "rejected" response, keeping tail latency
+      bounded under overload instead of letting a queue grow without
+      bound.  Thread- and domain-safe. *)
+
+  type t
+
+  val create : int -> t
+  (** [create limit] admits at most [limit] concurrent holders.
+      [limit = 0] rejects everything; raises [Invalid_argument] on a
+      negative limit. *)
+
+  val limit : t -> int
+
+  val try_admit : t -> bool
+  (** Admit if a slot is free (never blocks).  A [true] return must be
+      paired with exactly one {!release}. *)
+
+  val release : t -> unit
+  (** Raises [Invalid_argument] when nothing is admitted — an unbalanced
+      release is a caller bug, not a condition to paper over. *)
+
+  val inflight : t -> int
+
+  val with_admission : t -> rejected:(unit -> 'a) -> (unit -> 'a) -> 'a
+  (** [with_admission t ~rejected body] runs [body ()] inside an
+      admitted slot, releasing it even on exceptions; runs [rejected ()]
+      instead when the limit is reached. *)
+end

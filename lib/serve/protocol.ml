@@ -1,0 +1,248 @@
+module O = Thistle.Optimize
+module F = Thistle.Formulate
+module Arch = Archspec.Arch
+module J = Obs.Json
+
+let version = 1
+
+type opts = { top_choices : int; max_choices : int; node_nm : float }
+
+let default_opts =
+  {
+    top_choices = O.default_config.O.top_choices;
+    max_choices = O.default_config.O.max_choices;
+    node_nm = Archspec.Technology.reference_node_nm;
+  }
+
+type request =
+  | Optimize of {
+      layer : string;
+      objective : F.objective;
+      arch : Arch.t;
+      opts : opts;
+    }
+  | Codesign of {
+      layer : string;
+      objective : F.objective;
+      area : float option;
+      opts : opts;
+    }
+  | Pipeline of { pipeline : string; objective : F.objective; opts : opts }
+  | Metrics
+
+type reject_kind = Rejected | Bad_request | Failed
+
+type response =
+  | Payload of { body : string; cached : bool }
+  | Refused of { kind : reject_kind; message : string }
+
+let objective_name = function
+  | F.Energy -> "energy"
+  | F.Delay -> "delay"
+  | F.Edp -> "edp"
+
+let objective_of = function
+  | "energy" -> F.Energy
+  | "delay" -> F.Delay
+  | "edp" -> F.Edp
+  | s -> failwith (Printf.sprintf "unknown objective %S" s)
+
+let describe = function
+  | Optimize { layer; objective; arch; _ } ->
+    Printf.sprintf "optimize:%s:%s:%s" layer (objective_name objective)
+      arch.Arch.arch_name
+  | Codesign { layer; objective; _ } ->
+    Printf.sprintf "codesign:%s:%s" layer (objective_name objective)
+  | Pipeline { pipeline; objective; _ } ->
+    Printf.sprintf "pipeline:%s:%s" pipeline (objective_name objective)
+  | Metrics -> "metrics"
+
+(* Floats travel as IEEE-754 bit patterns in hex, like journal entries,
+   so requests re-encode byte-identically and NaN payloads survive. *)
+let bits v = Printf.sprintf "%Lx" (Int64.bits_of_float v)
+
+let of_bits s =
+  match Int64.of_string_opt ("0x" ^ s) with
+  | Some b -> Int64.float_of_bits b
+  | None -> failwith (Printf.sprintf "bad float bits %S" s)
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let j_str s b = J.str b s
+let j_int i b = J.int b i
+let field name v b = J.field b name v
+let obj fields b = J.obj b fields
+
+let to_string f =
+  let b = Buffer.create 256 in
+  f b;
+  Buffer.contents b
+
+let opts_fields o =
+  [
+    field "top" (j_int o.top_choices);
+    field "max" (j_int o.max_choices);
+    field "node" (j_str (bits o.node_nm));
+  ]
+
+let encode_request req =
+  to_string
+  @@ obj
+       (field "v" (j_int version)
+       ::
+       (match req with
+       | Optimize { layer; objective; arch; opts } ->
+         [
+           field "req" (j_str "optimize");
+           field "layer" (j_str layer);
+           field "objective" (j_str (objective_name objective));
+           field "arch"
+             (obj
+                [
+                  field "name" (j_str arch.Arch.arch_name);
+                  field "pes" (j_int arch.Arch.pe_count);
+                  field "regs" (j_int arch.Arch.registers_per_pe);
+                  field "sram" (j_int arch.Arch.sram_words);
+                ]);
+         ]
+         @ opts_fields opts
+       | Codesign { layer; objective; area; opts } ->
+         [
+           field "req" (j_str "codesign");
+           field "layer" (j_str layer);
+           field "objective" (j_str (objective_name objective));
+         ]
+         @ (match area with
+           | None -> []
+           | Some a -> [ field "area" (j_str (bits a)) ])
+         @ opts_fields opts
+       | Pipeline { pipeline; objective; opts } ->
+         [
+           field "req" (j_str "pipeline");
+           field "pipeline" (j_str pipeline);
+           field "objective" (j_str (objective_name objective));
+         ]
+         @ opts_fields opts
+       | Metrics -> [ field "req" (j_str "metrics") ]))
+
+let encode_response resp =
+  to_string
+  @@ obj
+       (field "v" (j_int version)
+       ::
+       (match resp with
+       | Payload { body; cached } ->
+         [
+           field "ok"
+             (obj
+                [
+                  field "cached" (j_int (if cached then 1 else 0));
+                  field "body" (j_str body);
+                ]);
+         ]
+       | Refused { kind; message } ->
+         let kind_name =
+           match kind with
+           | Rejected -> "rejected"
+           | Bad_request -> "bad_request"
+           | Failed -> "failed"
+         in
+         [
+           field "refused"
+             (obj [ field "kind" (j_str kind_name); field "msg" (j_str message) ]);
+         ]))
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fields = function J.Obj f -> f | _ -> failwith "not an object"
+
+let find f k =
+  match List.assoc_opt k f with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "missing field %S" k)
+
+let int_of = function J.Int i -> i | _ -> failwith "expected an integer"
+let str_of = function J.Str s -> s | _ -> failwith "expected a string"
+let float_of v = of_bits (str_of v)
+
+let check_version f =
+  if int_of (find f "v") <> version then
+    failwith
+      (Printf.sprintf "protocol version mismatch (want %d, got %d)" version
+         (int_of (find f "v")))
+
+let opts_of f =
+  {
+    top_choices = int_of (find f "top");
+    max_choices = int_of (find f "max");
+    node_nm = float_of (find f "node");
+  }
+
+let wrap name decode line =
+  match J.parse line with
+  | Error m -> Error (name ^ ": " ^ m)
+  | Ok v -> (
+    try Ok (decode (fields v)) with Failure m -> Error (name ^ ": " ^ m))
+
+let decode_request =
+  wrap "request" (fun f ->
+      check_version f;
+      match str_of (find f "req") with
+      | "optimize" ->
+        let a = fields (find f "arch") in
+        Optimize
+          {
+            layer = str_of (find f "layer");
+            objective = objective_of (str_of (find f "objective"));
+            arch =
+              Arch.make
+                ~name:(str_of (find a "name"))
+                ~pes:(int_of (find a "pes"))
+                ~registers:(int_of (find a "regs"))
+                ~sram_words:(int_of (find a "sram"));
+            opts = opts_of f;
+          }
+      | "codesign" ->
+        Codesign
+          {
+            layer = str_of (find f "layer");
+            objective = objective_of (str_of (find f "objective"));
+            area = Option.map float_of (List.assoc_opt "area" f);
+            opts = opts_of f;
+          }
+      | "pipeline" ->
+        Pipeline
+          {
+            pipeline = str_of (find f "pipeline");
+            objective = objective_of (str_of (find f "objective"));
+            opts = opts_of f;
+          }
+      | "metrics" -> Metrics
+      | s -> failwith (Printf.sprintf "unknown request kind %S" s))
+
+let decode_response =
+  wrap "response" (fun f ->
+      check_version f;
+      match (List.assoc_opt "ok" f, List.assoc_opt "refused" f) with
+      | Some ok, None ->
+        let ok_f = fields ok in
+        Payload
+          {
+            body = str_of (find ok_f "body");
+            cached = int_of (find ok_f "cached") <> 0;
+          }
+      | None, Some refused ->
+        let r_f = fields refused in
+        let kind =
+          match str_of (find r_f "kind") with
+          | "rejected" -> Rejected
+          | "bad_request" -> Bad_request
+          | "failed" -> Failed
+          | s -> failwith (Printf.sprintf "unknown refusal kind %S" s)
+        in
+        Refused { kind; message = str_of (find r_f "msg") }
+      | _ -> failwith "response carries none or both of ok/refused")

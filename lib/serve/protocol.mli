@@ -1,0 +1,60 @@
+(** The serve wire protocol: request/response payloads and their JSON
+    codec (DESIGN §14).
+
+    Payloads are the {!Obs.Json} subset — objects, arrays, strings,
+    signed integers — with floats travelling as IEEE-754 bit patterns in
+    hex strings (the journal's convention), so every request re-encodes
+    to the same bytes and cache keys derived from decoded requests are
+    exact.  Every payload carries a ["v"] field; a version mismatch is a
+    decode error, never a guess. *)
+
+val version : int
+
+type opts = {
+  top_choices : int;
+  max_choices : int;
+  node_nm : float;  (** process node; Table III scaled first-order *)
+}
+(** The per-request subset of {!Thistle.Optimize.config} the protocol
+    exposes.  Everything else (kernel, reuse policy, deadlines,
+    injection) is fixed server-side by the daemon's base config and
+    versioned by its {!Thistle.Optimize.config_fingerprint}. *)
+
+val default_opts : opts
+
+type request =
+  | Optimize of {
+      layer : string;
+      objective : Thistle.Formulate.objective;
+      arch : Archspec.Arch.t;
+      opts : opts;
+    }
+  | Codesign of {
+      layer : string;
+      objective : Thistle.Formulate.objective;
+      area : float option;  (** [None] means the Eyeriss area *)
+      opts : opts;
+    }
+  | Pipeline of {
+      pipeline : string;
+      objective : Thistle.Formulate.objective;
+      opts : opts;
+    }
+  | Metrics  (** daemon counter snapshot; never cached *)
+
+type reject_kind =
+  | Rejected  (** admission control: over the in-flight limit *)
+  | Bad_request  (** malformed payload or unknown layer/pipeline *)
+  | Failed  (** the optimization itself returned an error *)
+
+type response =
+  | Payload of { body : string; cached : bool }
+  | Refused of { kind : reject_kind; message : string }
+
+val describe : request -> string
+(** One-line provenance for logs and fault-injection filters. *)
+
+val encode_request : request -> string
+val decode_request : string -> (request, string) result
+val encode_response : response -> string
+val decode_response : string -> (response, string) result

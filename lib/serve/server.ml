@@ -1,0 +1,376 @@
+module O = Thistle.Optimize
+module F = Thistle.Formulate
+
+let c_requests = Obs.Metrics.counter "serve.requests"
+let c_hits = Obs.Metrics.counter "serve.cache_hits"
+let c_misses = Obs.Metrics.counter "serve.cache_misses"
+let c_rejected = Obs.Metrics.counter "serve.rejected"
+
+type where = Unix_sock of string | Tcp of int
+
+type config = {
+  where : where;
+  store_dir : string option;
+  base : O.config;
+  max_inflight : int;
+  max_frame : int;
+}
+
+let default where =
+  {
+    where;
+    store_dir = None;
+    base = O.default_config;
+    max_inflight = 8;
+    max_frame = Wire.default_max_frame;
+  }
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  addr : Unix.sockaddr;
+  store : Store.t option;
+  adm : Robust.Admission.t;
+  lock : Mutex.t;  (** guards [stopping], [conns], [threads] *)
+  mutable stopping : bool;
+  mutable next_conn : int;
+  conns : (int, Unix.file_descr) Hashtbl.t;
+  mutable threads : Thread.t list;
+  mutable accept_thread : Thread.t option;
+  (* Single-flight per store digest: concurrent identical requests wait
+     for the leader and then re-read the store, so one request set
+     solves each distinct key once. *)
+  flight_lock : Mutex.t;
+  flight_cond : Condition.t;
+  flight : (string, unit) Hashtbl.t;
+}
+
+let stopping t =
+  Mutex.lock t.lock;
+  let s = t.stopping in
+  Mutex.unlock t.lock;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Request resolution                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let validate_opts (o : Protocol.opts) =
+  if o.Protocol.top_choices < 1 then Error "top_choices must be >= 1"
+  else if o.Protocol.max_choices < 1 then Error "max_choices must be >= 1"
+  else if (not (Float.is_finite o.Protocol.node_nm)) || o.Protocol.node_nm <= 0.0
+  then Error "node_nm must be a positive finite float"
+  else Ok ()
+
+let nest_of_layer name =
+  match Workload.Zoo.find name with
+  | layer -> Ok (Workload.Conv.to_nest layer)
+  | exception Not_found -> Error (Printf.sprintf "unknown layer %S" name)
+
+let tech_of (o : Protocol.opts) =
+  Archspec.Technology.scale_to_node Archspec.Technology.table3
+    ~node_nm:o.Protocol.node_nm
+
+(* A solve-type request resolves to its cache identity plus a thunk
+   producing the rendered payload.  The request key and the payload are
+   both pure functions of the decoded request and the base config. *)
+let resolve base req =
+  match req with
+  | Protocol.Metrics -> assert false (* answered before resolution *)
+  | Protocol.Optimize { layer; objective; arch; opts } ->
+    let* () = validate_opts opts in
+    let* nest = nest_of_layer layer in
+    let config =
+      {
+        base with
+        O.top_choices = opts.Protocol.top_choices;
+        max_choices = opts.Protocol.max_choices;
+      }
+    in
+    let tech = tech_of opts in
+    let key = O.request_key ~config tech (F.Fixed arch) objective nest in
+    Ok
+      ( key,
+        config,
+        fun () ->
+          Result.map
+            (fun r -> Render.outcome ~tech r)
+            (O.dataflow ~config tech arch objective nest) )
+  | Protocol.Codesign { layer; objective; area; opts } ->
+    let* () = validate_opts opts in
+    let* nest = nest_of_layer layer in
+    let config =
+      {
+        base with
+        O.top_choices = opts.Protocol.top_choices;
+        max_choices = opts.Protocol.max_choices;
+      }
+    in
+    let tech = tech_of opts in
+    let area_budget =
+      match area with Some a -> a | None -> Archspec.Arch.eyeriss_area tech
+    in
+    let* () =
+      if Float.is_finite area_budget && area_budget > 0.0 then Ok ()
+      else Error "area budget must be a positive finite float"
+    in
+    let key =
+      O.request_key ~config tech (F.Codesign { area_budget }) objective nest
+    in
+    Ok
+      ( key,
+        config,
+        fun () ->
+          Result.map
+            (fun r -> Render.area_header area_budget ^ Render.outcome ~tech r)
+            (O.codesign ~config tech ~area_budget objective nest) )
+  | Protocol.Pipeline { pipeline; objective; opts } ->
+    let* () = validate_opts opts in
+    let* layers =
+      match List.assoc_opt pipeline Workload.Zoo.pipelines with
+      | Some layers -> Ok layers
+      | None -> Error (Printf.sprintf "unknown pipeline %S" pipeline)
+    in
+    let nests = List.map Workload.Conv.to_nest layers in
+    (* The CLI's pipeline command has no --top-choices; mirror it. *)
+    let config = { base with O.max_choices = opts.Protocol.max_choices } in
+    let tech = tech_of opts in
+    let area_budget = Archspec.Arch.eyeriss_area tech in
+    let key =
+      String.concat "&"
+        (Protocol.describe req
+        :: List.map
+             (fun nest ->
+               O.request_key ~config tech
+                 (F.Codesign { area_budget })
+                 objective nest)
+             nests)
+    in
+    Ok (key, config, fun () -> Ok (Render.pipeline ~config tech objective nests))
+
+(* ------------------------------------------------------------------ *)
+(* Request handling                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let with_flight t key body =
+  Mutex.lock t.flight_lock;
+  while Hashtbl.mem t.flight key do
+    Condition.wait t.flight_cond t.flight_lock
+  done;
+  Hashtbl.replace t.flight key ();
+  Mutex.unlock t.flight_lock;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock t.flight_lock;
+      Hashtbl.remove t.flight key;
+      Condition.broadcast t.flight_cond;
+      Mutex.unlock t.flight_lock)
+    body
+
+let handle t req =
+  Obs.Metrics.incr c_requests;
+  match req with
+  | Protocol.Metrics ->
+    Protocol.Payload
+      {
+        body = Obs.Metrics.to_json (Obs.Metrics.snapshot ()) ^ "\n";
+        cached = false;
+      }
+  | _ ->
+    Robust.Admission.with_admission t.adm
+      ~rejected:(fun () ->
+        Obs.Metrics.incr c_rejected;
+        Protocol.Refused
+          {
+            kind = Protocol.Rejected;
+            message =
+              Printf.sprintf "server at capacity (%d request(s) in flight)"
+                (Robust.Admission.limit t.adm);
+          })
+      (fun () ->
+        match resolve t.cfg.base req with
+        | Error m -> Protocol.Refused { kind = Protocol.Bad_request; message = m }
+        | Ok (request_key, config, compute) -> (
+          let config_fp = O.config_fingerprint config in
+          let digest = Store.digest ~config:config_fp ~request_key in
+          with_flight t digest @@ fun () ->
+          let cached =
+            match t.store with
+            | None -> None
+            | Some store -> Store.get store ~config:config_fp ~request_key
+          in
+          match cached with
+          | Some body ->
+            Obs.Metrics.incr c_hits;
+            Protocol.Payload { body; cached = true }
+          | None -> (
+            Obs.Metrics.incr c_misses;
+            match
+              Robust.guard ~inject:config.O.inject ~site:"serve"
+                ~provenance:(Protocol.describe req) compute
+            with
+            | Error f ->
+              Protocol.Refused
+                { kind = Protocol.Failed; message = Robust.describe f }
+            | Ok (Error m) ->
+              Protocol.Refused { kind = Protocol.Failed; message = m }
+            | Ok (Ok body) ->
+              (match t.store with
+              | Some store -> Store.put store ~config:config_fp ~request_key body
+              | None -> ());
+              Protocol.Payload { body; cached = false })))
+
+(* ------------------------------------------------------------------ *)
+(* Connection and accept loops                                        *)
+(* ------------------------------------------------------------------ *)
+
+let send fd resp =
+  match Wire.write_frame fd (Protocol.encode_response resp) with
+  | () -> true
+  | exception Unix.Unix_error _ -> false
+
+let conn_loop t id fd =
+  let rec loop () =
+    match Wire.read_frame ~max_frame:t.cfg.max_frame fd with
+    | Error (Wire.Closed | Wire.Torn _) -> ()
+    | Error (Wire.Oversized _ as e) ->
+      (* The stream cannot be re-synchronized after a bad length
+         prefix: answer once and drop the connection. *)
+      ignore
+        (send fd
+           (Protocol.Refused
+              { kind = Protocol.Bad_request; message = Wire.describe e }))
+    | Ok payload ->
+      let resp =
+        match Protocol.decode_request payload with
+        | Error m -> Protocol.Refused { kind = Protocol.Bad_request; message = m }
+        | Ok req -> handle t req
+      in
+      if send fd resp then loop ()
+  in
+  (try loop ()
+   with e ->
+     Logs.warn (fun m ->
+         m "serve: connection handler died: %s" (Printexc.to_string e)));
+  Mutex.lock t.lock;
+  Hashtbl.remove t.conns id;
+  Mutex.unlock t.lock;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let rec accept_loop t =
+  match Unix.accept t.listen_fd with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+    if stopping t then () else accept_loop t
+  | exception Unix.Unix_error _ ->
+    () (* listen socket closed or poisoned during stop *)
+  | fd, _ ->
+    if stopping t then (try Unix.close fd with Unix.Unix_error _ -> ())
+    else begin
+      Mutex.lock t.lock;
+      let id = t.next_conn in
+      t.next_conn <- id + 1;
+      Hashtbl.replace t.conns id fd;
+      Mutex.unlock t.lock;
+      let th = Thread.create (fun () -> conn_loop t id fd) () in
+      Mutex.lock t.lock;
+      t.threads <- th :: t.threads;
+      Mutex.unlock t.lock;
+      accept_loop t
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let listen_on where =
+  match where with
+  | Unix_sock path ->
+    (* A stale socket file from a killed daemon would fail the bind. *)
+    if Sys.file_exists path then (try Sys.remove path with Sys_error _ -> ());
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (fd, Unix.ADDR_UNIX path)
+  | Tcp port ->
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    (fd, Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+
+let start cfg =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let store =
+    match cfg.store_dir with
+    | None -> Ok None
+    | Some dir -> Result.map Option.some (Store.open_ dir)
+  in
+  match store with
+  | Error m -> Error m
+  | Ok store -> (
+    let fd, addr = listen_on cfg.where in
+    match
+      Unix.bind fd addr;
+      Unix.listen fd 64
+    with
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Printf.sprintf "serve: cannot listen: %s" (Unix.error_message e))
+    | () ->
+      let t =
+        {
+          cfg;
+          listen_fd = fd;
+          addr = Unix.getsockname fd;
+          store;
+          adm = Robust.Admission.create cfg.max_inflight;
+          lock = Mutex.create ();
+          stopping = false;
+          next_conn = 0;
+          conns = Hashtbl.create 16;
+          threads = [];
+          accept_thread = None;
+          flight_lock = Mutex.create ();
+          flight_cond = Condition.create ();
+          flight = Hashtbl.create 16;
+        }
+      in
+      Obs.Metrics.enable ();
+      t.accept_thread <- Some (Thread.create accept_loop t);
+      Ok t)
+
+let address t = t.addr
+
+let wait t =
+  match t.accept_thread with None -> () | Some th -> Thread.join th
+
+let stop t =
+  Mutex.lock t.lock;
+  let already = t.stopping in
+  t.stopping <- true;
+  Mutex.unlock t.lock;
+  if not already then begin
+    (* Wake the acceptor: [close] alone does not reliably unblock a
+       thread parked in [accept]. *)
+    (try
+       let domain = Unix.domain_of_sockaddr t.addr in
+       let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+       (try Unix.connect fd t.addr with Unix.Unix_error _ -> ());
+       Unix.close fd
+     with Unix.Unix_error _ -> ());
+    wait t;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (match t.cfg.where with
+    | Unix_sock path -> ( try Sys.remove path with Sys_error _ -> ())
+    | Tcp _ -> ());
+    (* Shut down live connections under the lock: a handler only closes
+       its fd after removing it from [conns] under the same lock, so
+       every fd seen here is still valid. *)
+    Mutex.lock t.lock;
+    Hashtbl.iter
+      (fun _ fd ->
+        try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      t.conns;
+    let threads = t.threads in
+    t.threads <- [];
+    Mutex.unlock t.lock;
+    List.iter Thread.join threads
+  end

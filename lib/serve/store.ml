@@ -1,0 +1,99 @@
+module J = Obs.Json
+
+type t = { root : string }
+
+let entry_version = 1
+
+let mkdir_p dir =
+  let rec go d =
+    if not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+let open_ root =
+  match mkdir_p root with
+  | () ->
+    if Sys.is_directory root then Ok { root }
+    else Error (Printf.sprintf "store: %s is not a directory" root)
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "store: cannot create %s: %s" root (Unix.error_message e))
+
+let root t = t.root
+
+let digest ~config ~request_key =
+  Sweep.Journal.fingerprint ~config ~problem_key:request_key
+
+let entry_path t ~config ~request_key =
+  let d = digest ~config ~request_key in
+  Filename.concat (Filename.concat t.root (String.sub d 0 2)) (d ^ ".json")
+
+let encode ~config ~request_key payload =
+  let b = Buffer.create (String.length payload + 256) in
+  J.obj b
+    [
+      (fun b -> J.field b "v" (fun b -> J.int b entry_version));
+      (fun b -> J.field b "config" (fun b -> J.str b config));
+      (fun b -> J.field b "request_key" (fun b -> J.str b request_key));
+      (fun b -> J.field b "payload" (fun b -> J.str b payload));
+    ];
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let n = in_channel_length ic in
+        Some (really_input_string ic n))
+
+let get t ~config ~request_key =
+  match read_file (entry_path t ~config ~request_key) with
+  | None -> None
+  | Some raw -> (
+    match J.parse (String.trim raw) with
+    | Error _ -> None (* torn or corrupted entry: a miss, not a crash *)
+    | Ok v -> (
+      try
+        let f = match v with J.Obj f -> f | _ -> failwith "not an object" in
+        let find k =
+          match List.assoc_opt k f with
+          | Some v -> v
+          | None -> failwith "missing field"
+        in
+        let str = function J.Str s -> s | _ -> failwith "expected string" in
+        let int = function J.Int i -> i | _ -> failwith "expected int" in
+        if
+          int (find "v") = entry_version
+          && String.equal (str (find "config")) config
+          && String.equal (str (find "request_key")) request_key
+        then Some (str (find "payload"))
+        else None
+      with Failure _ -> None))
+
+(* Distinct temp names per writer: concurrent puts (even of different
+   keys) must never share a temp file. *)
+let tmp_seq = Atomic.make 0
+
+let put t ~config ~request_key payload =
+  let path = entry_path t ~config ~request_key in
+  mkdir_p (Filename.dirname path);
+  let tmp =
+    Filename.concat t.root
+      (Printf.sprintf ".tmp-%d-%d" (Unix.getpid ()) (Atomic.fetch_and_add tmp_seq 1))
+  in
+  let oc = open_out_bin tmp in
+  (match output_string oc (encode ~config ~request_key payload) with
+  | () -> close_out oc
+  | exception e ->
+    close_out_noerr oc;
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e);
+  (* rename within one directory tree: atomic on POSIX, so readers see
+     either the old entry (or nothing) or the complete new one. *)
+  Unix.rename tmp path

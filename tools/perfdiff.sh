@@ -6,9 +6,12 @@
 # exit 1 if any tracked metric regressed by more than the tolerance
 # (default 10%).  Direction is inferred from the key name:
 #   *wall_s             lower is better
+#   *_ms                lower is better (serve latency percentiles)
 #   *solves_per_s       higher is better
 #   *speedup            higher is better
 #   *_pruned            higher is better (presolve coverage)
+#   *hit_rate           higher is better (serve cache)
+#   *req_per_s          higher is better (serve throughput)
 # All other keys are informational and only reported when they change.
 #
 # A directional key present in the baseline but absent from the current
@@ -46,8 +49,8 @@ while read -r key cur; do
     base=$(awk -v k="$key" '$1 == k { print $2; exit }' "${TMPDIR:-/tmp}/perfdiff_base.$$")
     [ -n "$base" ] || continue
     case $key in
-        *wall_s) dir=lower ;;
-        *solves_per_s | *speedup | *_pruned) dir=higher ;;
+        *wall_s | *_ms) dir=lower ;;
+        *solves_per_s | *speedup | *_pruned | *hit_rate | *req_per_s) dir=higher ;;
         *) dir=info ;;
     esac
     line=$(awk -v k="$key" -v b="$base" -v c="$cur" -v d="$dir" -v tol="$tolerance" '
@@ -69,7 +72,7 @@ done < "${TMPDIR:-/tmp}/perfdiff_cur.$$"
 missing=0
 while read -r key base; do
     case $key in
-        *wall_s | *solves_per_s | *speedup | *_pruned) ;;
+        *wall_s | *_ms | *solves_per_s | *speedup | *_pruned | *hit_rate | *req_per_s) ;;
         *) continue ;;
     esac
     cur=$(awk -v k="$key" '$1 == k { print $2; exit }' "${TMPDIR:-/tmp}/perfdiff_cur.$$")

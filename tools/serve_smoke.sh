@@ -1,0 +1,97 @@
+#!/bin/sh
+# serve_smoke.sh THISTLE_CLI
+#
+# End-to-end smoke of the serve daemon (DESIGN §14), capped small
+# enough for `dune runtest`:
+#   1. a cold `thistle optimize` run is the reference report;
+#   2. a daemon with a result store must serve the same request
+#      byte-identically, cold (miss) and again (hit);
+#   3. after kill -9 — stale socket file and all — a restarted daemon
+#      on the same store must answer warm from disk (cache_hits > 0,
+#      cache_misses = 0), still byte-identically.
+set -eu
+
+if [ $# -ne 1 ]; then
+    echo "usage: $0 path/to/thistle_cli.exe" >&2
+    exit 2
+fi
+
+cli=$1
+case $cli in */*) ;; *) cli=./$cli ;; esac
+layer=resnet-2
+opts="--layer $layer --max-choices 4"
+
+dir=$(mktemp -d "${TMPDIR:-/tmp}/thistle_serve.XXXXXX")
+daemon_pid=
+cleanup() {
+    [ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null || true
+    rm -rf "$dir"
+}
+trap cleanup EXIT
+
+sock=$dir/sock
+store=$dir/store
+
+start_daemon() {
+    # A stale socket file from a previous kill -9 would satisfy the
+    # readiness poll before the new daemon has bound.
+    rm -f "$sock"
+    # Launched via command substitution so the daemon is not a job of
+    # this shell: no "Killed" job-control notices under kill -9.
+    daemon_pid=$(
+        "$cli" serve --socket "$sock" --store "$store" --jobs 2 \
+            > "$dir/daemon.log" 2>&1 &
+        echo $!
+    )
+    i=0
+    while [ ! -S "$sock" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "serve smoke: daemon did not come up" >&2
+            cat "$dir/daemon.log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+"$cli" optimize $opts --jobs 2 > "$dir/reference.txt"
+
+start_daemon
+"$cli" client optimize --socket "$sock" $opts > "$dir/cold.txt"
+"$cli" client optimize --socket "$sock" $opts > "$dir/warm.txt"
+for f in cold warm; do
+    if ! cmp -s "$dir/reference.txt" "$dir/$f.txt"; then
+        echo "serve smoke: served $f report differs from the cold CLI run" >&2
+        diff "$dir/reference.txt" "$dir/$f.txt" >&2 || true
+        exit 1
+    fi
+done
+
+# Kill without ceremony: the socket file stays behind, the store must
+# already be durable (entries land via rename).
+kill -9 "$daemon_pid"
+while kill -0 "$daemon_pid" 2>/dev/null; do sleep 0.1; done
+daemon_pid=
+
+start_daemon
+"$cli" client optimize --socket "$sock" $opts > "$dir/restarted.txt"
+if ! cmp -s "$dir/reference.txt" "$dir/restarted.txt"; then
+    echo "serve smoke: post-restart report differs from the cold CLI run" >&2
+    diff "$dir/reference.txt" "$dir/restarted.txt" >&2 || true
+    exit 1
+fi
+
+"$cli" client metrics --socket "$sock" > "$dir/metrics.json"
+if ! grep -q '"serve.cache_hits":1' "$dir/metrics.json"; then
+    echo "serve smoke: restarted daemon did not answer from the store:" >&2
+    cat "$dir/metrics.json" >&2
+    exit 1
+fi
+if ! grep -q '"serve.cache_misses":0' "$dir/metrics.json"; then
+    echo "serve smoke: restarted daemon re-solved a stored request:" >&2
+    cat "$dir/metrics.json" >&2
+    exit 1
+fi
+
+echo "serve smoke: cold, warm and post-restart reports byte-identical on $layer"

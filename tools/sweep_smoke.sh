@@ -44,4 +44,38 @@ if ! cmp -s "$dir/full.txt" "$dir/resumed.txt"; then
     exit 1
 fi
 
-echo "sweep smoke: shard+merge and resume byte-identical on $layer"
+# 4. `thistle merge` must refuse journals whose fingerprints conflict:
+#    the same shard journaled under a different solver config (the
+#    legacy list kernel) carries the same pair indices with different
+#    fingerprints, and merging it with the compiled-kernel journal
+#    would mix incompatible solves.
+"$cli" optimize $opts --shard 1/2 --gp-kernel list \
+    --journal "$dir/s1-list.jsonl" > /dev/null
+if "$cli" merge $opts --journal "$dir/conflict.jsonl" \
+    "$dir/s1.jsonl" "$dir/s1-list.jsonl" > /dev/null 2> "$dir/conflict.err"; then
+    echo "sweep smoke: merge accepted conflicting fingerprints" >&2
+    exit 1
+fi
+if ! grep -qi "fingerprint" "$dir/conflict.err"; then
+    echo "sweep smoke: merge refusal does not name the fingerprint conflict:" >&2
+    cat "$dir/conflict.err" >&2
+    exit 1
+fi
+
+# 5. `thistle journal compact` on an empty journal succeeds and leaves
+#    it empty; compacting an already-compacted journal is a no-op.
+: > "$dir/empty.jsonl"
+"$cli" journal compact "$dir/empty.jsonl" > /dev/null
+if [ -s "$dir/empty.jsonl" ]; then
+    echo "sweep smoke: compacting an empty journal produced bytes" >&2
+    exit 1
+fi
+"$cli" journal compact "$dir/merged.jsonl" > /dev/null
+cp "$dir/merged.jsonl" "$dir/merged.once.jsonl"
+"$cli" journal compact "$dir/merged.jsonl" > /dev/null
+if ! cmp -s "$dir/merged.once.jsonl" "$dir/merged.jsonl"; then
+    echo "sweep smoke: journal compact is not idempotent" >&2
+    exit 1
+fi
+
+echo "sweep smoke: shard+merge, resume, merge-refusal and compact OK on $layer"
