@@ -1,7 +1,17 @@
-(* Solver-path benchmark: the compiled evaluation kernels + structured
-   KKT + sweep reuse (the current defaults) against the legacy
-   list-of-closures path, on a fixed zoo subset, single-threaded so the
-   comparison measures solver work rather than scheduling.
+(* Solver-path benchmark, two tiers:
+
+   1. End-to-end: the compiled evaluation kernel + structured KKT +
+      sweep reuse (the current defaults) against the legacy
+      list-of-closures path through the whole optimizer, plus the
+      presolve scenario on a capacity-starved edge architecture.
+
+   2. Scenario x kernel matrix: the solver alone (list / compiled /
+      batched) over the formulated (choice, placement) problem set of
+      each scenario, formulation excluded from the timed region so the
+      cells measure solver work.  The batched cells time the whole
+      batched pipeline — structure grouping, per-structure compilation,
+      coefficient packing, member solves — since that is the cost the
+      kernel claims to amortize (DESIGN §15).
 
    Emits BENCH_solver.json (flat one-level object; format documented in
    README.md) so the perf trajectory has a recorded baseline —
@@ -15,6 +25,7 @@
 
 module O = Thistle.Optimize
 module F = Thistle.Formulate
+module Permutations = Thistle.Permutations
 module Arch = Archspec.Arch
 module Conv = Workload.Conv
 module Json = Obs.Json
@@ -26,6 +37,7 @@ type options = {
   repeat : int;
   max_choices : int;
   out : string;
+  smoke : bool;
 }
 
 let parse_args () =
@@ -33,6 +45,7 @@ let parse_args () =
   let repeat = ref 2 in
   let max_choices = ref O.default_config.O.max_choices in
   let out = ref "BENCH_solver.json" in
+  let smoke = ref false in
   let int_arg flag s =
     match int_of_string_opt s with
     | Some n when n > 0 -> n
@@ -56,10 +69,11 @@ let parse_args () =
       go rest
     | "--smoke" :: rest ->
       (* One small layer, shallow sweep: a seconds-scale sanity run for
-         the @bench alias, not a measurement. *)
+         the @bench / @batch aliases, not a measurement. *)
       layers := [ "resnet-2" ];
       repeat := 1;
       max_choices := 4;
+      smoke := true;
       go rest
     | arg :: _ ->
       Printf.eprintf
@@ -69,49 +83,154 @@ let parse_args () =
       exit 2
   in
   go (List.tl (Array.to_list Sys.argv));
-  { layers = !layers; repeat = !repeat; max_choices = !max_choices; out = !out }
+  {
+    layers = !layers;
+    repeat = !repeat;
+    max_choices = !max_choices;
+    out = !out;
+    smoke = !smoke;
+  }
 
 type measurement = {
   wall_s : float;  (** best over repeats, whole layer set *)
+  wall_mean_s : float;  (** mean over repeats *)
   solves : int;  (** logical GP solves (replayed duplicates included) *)
   newton_steps : int;
   objective_sum : float;  (** sum of best continuous objectives, sanity *)
   pruned : int;  (** pairs skipped by presolve (0 with presolve off) *)
 }
 
+(* Min AND mean wall over [repeat] runs of [pass]: the min is the
+   least-noise estimate perfdiff keys on, the mean exposes variance a
+   lucky min would hide. *)
+let time_repeats ~repeat pass =
+  let rec loop k best sum acc_last =
+    if k = 0 then (Option.get best, sum /. float_of_int repeat, Option.get acc_last)
+    else begin
+      let t0 = Unix.gettimeofday () in
+      let acc = pass () in
+      let dt = Unix.gettimeofday () -. t0 in
+      let best =
+        match best with Some b when b <= dt -> best | _ -> Some dt
+      in
+      loop (k - 1) best (sum +. dt) (Some acc)
+    end
+  in
+  loop repeat None 0.0 None
+
 let measure ?(arch = Arch.eyeriss) options config nests =
   let one_pass () =
-    let t0 = Unix.gettimeofday () in
-    let acc =
-      List.fold_left
-        (fun (solves, newton, obj, pruned) (name, nest) ->
-          match O.dataflow ~config tech arch F.Energy nest with
-          | Ok r ->
-            let t = r.O.solve_totals in
-            ( solves + t.Gp.Solver.solves,
-              newton + t.Gp.Solver.t_newton_iters,
-              obj +. r.O.best_continuous,
-              pruned + List.length r.O.pruned )
-          | Error msg ->
-            Printf.eprintf "warning: %s failed: %s\n" name msg;
-            (solves, newton, obj, pruned))
-        (0, 0, 0.0, 0) nests
-    in
-    (Unix.gettimeofday () -. t0, acc)
+    List.fold_left
+      (fun (solves, newton, obj, pruned) (name, nest) ->
+        match O.dataflow ~config tech arch F.Energy nest with
+        | Ok r ->
+          let t = r.O.solve_totals in
+          ( solves + t.Gp.Solver.solves,
+            newton + t.Gp.Solver.t_newton_iters,
+            obj +. r.O.best_continuous,
+            pruned + List.length r.O.pruned )
+        | Error msg ->
+          Printf.eprintf "warning: %s failed: %s\n" name msg;
+          (solves, newton, obj, pruned))
+      (0, 0, 0.0, 0) nests
   in
-  let rec loop k best =
-    if k = 0 then best
-    else
-      let dt, acc = one_pass () in
-      let best =
-        match best with Some (dt0, _) when dt0 <= dt -> best | _ -> Some (dt, acc)
-      in
-      loop (k - 1) best
+  let wall_s, wall_mean_s, (solves, newton_steps, objective_sum, pruned) =
+    time_repeats ~repeat:options.repeat one_pass
   in
-  match loop options.repeat None with
-  | Some (wall_s, (solves, newton_steps, objective_sum, pruned)) ->
-    { wall_s; solves; newton_steps; objective_sum; pruned }
-  | None -> assert false
+  { wall_s; wall_mean_s; solves; newton_steps; objective_sum; pruned }
+
+(* --- scenario x kernel matrix over the bare solver --- *)
+
+type cell = {
+  c_wall_s : float;
+  c_wall_mean_s : float;
+  c_solves : int;
+  c_solutions : Gp.Solver.solution list;  (** last repeat, for cross-checks *)
+}
+
+(* The (choice, placement) problem set of one scenario — exactly the
+   pairs the optimizer's sweep would hand the solver, duplicates
+   included. *)
+let scenario_problems ~max_choices arch nest =
+  let plan = Permutations.enumerate ~max_choices nest in
+  List.concat_map
+    (fun cv ->
+      List.map
+        (fun placement ->
+          (F.build ~placement tech (F.Fixed arch) F.Energy plan cv).F.problem)
+        plan.Permutations.placements)
+    plan.Permutations.choices
+
+let scalar_cell ~repeat ~kernel problems =
+  let pass () =
+    List.map (fun p -> Gp.Solver.solve ~kernel p) problems
+  in
+  let c_wall_s, c_wall_mean_s, c_solutions = time_repeats ~repeat pass in
+  { c_wall_s; c_wall_mean_s; c_solves = List.length problems; c_solutions }
+
+(* Structure grouping, compilation and packing are inside the timed
+   region: they are the per-structure costs the batched kernel claims to
+   amortize over members. *)
+let batched_pass problems () =
+  let plans = Hashtbl.create 64 in
+  let groups = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun p ->
+      let key = Gp.Batch.structure_key p in
+      match Hashtbl.find_opt groups key with
+      | None ->
+        order := key :: !order;
+        Hashtbl.replace groups key (ref [ p ])
+      | Some members -> members := p :: !members)
+    problems;
+  let blocks =
+    List.map
+      (fun key ->
+        let members = Array.of_list (List.rev !(Hashtbl.find groups key)) in
+        let plan =
+          match Hashtbl.find_opt plans key with
+          | Some plan -> plan
+          | None ->
+            let plan = Gp.Batch.compile members.(0) in
+            Hashtbl.replace plans key plan;
+            plan
+        in
+        Gp.Batch.pack plan members)
+      (List.rev !order)
+  in
+  let solutions =
+    List.concat_map
+      (fun (block : Gp.Batch.block) ->
+        List.init block.Gp.Batch.bk_nmembers (Gp.Solver.solve_batched block))
+      blocks
+  in
+  (solutions, blocks)
+
+let batched_cell ~repeat problems =
+  let c_wall_s, c_wall_mean_s, (solutions, blocks) =
+    time_repeats ~repeat (batched_pass problems)
+  in
+  ( { c_wall_s; c_wall_mean_s; c_solves = List.length problems;
+      c_solutions = solutions },
+    blocks )
+
+(* The batched kernel is contractually bit-identical to the compiled
+   one; a drifting cell means a solver bug, so fail loudly rather than
+   record a meaningless speedup. *)
+let check_identical ~scenario compiled batched =
+  List.iter2
+    (fun (a : Gp.Solver.solution) (b : Gp.Solver.solution) ->
+      if
+        a.Gp.Solver.status <> b.Gp.Solver.status
+        || Int64.bits_of_float a.Gp.Solver.objective
+           <> Int64.bits_of_float b.Gp.Solver.objective
+      then begin
+        Printf.eprintf
+          "FATAL: %s: batched solution differs from compiled solution\n" scenario;
+        exit 1
+      end)
+    compiled.c_solutions batched.c_solutions
 
 let () =
   let options = parse_args () in
@@ -177,30 +296,121 @@ let () =
   if drift > 1e-6 then
     Printf.eprintf
       "warning: continuous objectives drifted between paths (relative %.3g)\n" drift;
-  let buf = Buffer.create 512 in
+  (* Scenario x kernel matrix: each row is one formulated problem set,
+     each column one solver kernel, timed around the bare solver.  The
+     "edge" scenario reuses the starved architecture above — an
+     infeasibility-heavy workload where phase I dominates. *)
+  let scenarios =
+    let nest_of name = Conv.to_nest (Workload.Zoo.find name) in
+    if options.smoke then [ ("resnet_2", Arch.eyeriss, nest_of "resnet-2") ]
+    else
+      [
+        ("resnet_2", Arch.eyeriss, nest_of "resnet-2");
+        ("resnet_8", Arch.eyeriss, nest_of "resnet-8");
+        ("yolo_2", Arch.eyeriss, nest_of "yolo-2");
+        ("edge", edge, nest_of "resnet-2");
+      ]
+  in
+  Printf.printf "scenario x kernel matrix (bare solver, %d repeat(s)):\n"
+    options.repeat;
+  Printf.printf "%-10s %-9s %9s %9s %8s %10s\n" "scenario" "kernel" "min s"
+    "mean s" "solves" "solves/s";
+  let show_cell scenario kernel (c : cell) =
+    Printf.printf "%-10s %-9s %9.3f %9.3f %8d %10.1f\n%!" scenario kernel
+      c.c_wall_s c.c_wall_mean_s c.c_solves
+      (float_of_int c.c_solves /. c.c_wall_s)
+  in
+  let structures = ref 0 in
+  let batch_sizes = ref [] in
+  let matrix =
+    List.map
+      (fun (scenario, arch, nest) ->
+        let problems =
+          scenario_problems ~max_choices:options.max_choices arch nest
+        in
+        let cl = scalar_cell ~repeat:options.repeat ~kernel:`List problems in
+        show_cell scenario "list" cl;
+        let cc = scalar_cell ~repeat:options.repeat ~kernel:`Compiled problems in
+        show_cell scenario "compiled" cc;
+        let cb, blocks = batched_cell ~repeat:options.repeat problems in
+        show_cell scenario "batched" cb;
+        check_identical ~scenario cc cb;
+        structures := !structures + List.length blocks;
+        batch_sizes :=
+          !batch_sizes
+          @ List.map (fun (b : Gp.Batch.block) -> b.Gp.Batch.bk_nmembers) blocks;
+        Printf.printf "%-10s batched speedup %.2fx over compiled (%d structure(s))\n%!"
+          scenario
+          (cc.c_wall_s /. cb.c_wall_s)
+          (List.length blocks);
+        (scenario, cl, cc, cb))
+      scenarios
+  in
+  let batch_count = List.length !batch_sizes in
+  let batch_size_mean =
+    if batch_count = 0 then 0.0
+    else
+      float_of_int (List.fold_left ( + ) 0 !batch_sizes)
+      /. float_of_int batch_count
+  in
+  let batch_size_max = List.fold_left Int.max 0 !batch_sizes in
+  let buf = Buffer.create 2048 in
   let f name v b = Json.field b name (fun b -> Json.float b v) in
   let i name v b = Json.field b name (fun b -> Json.int b v) in
   let s name v b = Json.field b name (fun b -> Json.str b v) in
-  Json.obj buf
+  let cell_fields scenario kernel (c : cell) =
     [
-      s "bench" "solver";
-      s "layers" (String.concat "," options.layers);
-      i "repeat" options.repeat;
-      i "max_choices" options.max_choices;
-      f "list_wall_s" listed.wall_s;
-      i "list_solves" listed.solves;
-      i "list_newton_steps" listed.newton_steps;
-      f "list_solves_per_s" (float_of_int listed.solves /. listed.wall_s);
-      f "compiled_wall_s" compiled.wall_s;
-      i "compiled_solves" compiled.solves;
-      i "compiled_newton_steps" compiled.newton_steps;
-      f "compiled_solves_per_s" (float_of_int compiled.solves /. compiled.wall_s);
-      f "speedup" speedup;
-      f "presolve_off_wall_s" presolve_off.wall_s;
-      f "presolve_on_wall_s" presolve_on.wall_s;
-      i "presolve_pruned" presolve_on.pruned;
-      f "presolve_speedup" presolve_speedup;
-    ];
+      f (Printf.sprintf "%s_%s_wall_s" scenario kernel) c.c_wall_s;
+      f (Printf.sprintf "%s_%s_wall_mean_s" scenario kernel) c.c_wall_mean_s;
+      f
+        (Printf.sprintf "%s_%s_solves_per_s" scenario kernel)
+        (float_of_int c.c_solves /. c.c_wall_s);
+    ]
+  in
+  let matrix_fields =
+    List.concat_map
+      (fun (scenario, cl, cc, cb) ->
+        cell_fields scenario "list" cl
+        @ cell_fields scenario "compiled" cc
+        @ cell_fields scenario "batched" cb
+        @ [
+            f
+              (Printf.sprintf "%s_batched_speedup" scenario)
+              (cc.c_wall_s /. cb.c_wall_s);
+          ])
+      matrix
+  in
+  Json.obj buf
+    ([
+       s "bench" "solver";
+       s "layers" (String.concat "," options.layers);
+       i "repeat" options.repeat;
+       i "max_choices" options.max_choices;
+       f "list_wall_s" listed.wall_s;
+       f "list_wall_mean_s" listed.wall_mean_s;
+       i "list_solves" listed.solves;
+       i "list_newton_steps" listed.newton_steps;
+       f "list_solves_per_s" (float_of_int listed.solves /. listed.wall_s);
+       f "compiled_wall_s" compiled.wall_s;
+       f "compiled_wall_mean_s" compiled.wall_mean_s;
+       i "compiled_solves" compiled.solves;
+       i "compiled_newton_steps" compiled.newton_steps;
+       f "compiled_solves_per_s" (float_of_int compiled.solves /. compiled.wall_s);
+       f "speedup" speedup;
+       f "presolve_off_wall_s" presolve_off.wall_s;
+       f "presolve_off_wall_mean_s" presolve_off.wall_mean_s;
+       f "presolve_on_wall_s" presolve_on.wall_s;
+       f "presolve_on_wall_mean_s" presolve_on.wall_mean_s;
+       i "presolve_pruned" presolve_on.pruned;
+       f "presolve_speedup" presolve_speedup;
+     ]
+    @ matrix_fields
+    @ [
+        i "batched_structures_compiled" !structures;
+        i "batched_batch_count" batch_count;
+        f "batched_batch_size_mean" batch_size_mean;
+        i "batched_batch_size_max" batch_size_max;
+      ]);
   Buffer.add_char buf '\n';
   let oc = open_out options.out in
   Buffer.output_buffer oc buf;

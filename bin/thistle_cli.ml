@@ -104,11 +104,17 @@ let solver_opts =
   let kernel_arg =
     Arg.(
       value
-      & opt (Arg.enum [ ("compiled", `Compiled); ("list", `List) ]) `Compiled
+      & opt
+          (Arg.enum
+             [ ("compiled", `Compiled); ("list", `List); ("batched", `Batched) ])
+          `Compiled
       & info [ "gp-kernel" ] ~docv:"KERNEL"
           ~doc:
             "GP solver evaluation path: $(b,compiled) (contiguous exponent rows, \
-             structured KKT solves) or $(b,list) (the legacy closure-per-function \
+             structured KKT solves), $(b,batched) (the compiled path over \
+             coefficient batches — programs sharing an exponent structure are \
+             compiled and factored once per structure; results are bit-identical \
+             to $(b,compiled)) or $(b,list) (the legacy closure-per-function \
              reference path, kept for benchmarks and differential runs).")
   in
   let no_dedupe_arg =

@@ -1,0 +1,457 @@
+module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+module M = Symexpr.Monomial
+module P = Symexpr.Posynomial
+
+(* --- structure key ----------------------------------------------------- *)
+
+(* Coefficient-blind coarsening of [Optimize.problem_key]: identical
+   framing (term '|', posynomial '#', section 'I'/'E' markers) and the
+   same exponent bits, with the leading coefficient of each monomial
+   dropped.  Because posynomial terms are sorted by exponent vector and
+   like terms are merged, term order is purely structural: two problems
+   with equal keys align term-for-term, variable-for-variable. *)
+let structure_key problem =
+  let buf = Buffer.create 1024 in
+  let fl v = Buffer.add_string buf (Printf.sprintf "%Lx;" (Int64.bits_of_float v)) in
+  let mono m =
+    List.iter
+      (fun (x, e) ->
+        Buffer.add_string buf x;
+        Buffer.add_char buf ':';
+        fl e)
+      (M.exponents m);
+    Buffer.add_char buf '|'
+  in
+  let poly p =
+    List.iter mono (P.terms p);
+    Buffer.add_char buf '#'
+  in
+  poly (Problem.objective problem);
+  Buffer.add_char buf 'I';
+  List.iter (fun (_, p) -> poly p) (Problem.ineqs problem);
+  Buffer.add_char buf 'E';
+  List.iter
+    (fun (_, m) ->
+      mono m;
+      Buffer.add_char buf '#')
+    (Problem.eqs problem);
+  Buffer.contents buf
+
+(* --- compiled structure ------------------------------------------------ *)
+
+type fn = {
+  f_nterms : int;
+  f_starts : int array;
+  f_idx : int array;
+  f_coef : float array;
+  f_support : int array;
+  f_lin_idx : int array;
+  f_lin_coef : float array;
+  f_lin_const : float;
+  f_slot : int;
+}
+
+type gram = No_rows | Factored of Mat.lu | Gram_singular
+
+type plan = {
+  pl_key : string;
+  pl_vars : string list;
+  pl_n : int;
+  pl_index : (string, int) Hashtbl.t;
+  pl_objective : fn;
+  pl_ineqs : fn array;
+  pl_nterms : int array;
+  pl_row_zero : bool array;
+  pl_rows : Vec.t array;
+  pl_rows1 : Vec.t array;
+  pl_gram : gram;
+  pl_zbasis : Vec.t array;
+  pl_zbasis1 : Vec.t array;
+  pl_objective1 : fn;
+  pl_lower1 : fn;
+  pl_ineqs1 : fn array;
+  pl_max_terms : int;
+}
+
+type block = {
+  bk_plan : plan;
+  bk_members : Problem.t array;
+  bk_nmembers : int;
+  bk_b : float array array;
+  bk_d : float array;
+  bk_dz : float array;
+  bk_nz : int;
+}
+
+(* Same support construction as [Compiled.merge_support]: distinct
+   indices, ascending. *)
+let merged_support lists =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun l -> Array.iter (fun i -> Hashtbl.replace tbl i ()) l) lists;
+  let s = Array.of_seq (Seq.map fst (Hashtbl.to_seq tbl)) in
+  Array.sort compare s;
+  s
+
+(* Mirror of [Compiled.of_sparse_terms] minus the [b] vector: terms are
+   lists of (index, exponent) entries, strictly ascending by index. *)
+let fn_of_sparse n ~slot sparse =
+  if sparse = [] then invalid_arg "Gp.Batch: empty term list";
+  let nterms = List.length sparse in
+  let starts = Array.make (nterms + 1) 0 in
+  let total = List.fold_left (fun acc entries -> acc + List.length entries) 0 sparse in
+  let idx = Array.make total 0 in
+  let coef = Array.make total 0.0 in
+  List.iteri
+    (fun k entries ->
+      let pos = ref starts.(k) in
+      List.iter
+        (fun (i, c) ->
+          if i < 0 || i >= n then invalid_arg "Gp.Batch: variable index out of range";
+          idx.(!pos) <- i;
+          coef.(!pos) <- c;
+          incr pos)
+        entries;
+      starts.(k + 1) <- !pos)
+    sparse;
+  for k = 0 to nterms - 1 do
+    for p = starts.(k) + 1 to starts.(k + 1) - 1 do
+      if idx.(p - 1) >= idx.(p) then
+        invalid_arg "Gp.Batch: indices not strictly ascending"
+    done
+  done;
+  let row k = Array.init (starts.(k + 1) - starts.(k)) (fun p -> idx.(starts.(k) + p)) in
+  {
+    f_nterms = nterms;
+    f_starts = starts;
+    f_idx = idx;
+    f_coef = coef;
+    f_support = merged_support (List.init nterms row);
+    f_lin_idx = [||];
+    f_lin_coef = [||];
+    f_lin_const = 0.0;
+    f_slot = slot;
+  }
+
+let fn_of_posynomial n index ~slot p =
+  let term m =
+    List.sort
+      (fun (i, _) (j, _) -> compare i j)
+      (List.map (fun (x, e) -> (Hashtbl.find index x, e)) (M.exponents m))
+  in
+  fn_of_sparse n ~slot (List.map term (P.terms p))
+
+(* Pure-affine function (no log-sum-exp terms), as [Compiled.affine]. *)
+let fn_affine entries const =
+  let entries = List.sort (fun (i, _) (j, _) -> compare i j) entries in
+  let entries = List.filter (fun (_, c) -> c <> 0.0) entries in
+  {
+    f_nterms = 0;
+    f_starts = [| 0 |];
+    f_idx = [||];
+    f_coef = [||];
+    f_support = Array.of_list (List.map fst entries);
+    f_lin_idx = Array.of_list (List.map fst entries);
+    f_lin_coef = Array.of_list (List.map snd entries);
+    f_lin_const = const;
+    f_slot = -1;
+  }
+
+(* Phase-I image of an inequality: the same log-sum-exp structure (and
+   the same coefficient slot) over n+1 variables, minus the slack s.
+   Mirrors [Compiled.add_linear (Compiled.extend f 1) n (-1.0)]. *)
+let fn_minus_slack n f =
+  {
+    f with
+    f_lin_idx = Array.append f.f_lin_idx [| n |];
+    f_lin_coef = Array.append f.f_lin_coef [| -1.0 |];
+    f_support = merged_support [ f.f_support; [| n |] ];
+  }
+
+let compile problem =
+  let key = structure_key problem in
+  let vars = Problem.variables problem in
+  let n = List.length vars in
+  let index = Hashtbl.create (2 * n) in
+  List.iteri (fun i x -> Hashtbl.replace index x i) vars;
+  let objective = fn_of_posynomial n index ~slot:0 (Problem.objective problem) in
+  let ineqs =
+    Array.of_list
+      (List.mapi
+         (fun j (_, p) -> fn_of_posynomial n index ~slot:(j + 1) p)
+         (Problem.ineqs problem))
+  in
+  let nterms =
+    Array.init
+      (1 + Array.length ineqs)
+      (fun s -> if s = 0 then objective.f_nterms else ineqs.(s - 1).f_nterms)
+  in
+  (* Equality rows [a . y = -log c], split into structurally nonzero
+     rows (kept, in source order, as the scalar path does) and all-zero
+     rows (only their right-hand sides matter, per member). *)
+  let all_rows =
+    List.map
+      (fun (_, m) ->
+        let a = Vec.create n in
+        List.iter (fun (x, e) -> a.(Hashtbl.find index x) <- e) (M.exponents m);
+        a)
+      (Problem.eqs problem)
+  in
+  let row_zero =
+    Array.of_list (List.map (fun a -> not (Vec.norm_inf a > 0.0)) all_rows)
+  in
+  let rows =
+    Array.of_list (List.filter (fun a -> Vec.norm_inf a > 0.0) all_rows)
+  in
+  let rows1 = Array.map (fun a -> Vec.concat a [| 0.0 |]) rows in
+  let p = Array.length rows in
+  let gram =
+    if p = 0 then No_rows
+    else
+      match
+        Mat.lu_factor
+          (Mat.init p p (fun i j ->
+               Vec.dot rows.(i) rows.(j) +. if i = j then 1e-12 else 0.0))
+      with
+      | lu -> Factored lu
+      | exception Mat.Singular -> Gram_singular
+  in
+  let max_terms =
+    Array.fold_left (fun acc f -> max acc f.f_nterms) objective.f_nterms ineqs
+  in
+  {
+    pl_key = key;
+    pl_vars = vars;
+    pl_n = n;
+    pl_index = index;
+    pl_objective = objective;
+    pl_ineqs = ineqs;
+    pl_nterms = nterms;
+    pl_row_zero = row_zero;
+    pl_rows = rows;
+    pl_rows1 = rows1;
+    pl_gram = gram;
+    pl_zbasis = Mat.nullspace_basis n rows;
+    pl_zbasis1 = Mat.nullspace_basis (n + 1) rows1;
+    pl_objective1 = fn_affine [ (n, 1.0) ] 0.0;
+    pl_lower1 = fn_affine [ (n, -1.0) ] (-20.0);
+    pl_ineqs1 = Array.map (fn_minus_slack n) ineqs;
+    pl_max_terms = max_terms;
+  }
+
+let pack plan problems =
+  let nm = Array.length problems in
+  if nm = 0 then invalid_arg "Gp.Batch.pack: empty batch";
+  Array.iter
+    (fun pr ->
+      if not (String.equal (structure_key pr) plan.pl_key) then
+        invalid_arg "Gp.Batch.pack: problem does not share the plan's structure")
+    problems;
+  let nslots = 1 + Array.length plan.pl_ineqs in
+  let b = Array.init nslots (fun s -> Array.make (nm * plan.pl_nterms.(s)) 0.0) in
+  let p = Array.length plan.pl_rows in
+  let nz = Array.length plan.pl_row_zero - p in
+  let d = Array.make (nm * p) 0.0 in
+  let dz = Array.make (nm * nz) 0.0 in
+  Array.iteri
+    (fun m pr ->
+      let fill_slot s poly =
+        let nt = plan.pl_nterms.(s) in
+        let dst = b.(s) in
+        List.iteri (fun k mono -> dst.((m * nt) + k) <- log (M.coeff mono)) (P.terms poly)
+      in
+      fill_slot 0 (Problem.objective pr);
+      List.iteri (fun j (_, poly) -> fill_slot (j + 1) poly) (Problem.ineqs pr);
+      let r = ref 0 in
+      let z = ref 0 in
+      List.iteri
+        (fun e (_, mono) ->
+          let dv = -.log (M.coeff mono) in
+          if plan.pl_row_zero.(e) then begin
+            dz.((m * nz) + !z) <- dv;
+            incr z
+          end
+          else begin
+            d.((m * p) + !r) <- dv;
+            incr r
+          end)
+        (Problem.eqs pr))
+    problems;
+  {
+    bk_plan = plan;
+    bk_members = Array.copy problems;
+    bk_nmembers = nm;
+    bk_b = b;
+    bk_d = d;
+    bk_dz = dz;
+    bk_nz = nz;
+  }
+
+(* --- flat evaluation --------------------------------------------------- *)
+
+(* These are transcriptions of [Compiled.row_dot] / [linear_part] /
+   [lse_value] / [value] / [eval_into] with three mechanical changes:
+   the per-term constant comes from [(b, boff)] instead of a field, the
+   Hessian is a flat row-major buffer with stride [hn], and array
+   accesses are unchecked.  Every float operation and its order is
+   preserved, so results are bit-identical — the QCheck properties in
+   test/test_compiled.ml enforce this. *)
+
+let row_dot f k y =
+  let acc = ref 0.0 in
+  let last = Array.unsafe_get f.f_starts (k + 1) - 1 in
+  for p = Array.unsafe_get f.f_starts k to last do
+    acc :=
+      !acc
+      +. Array.unsafe_get f.f_coef p
+         *. Array.unsafe_get y (Array.unsafe_get f.f_idx p)
+  done;
+  !acc
+
+let linear_part f y =
+  let acc = ref 0.0 in
+  for p = 0 to Array.length f.f_lin_idx - 1 do
+    acc :=
+      !acc
+      +. Array.unsafe_get f.f_lin_coef p
+         *. Array.unsafe_get y (Array.unsafe_get f.f_lin_idx p)
+  done;
+  !acc
+
+let lse_value f ~b ~boff ~es y =
+  for k = 0 to f.f_nterms - 1 do
+    Array.unsafe_set es k (row_dot f k y +. Array.unsafe_get b (boff + k))
+  done;
+  let m = ref neg_infinity in
+  for k = 0 to f.f_nterms - 1 do
+    m := Float.max !m (Array.unsafe_get es k)
+  done;
+  let z = ref 0.0 in
+  for k = 0 to f.f_nterms - 1 do
+    z := !z +. exp (Array.unsafe_get es k -. !m)
+  done;
+  !m +. log !z
+
+let value f ~b ~boff ~es y =
+  let v =
+    if f.f_nterms = 0 then linear_part f y
+    else if Array.length f.f_lin_idx = 0 then lse_value f ~b ~boff ~es y
+    else lse_value f ~b ~boff ~es y +. linear_part f y
+  in
+  if f.f_lin_const <> 0.0 then v +. f.f_lin_const else v
+
+let eval_into f ~b ~boff ~es ~grad ~hess ~hn y =
+  let support = f.f_support in
+  let ns = Array.length support in
+  for a = 0 to ns - 1 do
+    Array.unsafe_set grad (Array.unsafe_get support a) 0.0
+  done;
+  for a = 0 to ns - 1 do
+    let base = Array.unsafe_get support a * hn in
+    for bj = 0 to ns - 1 do
+      Array.unsafe_set hess (base + Array.unsafe_get support bj) 0.0
+    done
+  done;
+  let v_lse =
+    if f.f_nterms = 0 then 0.0
+    else begin
+      for k = 0 to f.f_nterms - 1 do
+        Array.unsafe_set es k (row_dot f k y +. Array.unsafe_get b (boff + k))
+      done;
+      let m = ref neg_infinity in
+      for k = 0 to f.f_nterms - 1 do
+        m := Float.max !m (Array.unsafe_get es k)
+      done;
+      let m = !m in
+      for k = 0 to f.f_nterms - 1 do
+        Array.unsafe_set es k (exp (Array.unsafe_get es k -. m))
+      done;
+      let z = ref 0.0 in
+      for k = 0 to f.f_nterms - 1 do
+        z := !z +. Array.unsafe_get es k
+      done;
+      let z = !z in
+      let v = m +. log z in
+      for k = 0 to f.f_nterms - 1 do
+        Array.unsafe_set es k (Array.unsafe_get es k /. z)
+      done;
+      for k = 0 to f.f_nterms - 1 do
+        let p = Array.unsafe_get es k in
+        for q = Array.unsafe_get f.f_starts k to Array.unsafe_get f.f_starts (k + 1) - 1 do
+          let i = Array.unsafe_get f.f_idx q in
+          Array.unsafe_set grad i
+            (Array.unsafe_get grad i +. (p *. Array.unsafe_get f.f_coef q))
+        done
+      done;
+      for k = 0 to f.f_nterms - 1 do
+        let p = Array.unsafe_get es k in
+        let first = Array.unsafe_get f.f_starts k in
+        let last = Array.unsafe_get f.f_starts (k + 1) - 1 in
+        for q = first to last do
+          let i = Array.unsafe_get f.f_idx q in
+          let pai = p *. Array.unsafe_get f.f_coef q in
+          if pai <> 0.0 then begin
+            let base = i * hn in
+            for r = first to last do
+              let o = base + Array.unsafe_get f.f_idx r in
+              Array.unsafe_set hess o
+                (Array.unsafe_get hess o +. (pai *. Array.unsafe_get f.f_coef r))
+            done
+          end
+        done
+      done;
+      for a = 0 to ns - 1 do
+        let i = Array.unsafe_get support a in
+        let gi = Array.unsafe_get grad i in
+        let base = i * hn in
+        for bj = 0 to ns - 1 do
+          let j = Array.unsafe_get support bj in
+          let o = base + j in
+          Array.unsafe_set hess o
+            (Array.unsafe_get hess o +. -.(gi *. Array.unsafe_get grad j))
+        done
+      done;
+      v
+    end
+  in
+  for p = 0 to Array.length f.f_lin_idx - 1 do
+    let i = Array.unsafe_get f.f_lin_idx p in
+    Array.unsafe_set grad i
+      (Array.unsafe_get grad i +. Array.unsafe_get f.f_lin_coef p)
+  done;
+  let v =
+    if f.f_nterms = 0 then linear_part f y
+    else if Array.length f.f_lin_idx = 0 then v_lse
+    else v_lse +. linear_part f y
+  in
+  if f.f_lin_const <> 0.0 then v +. f.f_lin_const else v
+
+(* --- test conveniences ------------------------------------------------- *)
+
+let slot_fn block slot =
+  if slot = 0 then block.bk_plan.pl_objective
+  else block.bk_plan.pl_ineqs.(slot - 1)
+
+let member_value block ~member ~slot y =
+  let f = slot_fn block slot in
+  let es = Array.make (max 1 f.f_nterms) 0.0 in
+  value f ~b:block.bk_b.(slot)
+    ~boff:(member * block.bk_plan.pl_nterms.(slot))
+    ~es y
+
+let member_eval_into block ~member ~slot ~grad ~hess y =
+  let f = slot_fn block slot in
+  let n = block.bk_plan.pl_n in
+  let es = Array.make (max 1 f.f_nterms) 0.0 in
+  let hflat = Array.make (n * n) 0.0 in
+  let v =
+    eval_into f ~b:block.bk_b.(slot)
+      ~boff:(member * block.bk_plan.pl_nterms.(slot))
+      ~es ~grad ~hess:hflat ~hn:n y
+  in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      Mat.set hess i j hflat.((i * n) + j)
+    done
+  done;
+  v

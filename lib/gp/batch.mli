@@ -1,0 +1,159 @@
+(** Batched structure-sharing compilation of GP problems (DESIGN §15).
+
+    The co-design sweep solves thousands of programs that differ only in
+    their coefficients: every placement of one permutation choice (and
+    many choices across layers) formulates the same exponent rows, the
+    same sparsity pattern and the same affine shape.  This module
+    exploits that redundancy.  A coefficient-blind {!structure_key}
+    groups problems; {!compile} lowers one representative into a
+    {!plan} — the shared exponent structure together with everything the
+    solver needs that does not depend on coefficients (per-structure
+    nullspace bases, the factored least-norm Gram system); {!pack} then
+    lays the coefficient vectors of a whole group in contiguous buffers
+    so the solver touches one flat array per function while iterating
+    batch members.
+
+    {b Bit-identity contract.}  The evaluation primitives below perform
+    the identical float operations in the identical order as
+    {!Compiled.value} / {!Compiled.eval_into} on the member's own
+    compiled functions, and the per-structure factorizations
+    ({!Mat.nullspace_basis}, {!Mat.lu_factor}) are pure functions of the
+    structure, equal bit-for-bit to the per-solve computations they
+    amortize.  [Solver.solve_batched] therefore returns exactly the
+    bits of [Solver.solve ~kernel:`Compiled] for every member —
+    test/test_compiled.ml pins this with QCheck properties. *)
+
+module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+
+val structure_key : Problem.t -> string
+(** Coefficient-blind coarsening of [Optimize.problem_key]: variable
+    names, exponent bits and term/section framing, with coefficients
+    dropped.  Problems with equal keys have the same sorted variable
+    list and align term-for-term — posynomial terms are sorted by
+    exponent vector with like terms merged, so term order never depends
+    on coefficients. *)
+
+(** One compiled convex function of the shared structure,
+
+      F(y) = log sum_k exp(row_k . y + b_k)  +  lin . y + lin_const,
+
+    in the contiguous sparse layout of {!Compiled.t} but {e without} the
+    [b] vector: coefficient terms live in the batch {!block}, selected
+    by [(b, boff)] at each evaluation.  [f_slot] names the coefficient
+    table of the block this function reads (-1 for the coefficient-free
+    phase-I helpers). *)
+type fn = {
+  f_nterms : int;
+  f_starts : int array;
+  f_idx : int array;
+  f_coef : float array;
+  f_support : int array;  (** sorted distinct variable indices touched *)
+  f_lin_idx : int array;
+  f_lin_coef : float array;
+  f_lin_const : float;
+  f_slot : int;
+}
+
+(** Outcome of factoring the least-norm Gram system [A A^T + 1e-12 I]
+    once per structure. *)
+type gram =
+  | No_rows  (** no (nonzero) equality rows *)
+  | Factored of Mat.lu
+  | Gram_singular
+      (** factorization failed; solves of this structure report
+          [Infeasible] exactly where the scalar path raises
+          [Mat.Singular] *)
+
+(** Everything coefficient-independent about one structure, compiled
+    once and shared by every batch member and every warm-started
+    retry. *)
+type plan = {
+  pl_key : string;
+  pl_vars : string list;  (** sorted, as [Problem.variables] *)
+  pl_n : int;
+  pl_index : (string, int) Hashtbl.t;
+  pl_objective : fn;
+  pl_ineqs : fn array;
+  pl_nterms : int array;
+      (** terms per coefficient slot: slot 0 = objective, slot j+1 =
+          inequality j *)
+  pl_row_zero : bool array;  (** per equality: exponent row all-zero? *)
+  pl_rows : Vec.t array;  (** nonzero equality rows, source order *)
+  pl_rows1 : Vec.t array;  (** the same rows over n+1 (slack column 0) *)
+  pl_gram : gram;
+  pl_zbasis : Vec.t array;  (** nullspace basis of [pl_rows] over n *)
+  pl_zbasis1 : Vec.t array;  (** nullspace basis of [pl_rows1] over n+1 *)
+  pl_objective1 : fn;  (** phase I objective: s *)
+  pl_lower1 : fn;  (** phase I bound: -s - 20 <= 0 *)
+  pl_ineqs1 : fn array;
+      (** phase I images of [pl_ineqs] over n+1 with the -s slack;
+          they read the {e same} coefficient slots as [pl_ineqs] *)
+  pl_max_terms : int;  (** scratch sizing for evaluation buffers *)
+}
+
+(** One batch: a plan plus the coefficient vectors of its members, laid
+    member-major in one flat buffer per function slot.  Member [m] of
+    slot [s] occupies [bk_b.(s).(m * pl_nterms.(s) + k)] for term [k]
+    (log coefficients), and its equality right-hand sides occupy
+    [bk_d.(m * p + i)] (for the [p] nonzero rows, [-log c]) and
+    [bk_dz] (for the all-zero rows, consistency-checked per solve). *)
+type block = {
+  bk_plan : plan;
+  bk_members : Problem.t array;
+  bk_nmembers : int;
+  bk_b : float array array;
+  bk_d : float array;
+  bk_dz : float array;
+  bk_nz : int;
+}
+
+val compile : Problem.t -> plan
+(** Compile the structure of one representative problem.  Pure: any
+    member of the group yields the same plan (coefficients never enter).
+*)
+
+val pack : plan -> Problem.t array -> block
+(** Lay the members' coefficients into contiguous buffers.  Raises
+    [Invalid_argument] if the array is empty or any member's
+    {!structure_key} differs from the plan's. *)
+
+(** {1 Flat evaluation primitives}
+
+    Mirrors of {!Compiled.value} / {!Compiled.eval_into} over a [fn] and
+    an externally-supplied coefficient vector [(b, boff)] — bit-identical
+    by construction (same operations, same order).  [es] is caller
+    scratch of length at least [f_nterms]; [hess] is a flat row-major
+    [n * n] buffer with stride [hn].  No bounds checks: the solver owns
+    the invariants. *)
+
+val value : fn -> b:float array -> boff:int -> es:float array -> float array -> float
+
+val eval_into :
+  fn ->
+  b:float array ->
+  boff:int ->
+  es:float array ->
+  grad:float array ->
+  hess:float array ->
+  hn:int ->
+  float array ->
+  float
+
+(** {1 Test conveniences} *)
+
+val member_value : block -> member:int -> slot:int -> Vec.t -> float
+(** [member_value block ~member ~slot y] evaluates slot [slot] (0 =
+    objective, j+1 = inequality j) of member [member] at [y],
+    allocating its own scratch. *)
+
+val member_eval_into :
+  block ->
+  member:int ->
+  slot:int ->
+  grad:Vec.t ->
+  hess:Mat.t ->
+  Vec.t ->
+  float
+(** Like {!Compiled.eval_into} for one member/slot pair, writing into a
+    caller matrix (cleared here, dense, for test comparison). *)

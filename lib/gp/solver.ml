@@ -7,7 +7,7 @@ type status = Optimal | Infeasible | Iteration_limit | Deadline_exceeded
 
 type solution = { status : status; values : (string * float) list; objective : float }
 
-type kernel = [ `Compiled | `List ]
+type kernel = [ `Compiled | `List | `Batched ]
 
 let lookup sol x =
   match List.assoc_opt x sol.values with
@@ -297,56 +297,11 @@ let get_ws cache n =
     Hashtbl.add cache n ws;
     ws
 
-(* Orthonormal basis of null(A) by modified Gram-Schmidt: orthonormalize
-   the rows of A, then complete the basis with coordinate vectors; the
-   vectors accepted in the second stage span the nullspace.  Dependent
-   rows are dropped by the norm threshold, so rank deficiency is
-   handled.  Fully deterministic (threshold comparisons only). *)
-let nullspace_basis n rows_arr =
-  let basis = ref [] in
-  let nbasis = ref 0 in
-  let null_cols = ref [] in
-  let orthogonalize v =
-    (* Two MGS passes for numerical orthogonality. *)
-    for _pass = 1 to 2 do
-      List.iter
-        (fun b ->
-          let c = Vec.dot b v in
-          if c <> 0.0 then
-            for i = 0 to n - 1 do
-              v.(i) <- v.(i) -. (c *. b.(i))
-            done)
-        (List.rev !basis)
-    done;
-    Vec.norm2 v
-  in
-  let accept v = basis := v :: !basis; incr nbasis in
-  Array.iter
-    (fun a ->
-      let v = Vec.copy a in
-      let nrm = orthogonalize v in
-      if nrm > 1e-12 then begin
-        for i = 0 to n - 1 do
-          v.(i) <- v.(i) /. nrm
-        done;
-        accept v
-      end)
-    rows_arr;
-  let i = ref 0 in
-  while !nbasis < n && !i < n do
-    let v = Vec.create n in
-    v.(!i) <- 1.0;
-    let nrm = orthogonalize v in
-    if nrm > 1e-8 then begin
-      for j = 0 to n - 1 do
-        v.(j) <- v.(j) /. nrm
-      done;
-      accept v;
-      null_cols := v :: !null_cols
-    end;
-    incr i
-  done;
-  Array.of_list (List.rev !null_cols)
+(* Orthonormal nullspace bases live in [Mat.nullspace_basis] (moved
+   there so the batched plan compiler can share them); the function is
+   pure, so per-centering and per-structure computations agree bit for
+   bit. *)
+let nullspace_basis = Mat.nullspace_basis
 
 (* Same minimization as [centering_list], but over compiled functions:
    sparse evaluation into reused buffers and a structured KKT solve.
@@ -582,10 +537,14 @@ let compiled_ops ws_cache ~initial_reg : Compiled.t ops =
 (* [check] is the cooperative deadline hook: called before every outer
    (centering) iteration, it raises {!Deadline} once the caller's budget
    is spent.  Checks sit at outer-iteration boundaries only — a single
-   centering runs to completion — keeping the hot path untouched. *)
-let barrier ?(stop_early = fun _ -> false) ~check ~ops ~st ~phase ~tol ~max_outer
-    ~objective ~ineqs ~rows y0 =
-  let m = List.length ineqs in
+   centering runs to completion — keeping the hot path untouched.
+
+   The loop is written against an abstract [centering] closure (and the
+   inequality count [m]) so every kernel — list, compiled, batched —
+   runs through the identical control flow: same schedule, same stop
+   conditions, same stats ticks. *)
+let barrier ?(stop_early = fun _ -> false) ~check ~st ~phase ~tol ~max_outer ~m
+    ~centering y0 =
   let tick () =
     match phase with
     | `One -> st.phase1_outer <- st.phase1_outer + 1
@@ -594,7 +553,7 @@ let barrier ?(stop_early = fun _ -> false) ~check ~ops ~st ~phase ~tol ~max_oute
   if m = 0 then begin
     check ();
     if phase = `Two then st.duality_gap <- 0.0;
-    (ops.k_centering ~st ~barrier_t:1.0 ~objective ~ineqs ~rows y0, true)
+    (centering ~barrier_t:1.0 y0, true)
   end
   else begin
     let y = ref y0 in
@@ -607,7 +566,7 @@ let barrier ?(stop_early = fun _ -> false) ~check ~ops ~st ~phase ~tol ~max_oute
       incr outer;
       tick ();
       check ();
-      y := ops.k_centering ~st ~barrier_t:!t ~objective ~ineqs ~rows !y;
+      y := centering ~barrier_t:!t !y;
       if stop_early !y then begin
         done_ := true;
         clean := true
@@ -645,9 +604,13 @@ let phase1 ~check ~ops ~st ~tol ~max_outer n ineqs rows y0 =
     in
     let start = Vec.concat y0 [| s0 |] in
     let stop_early y = y.(n) < -0.5 in
+    let all_ineqs = lower :: g_ineqs in
     let y1, _ =
-      barrier ~stop_early ~check ~ops ~st ~phase:`One ~tol ~max_outer ~objective
-        ~ineqs:(lower :: g_ineqs) ~rows:rows1 start
+      barrier ~stop_early ~check ~st ~phase:`One ~tol ~max_outer
+        ~m:(List.length all_ineqs)
+        ~centering:(fun ~barrier_t y ->
+          ops.k_centering ~st ~barrier_t ~objective ~ineqs:all_ineqs ~rows:rows1 y)
+        start
     in
     let y = Vec.slice y1 0 n in
     if strictly_ok y then Some y else None
@@ -719,8 +682,8 @@ exception Deadline
 
 let now_ns () = Unix.gettimeofday () *. 1e9
 
-let solve ?(tol = 1e-8) ?(max_outer = 60) ?stats ?warm_start ?(kernel = `Compiled)
-    ?deadline_ns ?(initial_reg = 1e-9) problem =
+let solve_scalar ~tol ~max_outer ?stats ?warm_start ~kernel ?deadline_ns ~initial_reg
+    problem =
   let st = match stats with Some st -> st | None -> fresh_stats () in
   reset_stats st;
   (* Cooperative deadline: checked at outer-iteration boundaries (see
@@ -774,7 +737,9 @@ let solve ?(tol = 1e-8) ?(max_outer = 60) ?stats ?warm_start ?(kernel = `Compile
           { status = Infeasible; values = []; objective = nan }
         | Some y_feas ->
           let y_opt, clean =
-            barrier ~check ~ops ~st ~phase:`Two ~tol ~max_outer ~objective ~ineqs ~rows
+            barrier ~check ~st ~phase:`Two ~tol ~max_outer ~m:(List.length ineqs)
+              ~centering:(fun ~barrier_t y ->
+                ops.k_centering ~st ~barrier_t ~objective ~ineqs ~rows y)
               y_feas
           in
           extract (if clean then Optimal else Iteration_limit) y_opt
@@ -801,3 +766,502 @@ let solve ?(tol = 1e-8) ?(max_outer = 60) ?stats ?warm_start ?(kernel = `Compile
       Log.debug (fun m -> m "solve deadline exceeded");
       { status = Deadline_exceeded; values = []; objective = nan }
   end
+
+(* ------------------------------------------------------------------ *)
+(* Batched kernel (DESIGN §15)                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The batched kernel runs the exact algorithm of the compiled kernel —
+   same barrier schedule, same centerings, same KKT solves, same line
+   search — against a [Batch.plan] shared by every member of a
+   structure group.  What is amortized per structure: the lowering
+   itself, the nullspace bases (pure, see [Mat.nullspace_basis]) and the
+   least-norm Gram factorization ([Mat.lu_factor], bit-identical to the
+   per-solve [Mat.lu_solve]).  What is changed mechanically: all hot
+   buffers are flat unchecked float arrays, and three provably
+   unobservable evaluations are elided (the line-search merit value
+   short-circuits after the first infeasible inequality; the merit value
+   at the current iterate reuses the values the Newton assembly just
+   computed; all elided computations are pure).  Everything else is a
+   transcription, so results are bit-for-bit equal to
+   [solve ~kernel:`Compiled] — pinned by test/test_compiled.ml and the
+   determinism suite. *)
+
+(* A compiled structure function bound to one member's coefficients. *)
+type bfun = { bf_fn : Batch.fn; bf_b : float array; bf_off : int }
+
+(* The function set of one (phase, member) pair. *)
+type bset = {
+  bs_n : int;
+  bs_obj : bfun;
+  bs_ineqs : bfun array;
+  bs_zbasis : Vec.t array;
+  bs_rows : Vec.t array;  (* equality rows, for the dense KKT fallback *)
+}
+
+(* Per-solve workspace (never shared across concurrent solves). *)
+type bws = {
+  bw_y : float array;
+  bw_cand : float array;
+  bw_grad : float array;
+  bw_hess : float array;  (* n * n, stride n *)
+  bw_gi : float array;
+  bw_hi : float array;  (* n * n, stride n *)
+  bw_dy : float array;
+  bw_es : float array;
+  bw_vis : float array;  (* per-inequality values at the current iterate *)
+  bw_hz : Vec.t array;
+  bw_hr : Mat.t;
+  bw_hr0 : float array;  (* pristine reduced Hessian, lower triangle, stride q *)
+  bw_u : Vec.t;
+  bw_u0 : float array;  (* pristine reduced RHS *)
+}
+
+let make_bws ~n ~q ~max_terms ~nineqs =
+  {
+    bw_y = Array.make n 0.0;
+    bw_cand = Array.make n 0.0;
+    bw_grad = Array.make n 0.0;
+    bw_hess = Array.make (n * n) 0.0;
+    bw_gi = Array.make n 0.0;
+    bw_hi = Array.make (n * n) 0.0;
+    bw_dy = Array.make n 0.0;
+    bw_es = Array.make (max 1 max_terms) 0.0;
+    bw_vis = Array.make (max 1 nineqs) 0.0;
+    bw_hz = Array.init q (fun _ -> Vec.create n);
+    bw_hr = Mat.create q q;
+    bw_hr0 = Array.make (max 1 (q * q)) 0.0;
+    bw_u = Vec.create q;
+    bw_u0 = Array.make (max 1 q) 0.0;
+  }
+
+(* Mirror of [centering_compiled] over flat buffers; see the bit-identity
+   note above. *)
+let centering_batched ~ws ~fset ~initial_reg ~st ~barrier_t y0 =
+  let n = fset.bs_n in
+  let nineq = Array.length fset.bs_ineqs in
+  let zbasis = fset.bs_zbasis in
+  let q = Array.length zbasis in
+  let grad = ws.bw_grad in
+  let hess = ws.bw_hess in
+  let gi = ws.bw_gi in
+  let hi = ws.bw_hi in
+  let es = ws.bw_es in
+  let vis = ws.bw_vis in
+  let y = ws.bw_y in
+  if y != y0 then Array.blit y0 0 y 0 n;
+  (* Line-search merit value at a candidate.  The compiled path
+     evaluates every inequality and discards the accumulator when any
+     value is >= 0; stopping at the first such value skips only pure
+     computations, so the accepted candidate and every accept/reject
+     decision are unchanged.  A NaN value never triggers the exit
+     ([v >= 0.0] is false for NaN), matching the compiled path's
+     accept test, which a NaN also fails. *)
+  let phi_cand cand =
+    let ok = ref true in
+    let i = ref 0 in
+    while !ok && !i < nineq do
+      let f = Array.unsafe_get fset.bs_ineqs !i in
+      let v = Batch.value f.bf_fn ~b:f.bf_b ~boff:f.bf_off ~es cand in
+      if v >= 0.0 then ok := false
+      else begin
+        Array.unsafe_set vis !i v;
+        incr i
+      end
+    done;
+    if not !ok then None
+    else begin
+      let o = fset.bs_obj in
+      let acc =
+        ref (barrier_t *. Batch.value o.bf_fn ~b:o.bf_b ~boff:o.bf_off ~es cand)
+      in
+      for j = 0 to nineq - 1 do
+        acc := !acc -. log (-.Array.unsafe_get vis j)
+      done;
+      Some !acc
+    end
+  in
+  let converged = ref false in
+  let iter = ref 0 in
+  while (not !converged) && !iter < 80 do
+    incr iter;
+    st.newton_iters <- st.newton_iters + 1;
+    Array.fill grad 0 n 0.0;
+    Array.fill hess 0 (n * n) 0.0;
+    let o = fset.bs_obj in
+    let v0 = Batch.eval_into o.bf_fn ~b:o.bf_b ~boff:o.bf_off ~es ~grad:gi ~hess:hi ~hn:n y in
+    let sup0 = o.bf_fn.Batch.f_support in
+    let ns0 = Array.length sup0 in
+    for a = 0 to ns0 - 1 do
+      let i = Array.unsafe_get sup0 a in
+      Array.unsafe_set grad i (barrier_t *. Array.unsafe_get gi i);
+      let base = i * n in
+      for b = 0 to ns0 - 1 do
+        let j = Array.unsafe_get sup0 b in
+        Array.unsafe_set hess (base + j) (barrier_t *. Array.unsafe_get hi (base + j))
+      done
+    done;
+    for gidx = 0 to nineq - 1 do
+      let g = Array.unsafe_get fset.bs_ineqs gidx in
+      let vi =
+        Batch.eval_into g.bf_fn ~b:g.bf_b ~boff:g.bf_off ~es ~grad:gi ~hess:hi ~hn:n y
+      in
+      Array.unsafe_set vis gidx vi;
+      (* vi < 0 by the line-search invariant *)
+      let inv = -1.0 /. vi in
+      let sup = g.bf_fn.Batch.f_support in
+      let ns = Array.length sup in
+      for a = 0 to ns - 1 do
+        let i = Array.unsafe_get sup a in
+        Array.unsafe_set grad i (Array.unsafe_get grad i +. (inv *. Array.unsafe_get gi i))
+      done;
+      for a = 0 to ns - 1 do
+        let i = Array.unsafe_get sup a in
+        let gi_i = Array.unsafe_get gi i in
+        let base = i * n in
+        for b = 0 to ns - 1 do
+          let j = Array.unsafe_get sup b in
+          let o = base + j in
+          Array.unsafe_set hess o
+            (Array.unsafe_get hess o
+            +. ((inv *. Array.unsafe_get hi o) +. (inv *. inv *. gi_i *. Array.unsafe_get gi j))
+            )
+        done
+      done
+    done;
+    (* Structured KKT solve in the shared nullspace basis. *)
+    for j = 0 to q - 1 do
+      let zj = zbasis.(j) in
+      let hzj = ws.bw_hz.(j) in
+      for i = 0 to n - 1 do
+        let base = i * n in
+        let acc = ref 0.0 in
+        for k = 0 to n - 1 do
+          acc := !acc +. (Array.unsafe_get hess (base + k) *. Array.unsafe_get zj k)
+        done;
+        Array.unsafe_set hzj i !acc
+      done
+    done;
+    (* The reduced Hessian entries [z_j . (H z_l)] and the reduced RHS
+       [-z_j . grad] are pure per-iteration values: compute them once
+       and replay them on regularization retries (the compiled path
+       recomputes the same dots; same accumulation order, same bits). *)
+    let hr0 = ws.bw_hr0 and u0 = ws.bw_u0 in
+    for j = 0 to q - 1 do
+      let zj = zbasis.(j) in
+      for l = 0 to j do
+        let hzl = ws.bw_hz.(l) in
+        let acc = ref 0.0 in
+        for i = 0 to n - 1 do
+          acc := !acc +. (Array.unsafe_get zj i *. Array.unsafe_get hzl i)
+        done;
+        Array.unsafe_set hr0 ((j * q) + l) !acc
+      done;
+      let acc = ref 0.0 in
+      for i = 0 to n - 1 do
+        acc := !acc +. (Array.unsafe_get zj i *. Array.unsafe_get grad i)
+      done;
+      Array.unsafe_set u0 j (-. !acc)
+    done;
+    let solve_structured reg =
+      let hr = ws.bw_hr in
+      let u = ws.bw_u in
+      for j = 0 to q - 1 do
+        for l = 0 to j do
+          Mat.set hr j l (Array.unsafe_get hr0 ((j * q) + l))
+        done;
+        Mat.add_to hr j j reg
+      done;
+      Mat.cholesky_in_place hr;
+      Array.blit u0 0 u 0 q;
+      Mat.cholesky_solve_in_place hr u;
+      let dy = ws.bw_dy in
+      Array.fill dy 0 n 0.0;
+      for j = 0 to q - 1 do
+        let uj = u.(j) in
+        if uj <> 0.0 then begin
+          let zj = zbasis.(j) in
+          for i = 0 to n - 1 do
+            Array.unsafe_set dy i (Array.unsafe_get dy i +. (uj *. Array.unsafe_get zj i))
+          done
+        end
+      done;
+      dy
+    in
+    let dy =
+      let rec attempt reg tries =
+        match solve_structured reg with
+        | dy -> Some dy
+        | exception Mat.Singular ->
+          if tries <= 0 then None
+          else begin
+            st.kkt_regularizations <- st.kkt_regularizations + 1;
+            attempt (reg *. 100.0) (tries - 1)
+          end
+      in
+      match attempt initial_reg 6 with
+      | Some dy -> Some dy
+      | None ->
+        st.cholesky_fallbacks <- st.cholesky_fallbacks + 1;
+        let p = Array.length fset.bs_rows in
+        let hess_m = Mat.init n n (fun i j -> hess.((i * n) + j)) in
+        let rows = Array.to_list (Array.map (fun a -> (a, 0.0)) fset.bs_rows) in
+        attempt_dense ~st ~initial_reg ~hess:hess_m ~grad ~rows n p
+    in
+    match dy with
+    | None -> converged := true
+    | Some dy ->
+      let slope =
+        let acc = ref 0.0 in
+        for i = 0 to n - 1 do
+          acc := !acc +. (Array.unsafe_get grad i *. Array.unsafe_get dy i)
+        done;
+        !acc
+      in
+      let lambda2 = -.slope in
+      if lambda2 /. 2.0 < 1e-10 then converged := true
+      else begin
+        (* Merit value at the current iterate, from the values the
+           assembly above just computed — the compiled path recomputes
+           them; the evaluations are pure, so the bits agree. *)
+        let phi0 =
+          let ok = ref true in
+          for j = 0 to nineq - 1 do
+            if vis.(j) >= 0.0 then ok := false
+          done;
+          if not !ok then
+            invalid_arg "Gp.Solver: centering started at an infeasible point"
+          else begin
+            let acc = ref (barrier_t *. v0) in
+            for j = 0 to nineq - 1 do
+              acc := !acc -. log (-.vis.(j))
+            done;
+            !acc
+          end
+        in
+        let cand = ws.bw_cand in
+        let rec search alpha tries =
+          if tries <= 0 then false
+          else begin
+            for i = 0 to n - 1 do
+              Array.unsafe_set cand i
+                ((alpha *. Array.unsafe_get dy i) +. Array.unsafe_get y i)
+            done;
+            match phi_cand cand with
+            | Some v when v <= phi0 +. (0.25 *. alpha *. slope) -> true
+            | _ ->
+              st.backtracks <- st.backtracks + 1;
+              search (alpha /. 2.0) (tries - 1)
+          end
+        in
+        if search 1.0 60 then Array.blit cand 0 y 0 n
+        else converged := true (* cannot make progress; accept the point *)
+      end
+  done;
+  y
+
+(* Member function sets: phase II over n variables, phase I over n+1
+   with the slack.  The phase-I inequalities read the same coefficient
+   slots as their phase-II counterparts. *)
+let bset_phase2 (plan : Batch.plan) (block : Batch.block) mem =
+  let bind (f : Batch.fn) =
+    { bf_fn = f; bf_b = block.Batch.bk_b.(f.Batch.f_slot);
+      bf_off = mem * plan.Batch.pl_nterms.(f.Batch.f_slot) }
+  in
+  {
+    bs_n = plan.Batch.pl_n;
+    bs_obj = bind plan.Batch.pl_objective;
+    bs_ineqs = Array.map bind plan.Batch.pl_ineqs;
+    bs_zbasis = plan.Batch.pl_zbasis;
+    bs_rows = plan.Batch.pl_rows;
+  }
+
+let bset_phase1 (plan : Batch.plan) (block : Batch.block) mem =
+  let bind_slack (f : Batch.fn) =
+    { bf_fn = f; bf_b = block.Batch.bk_b.(f.Batch.f_slot);
+      bf_off = mem * plan.Batch.pl_nterms.(f.Batch.f_slot) }
+  in
+  let affine f = { bf_fn = f; bf_b = [||]; bf_off = 0 } in
+  {
+    bs_n = plan.Batch.pl_n + 1;
+    bs_obj = affine plan.Batch.pl_objective1;
+    bs_ineqs =
+      Array.append
+        [| affine plan.Batch.pl_lower1 |]
+        (Array.map bind_slack plan.Batch.pl_ineqs1);
+    bs_zbasis = plan.Batch.pl_zbasis1;
+    bs_rows = plan.Batch.pl_rows1;
+  }
+
+(* Mirror of the generic [phase1] over a member's function sets. *)
+let phase1_batched ~check ~st ~max_outer ~initial_reg ~(plan : Batch.plan) ~block ~mem
+    ~fset2 ~(ws2 : bws) y0 =
+  let n = plan.Batch.pl_n in
+  let nineq = Array.length fset2.bs_ineqs in
+  (* [List.for_all] in the generic path stops at the first failure; the
+     evaluations are pure, so the early exit is unobservable. *)
+  let strictly_ok y =
+    let ok = ref true in
+    let i = ref 0 in
+    while !ok && !i < nineq do
+      let f = fset2.bs_ineqs.(!i) in
+      if Batch.value f.bf_fn ~b:f.bf_b ~boff:f.bf_off ~es:ws2.bw_es y < -1e-9 then incr i
+      else ok := false
+    done;
+    !ok
+  in
+  if strictly_ok y0 then Some y0
+  else begin
+    let fset1 = bset_phase1 plan block mem in
+    let ws1 =
+      make_bws ~n:(n + 1)
+        ~q:(Array.length plan.Batch.pl_zbasis1)
+        ~max_terms:plan.Batch.pl_max_terms
+        ~nineqs:(1 + nineq)
+    in
+    let s0 =
+      let acc = ref 0.0 in
+      for i = 0 to nineq - 1 do
+        let f = fset2.bs_ineqs.(i) in
+        acc := Float.max !acc (Batch.value f.bf_fn ~b:f.bf_b ~boff:f.bf_off ~es:ws2.bw_es y0)
+      done;
+      !acc +. 1.0
+    in
+    let start = Vec.concat y0 [| s0 |] in
+    let stop_early y = y.(n) < -0.5 in
+    let y1, _ =
+      barrier ~stop_early ~check ~st ~phase:`One ~tol:1e-6 ~max_outer ~m:(1 + nineq)
+        ~centering:(fun ~barrier_t y ->
+          centering_batched ~ws:ws1 ~fset:fset1 ~initial_reg ~st ~barrier_t y)
+        start
+    in
+    let y = Vec.slice y1 0 n in
+    if strictly_ok y then Some y else None
+  end
+
+let solve_batched ?(tol = 1e-8) ?(max_outer = 60) ?stats ?warm_start ?deadline_ns
+    ?(initial_reg = 1e-9) (block : Batch.block) mem =
+  if mem < 0 || mem >= block.Batch.bk_nmembers then
+    invalid_arg "Gp.Solver.solve_batched: member index out of range";
+  let st = match stats with Some st -> st | None -> fresh_stats () in
+  reset_stats st;
+  let check =
+    match deadline_ns with
+    | None -> fun () -> ()
+    | Some budget_ns ->
+      let start = now_ns () in
+      fun () -> if now_ns () -. start >= budget_ns then raise Deadline
+  in
+  let plan = block.Batch.bk_plan in
+  let problem = block.Batch.bk_members.(mem) in
+  let n = plan.Batch.pl_n in
+  let p = Array.length plan.Batch.pl_rows in
+  let nz = block.Batch.bk_nz in
+  (* Constant equalities reduce to 0 = d: inconsistent unless d ~ 0. *)
+  let inconsistent = ref false in
+  for r = 0 to nz - 1 do
+    if Float.abs block.Batch.bk_dz.((mem * nz) + r) > 1e-9 then inconsistent := true
+  done;
+  let extract status y =
+    let envt = Array.map exp y in
+    let values = List.mapi (fun i x -> (x, envt.(i))) plan.Batch.pl_vars in
+    let lookup_env x = envt.(Hashtbl.find plan.Batch.pl_index x) in
+    { status; values; objective = P.eval lookup_env (Problem.objective problem) }
+  in
+  if !inconsistent then { status = Infeasible; values = []; objective = nan }
+  else begin
+    match
+      let d_of i = block.Batch.bk_d.((mem * p) + i) in
+      let overlay_rows y z =
+        Array.iteri
+          (fun i a ->
+            for j = 0 to n - 1 do
+              y.(j) <- y.(j) +. (z.(i) *. a.(j))
+            done)
+          plan.Batch.pl_rows
+      in
+      (* [least_norm_start] / [warm_point] with the Gram factorization
+         reused from the plan: [lu_solve_factored] is bit-identical to
+         the per-solve [lu_solve], and a singular Gram raises exactly
+         where the scalar path's factorization would. *)
+      let least_norm () =
+        match plan.Batch.pl_gram with
+        | Batch.No_rows -> Vec.create n
+        | Batch.Gram_singular -> raise Mat.Singular
+        | Batch.Factored lu ->
+          let d = Vec.init p d_of in
+          let z = Mat.lu_solve_factored lu d in
+          let y = Vec.create n in
+          overlay_rows y z;
+          y
+      in
+      let y0 =
+        match warm_start with
+        | None -> least_norm ()
+        | Some warm ->
+          let y = least_norm () in
+          List.iter
+            (fun x ->
+              match List.assoc_opt x warm with
+              | Some v when Float.is_finite v && v > 0.0 ->
+                y.(Hashtbl.find plan.Batch.pl_index x) <- log v
+              | _ -> ())
+            plan.Batch.pl_vars;
+          (match plan.Batch.pl_gram with
+          | Batch.No_rows | Batch.Gram_singular -> y
+          | Batch.Factored lu ->
+            let d = Vec.init p (fun i -> d_of i -. Vec.dot plan.Batch.pl_rows.(i) y) in
+            let z = Mat.lu_solve_factored lu d in
+            overlay_rows y z;
+            y)
+      in
+      let fset2 = bset_phase2 plan block mem in
+      let ws2 =
+        make_bws ~n
+          ~q:(Array.length plan.Batch.pl_zbasis)
+          ~max_terms:plan.Batch.pl_max_terms
+          ~nineqs:(Array.length fset2.bs_ineqs)
+      in
+      match
+        phase1_batched ~check ~st ~max_outer ~initial_reg ~plan ~block ~mem ~fset2 ~ws2
+          y0
+      with
+      | None ->
+        Log.debug (fun m -> m "phase I failed: problem infeasible");
+        { status = Infeasible; values = []; objective = nan }
+      | Some y_feas ->
+        let y_opt, clean =
+          barrier ~check ~st ~phase:`Two ~tol ~max_outer
+            ~m:(Array.length fset2.bs_ineqs)
+            ~centering:(fun ~barrier_t y ->
+              centering_batched ~ws:ws2 ~fset:fset2 ~initial_reg ~st ~barrier_t y)
+            y_feas
+        in
+        extract (if clean then Optimal else Iteration_limit) y_opt
+    with
+    | solution -> solution
+    | exception Mat.Singular ->
+      Log.debug (fun m -> m "numerical failure: treating the program as infeasible");
+      { status = Infeasible; values = []; objective = nan }
+    | exception Deadline ->
+      st.deadline_hits <- st.deadline_hits + 1;
+      Log.debug (fun m -> m "solve deadline exceeded");
+      { status = Deadline_exceeded; values = []; objective = nan }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Public entry point                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let solve ?(tol = 1e-8) ?(max_outer = 60) ?stats ?warm_start ?(kernel = `Compiled)
+    ?deadline_ns ?(initial_reg = 1e-9) problem =
+  match kernel with
+  | `Batched ->
+    (* A standalone batched solve is a batch of one: compile the
+       structure, pack the single member, run the batched driver. *)
+    let plan = Batch.compile problem in
+    let block = Batch.pack plan [| problem |] in
+    solve_batched ~tol ~max_outer ?stats ?warm_start ?deadline_ns ~initial_reg block 0
+  | (`Compiled | `List) as kernel ->
+    solve_scalar ~tol ~max_outer ?stats ?warm_start ~kernel ?deadline_ns ~initial_reg
+      problem

@@ -128,6 +128,129 @@ let lu_solve a b =
   done;
   x
 
+(* Factored form of the elimination above.  [lu_factor] runs the exact
+   same pivot searches, row swaps, singularity checks and trailing
+   updates as [lu_solve], but stores the multiplier of step k at (i, k)
+   instead of zeroing it (a multiplier that rounds to 0.0 skips the
+   trailing update in both paths).  Because every row swap moves whole
+   rows — stored multipliers included — each logical row keeps its own
+   multipliers, so [lu_solve_factored] (all swaps applied up front, then
+   forward substitution with the stored multipliers, then the same back
+   substitution) performs the identical float operations in the
+   identical order as [lu_solve]: the two are bit-for-bit equal, which
+   test/test_linalg.ml pins with a QCheck property. *)
+type lu = { lu_fac : t; lu_piv : int array }
+
+let lu_factor a =
+  if a.rows <> a.cols then invalid_arg "Mat.lu_factor: matrix not square";
+  let n = a.rows in
+  let m = copy a in
+  let piv = Array.init n (fun k -> k) in
+  for k = 0 to n - 1 do
+    let pivot_row = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs (get m i k) > Float.abs (get m !pivot_row k) then pivot_row := i
+    done;
+    piv.(k) <- !pivot_row;
+    if !pivot_row <> k then
+      for j = 0 to n - 1 do
+        let tmp = get m k j in
+        set m k j (get m !pivot_row j);
+        set m !pivot_row j tmp
+      done;
+    let pivot = get m k k in
+    if Float.abs pivot < singular_threshold then raise Singular;
+    for i = k + 1 to n - 1 do
+      let factor = get m i k /. pivot in
+      set m i k factor;
+      if factor <> 0.0 then
+        for j = k + 1 to n - 1 do
+          add_to m i j (-.factor *. get m k j)
+        done
+    done
+  done;
+  { lu_fac = m; lu_piv = piv }
+
+let lu_solve_factored { lu_fac = m; lu_piv = piv } b =
+  let n = m.rows in
+  if n <> Array.length b then invalid_arg "Mat.lu_solve_factored: dimension mismatch";
+  let x = Array.copy b in
+  for k = 0 to n - 1 do
+    if piv.(k) <> k then begin
+      let tmp = x.(k) in
+      x.(k) <- x.(piv.(k));
+      x.(piv.(k)) <- tmp
+    end
+  done;
+  (* Forward substitution with the stored multipliers, skipping exact
+     zeros like the interleaved elimination does. *)
+  for k = 0 to n - 1 do
+    for i = k + 1 to n - 1 do
+      let factor = get m i k in
+      if factor <> 0.0 then x.(i) <- x.(i) -. (factor *. x.(k))
+    done
+  done;
+  (* Back substitution, identical to [lu_solve]. *)
+  for i = n - 1 downto 0 do
+    let acc = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (get m i j *. x.(j))
+    done;
+    x.(i) <- !acc /. get m i i
+  done;
+  x
+
+(* Orthonormal basis of null(A) by modified Gram-Schmidt: orthonormalize
+   the rows of A, then complete the basis with coordinate vectors; the
+   vectors accepted in the second stage span the nullspace.  Dependent
+   rows are dropped by the norm threshold, so rank deficiency is
+   handled.  Fully deterministic (threshold comparisons only). *)
+let nullspace_basis n rows_arr =
+  let basis = ref [] in
+  let nbasis = ref 0 in
+  let null_cols = ref [] in
+  let orthogonalize v =
+    (* Two MGS passes for numerical orthogonality. *)
+    for _pass = 1 to 2 do
+      List.iter
+        (fun b ->
+          let c = Vec.dot b v in
+          if c <> 0.0 then
+            for i = 0 to n - 1 do
+              v.(i) <- v.(i) -. (c *. b.(i))
+            done)
+        (List.rev !basis)
+    done;
+    Vec.norm2 v
+  in
+  let accept v = basis := v :: !basis; incr nbasis in
+  Array.iter
+    (fun a ->
+      let v = Vec.copy a in
+      let nrm = orthogonalize v in
+      if nrm > 1e-12 then begin
+        for i = 0 to n - 1 do
+          v.(i) <- v.(i) /. nrm
+        done;
+        accept v
+      end)
+    rows_arr;
+  let i = ref 0 in
+  while !nbasis < n && !i < n do
+    let v = Vec.create n in
+    v.(!i) <- 1.0;
+    let nrm = orthogonalize v in
+    if nrm > 1e-8 then begin
+      for j = 0 to n - 1 do
+        v.(j) <- v.(j) /. nrm
+      done;
+      accept v;
+      null_cols := v :: !null_cols
+    end;
+    incr i
+  done;
+  Array.of_list (List.rev !null_cols)
+
 (* In-place Cholesky over the lower triangle: entry (i, j <= i) is
    replaced by L(i, j); the strict upper triangle is left untouched, so a
    buffer can be refilled and refactored without clearing it. *)

@@ -58,6 +58,33 @@ val lu_solve : t -> Vec.t -> Vec.t
     pivoting.  [a] is left unmodified.  Raises [Singular] when no pivot
     exceeds the singularity threshold. *)
 
+type lu
+(** An LU factorization with its pivot sequence, produced by {!lu_factor}
+    and reusable across any number of {!lu_solve_factored} right-hand
+    sides. *)
+
+val lu_factor : t -> lu
+(** [lu_factor a] runs the elimination of {!lu_solve} once and keeps the
+    factors.  [a] is left unmodified.  Raises [Singular] exactly when
+    [lu_solve a _] would.  For any [b],
+    [lu_solve_factored (lu_factor a) b] is bit-for-bit equal to
+    [lu_solve a b] — the factored path performs the identical float
+    operations in the identical order. *)
+
+val lu_solve_factored : lu -> Vec.t -> Vec.t
+(** [lu_solve_factored lu b] solves [a x = b] from the stored factors
+    without refactoring.  Raises [Invalid_argument] on dimension
+    mismatch. *)
+
+val nullspace_basis : int -> Vec.t array -> Vec.t array
+(** [nullspace_basis n rows] is an orthonormal basis of the nullspace of
+    the matrix whose rows are [rows] (each of dimension [n]), computed by
+    two-pass modified Gram-Schmidt over the rows followed by coordinate
+    completion.  Dependent rows are dropped by a norm threshold, so rank
+    deficiency is handled.  A pure, deterministic function of its
+    arguments — callers may compute it once per row structure and reuse
+    the result. *)
+
 val cholesky : t -> t
 (** [cholesky a] is the lower-triangular [l] with [l * transpose l = a] for
     symmetric positive-definite [a].  Raises [Singular] otherwise. *)

@@ -185,6 +185,195 @@ let prop_slack_bit_identical =
       done;
       !ok)
 
+(* --- batched kernel (Gp.Batch / Gp.Solver.solve_batched) --- *)
+
+module M = Symexpr.Monomial
+module P = Symexpr.Posynomial
+
+(* Random batches of same-structure problems: one random structure
+   (exponent rows for the objective, inequalities and equalities, plus
+   per-variable box constraints that keep the programs bounded), then
+   several members that differ only in their coefficients. *)
+let gen_batch =
+  let open QCheck2.Gen in
+  let* n = int_range 2 4 in
+  let vars = Array.init n (fun i -> Printf.sprintf "x%d" i) in
+  let exp_choice = oneofl [ -2.0; -1.0; -0.5; 0.5; 1.0; 2.0 ] in
+  let gen_term =
+    let* nv = int_range 1 (min 3 n) in
+    let* start = int_range 0 (n - 1) in
+    let* exps = list_size (return nv) exp_choice in
+    return (List.mapi (fun k e -> (vars.((start + k) mod n), e)) exps)
+  in
+  let* obj_nt = int_range 1 4 in
+  let* obj_s = list_size (return obj_nt) gen_term in
+  let* nineq = int_range 0 2 in
+  let* ineq_s =
+    list_size (return nineq)
+      (int_range 1 3 >>= fun nt -> list_size (return nt) gen_term)
+  in
+  let* neq = int_range 0 1 in
+  let* eq_s = list_size (return neq) gen_term in
+  (* Occasionally a constant equality: consistent (c = 1) or not
+     (c = 1.5) — the batched path checks these per member. *)
+  let* const_eq =
+    frequency [ (4, return None); (1, return (Some 1.0)); (1, return (Some 1.5)) ]
+  in
+  let* nmembers = int_range 2 4 in
+  let coeff = float_range 0.2 5.0 in
+  let eq_coeff = float_range 0.5 2.0 in
+  let member =
+    let* obj_c = list_size (return obj_nt) coeff in
+    let* ineq_c =
+      flatten_l
+        (List.map (fun ts -> list_size (return (List.length ts)) coeff) ineq_s)
+    in
+    let* eq_c = list_size (return (List.length eq_s)) eq_coeff in
+    return (obj_c, ineq_c, eq_c)
+  in
+  let* members = list_size (return nmembers) member in
+  let* y = array_size (return n) (float_range (-1.5) 1.5) in
+  return (vars, obj_s, ineq_s, eq_s, const_eq, members, y)
+
+let build_problem vars obj_s ineq_s eq_s const_eq (obj_c, ineq_c, eq_c) =
+  let poly structure cs =
+    P.of_monomials (List.map2 (fun t c -> M.make c t) structure cs)
+  in
+  let n = Array.length vars in
+  let box =
+    List.concat
+      (List.init n (fun i ->
+           [
+             (Printf.sprintf "ub%d" i, P.of_monomial (M.make 0.1 [ (vars.(i), 1.0) ]));
+             (Printf.sprintf "lb%d" i, P.of_monomial (M.make 0.1 [ (vars.(i), -1.0) ]));
+           ]))
+  in
+  let ineqs =
+    List.mapi
+      (fun j (ts, cs) -> (Printf.sprintf "g%d" j, poly ts cs))
+      (List.combine ineq_s ineq_c)
+  in
+  let eqs =
+    List.mapi (fun j m -> (Printf.sprintf "e%d" j, m)) (List.map2 M.make eq_c eq_s)
+  in
+  let eqs =
+    match const_eq with None -> eqs | Some c -> ("ec", M.const c) :: eqs
+  in
+  Gp.Problem.make ~objective:(poly obj_s obj_c) ~ineqs:(ineqs @ box) ~eqs ()
+
+let pack_batch (vars, obj_s, ineq_s, eq_s, const_eq, members, _y) =
+  let problems =
+    Array.of_list (List.map (build_problem vars obj_s ineq_s eq_s const_eq) members)
+  in
+  let plan = Gp.Batch.compile problems.(0) in
+  (Gp.Batch.pack plan problems, problems)
+
+let prop_batched_eval_bit_identical =
+  QCheck2.Test.make
+    ~name:"batched eval is bit-identical to per-problem compiled eval" ~count:200
+    gen_batch (fun input ->
+      let _, _, _, _, _, _, y = input in
+      let block, problems = pack_batch input in
+      let ok = ref true in
+      let check a b = if not (same_float a b) then ok := false in
+      Array.iteri
+        (fun m problem ->
+          let pvars = Gp.Problem.variables problem in
+          let n = List.length pvars in
+          let index = Hashtbl.create 16 in
+          List.iteri (fun i x -> Hashtbl.replace index x i) pvars;
+          let slots =
+            Gp.Problem.objective problem
+            :: List.map snd (Gp.Problem.ineqs problem)
+          in
+          List.iteri
+            (fun slot poly ->
+              let compiled = Gp.Compiled.of_posynomial n index poly in
+              check (Gp.Compiled.value compiled y)
+                (Gp.Batch.member_value block ~member:m ~slot y);
+              let g_ref = Vec.create n in
+              let h_ref = Mat.create n n in
+              let v_ref = Gp.Compiled.eval_into compiled y ~grad:g_ref ~hess:h_ref in
+              let grad = Vec.create n in
+              let hess = Mat.create n n in
+              let v = Gp.Batch.member_eval_into block ~member:m ~slot ~grad ~hess y in
+              check v_ref v;
+              for i = 0 to n - 1 do
+                check g_ref.(i) grad.(i);
+                for j = 0 to n - 1 do
+                  check (Mat.get h_ref i j) (Mat.get hess i j)
+                done
+              done)
+            slots)
+        problems;
+      !ok)
+
+let same_solution (a : Gp.Solver.solution) (b : Gp.Solver.solution) =
+  a.Gp.Solver.status = b.Gp.Solver.status
+  && same_float a.Gp.Solver.objective b.Gp.Solver.objective
+  && List.length a.Gp.Solver.values = List.length b.Gp.Solver.values
+  && List.for_all2
+       (fun (xa, va) (xb, vb) -> String.equal xa xb && same_float va vb)
+       a.Gp.Solver.values b.Gp.Solver.values
+
+let same_stats (a : Gp.Solver.stats) (b : Gp.Solver.stats) =
+  a.Gp.Solver.phase1_outer = b.Gp.Solver.phase1_outer
+  && a.Gp.Solver.phase2_outer = b.Gp.Solver.phase2_outer
+  && a.Gp.Solver.newton_iters = b.Gp.Solver.newton_iters
+  && a.Gp.Solver.backtracks = b.Gp.Solver.backtracks
+  && a.Gp.Solver.kkt_regularizations = b.Gp.Solver.kkt_regularizations
+  && a.Gp.Solver.cholesky_fallbacks = b.Gp.Solver.cholesky_fallbacks
+  && a.Gp.Solver.deadline_hits = b.Gp.Solver.deadline_hits
+  && same_float a.Gp.Solver.duality_gap b.Gp.Solver.duality_gap
+
+let prop_batched_solve_bit_identical =
+  QCheck2.Test.make
+    ~name:"solve_batched is bit-identical to solve ~kernel:`Compiled" ~count:60
+    gen_batch (fun input ->
+      let block, problems = pack_batch input in
+      let st_c = Gp.Solver.fresh_stats () in
+      let st_b = Gp.Solver.fresh_stats () in
+      let ok = ref true in
+      Array.iteri
+        (fun m problem ->
+          let sc = Gp.Solver.solve ~kernel:`Compiled ~stats:st_c problem in
+          let sb = Gp.Solver.solve_batched ~stats:st_b block m in
+          if not (same_solution sc sb && same_stats st_c st_b) then ok := false;
+          (* Warm-started members must agree too (the plan is reused). *)
+          if m > 0 && sc.Gp.Solver.status = Gp.Solver.Optimal then begin
+            let warm = sc.Gp.Solver.values in
+            let wc = Gp.Solver.solve ~kernel:`Compiled ~stats:st_c ~warm_start:warm problem in
+            let wb = Gp.Solver.solve_batched ~stats:st_b ~warm_start:warm block m in
+            if not (same_solution wc wb && same_stats st_c st_b) then ok := false
+          end)
+        problems;
+      !ok)
+
+let test_structure_key () =
+  let p c =
+    Gp.Problem.make
+      ~objective:(P.of_monomial (M.make c [ ("x", 1.0) ]))
+      ~ineqs:[ ("g", P.of_monomial (M.make 0.5 [ ("x", -1.0) ])) ]
+      ()
+  in
+  let k1 = Gp.Batch.structure_key (p 2.0) in
+  let k2 = Gp.Batch.structure_key (p 3.0) in
+  Alcotest.(check string) "coefficient-blind" k1 k2;
+  let q =
+    Gp.Problem.make
+      ~objective:(P.of_monomial (M.make 2.0 [ ("x", 2.0) ]))
+      ~ineqs:[ ("g", P.of_monomial (M.make 0.5 [ ("x", -1.0) ])) ]
+      ()
+  in
+  Alcotest.(check bool)
+    "exponents matter" false
+    (String.equal k1 (Gp.Batch.structure_key q));
+  (* pack rejects a member of a different structure *)
+  let plan = Gp.Batch.compile (p 2.0) in
+  Alcotest.check_raises "pack mismatch"
+    (Invalid_argument "Gp.Batch.pack: problem does not share the plan's structure")
+    (fun () -> ignore (Gp.Batch.pack plan [| p 2.0; q |]))
+
 let () =
   Alcotest.run "compiled"
     [
@@ -196,8 +385,14 @@ let () =
           Alcotest.test_case "stale buffers" `Quick test_stale_buffers;
           Alcotest.test_case "slack extension" `Quick test_add_linear_slack;
           Alcotest.test_case "bad input" `Quick test_rejects_bad_input;
+          Alcotest.test_case "structure key" `Quick test_structure_key;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_bit_identical; prop_slack_bit_identical ] );
+          [
+            prop_bit_identical;
+            prop_slack_bit_identical;
+            prop_batched_eval_bit_identical;
+            prop_batched_solve_bit_identical;
+          ] );
     ]

@@ -76,6 +76,52 @@ let test_lu_singular () =
   Alcotest.check_raises "singular" Mat.Singular (fun () ->
       ignore (Mat.lu_solve a [| 1.0; 1.0 |]))
 
+let test_lu_factored_matches () =
+  (* Same systems as the direct lu tests, via the factored path; the
+     factorization is reused across two right-hand sides.  Equality is
+     bitwise: the batched solver leans on lu_factor being a drop-in for
+     lu_solve. *)
+  let same name a b =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: %h vs %h" name a b)
+      true
+      (Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b))
+  in
+  let a = Mat.of_rows [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+  let lu = Mat.lu_factor a in
+  Array.iter
+    (fun b ->
+      let x = Mat.lu_solve a b in
+      let x' = Mat.lu_solve_factored lu b in
+      same "x0" x.(0) x'.(0);
+      same "x1" x.(1) x'.(1))
+    [| [| 3.0; 5.0 |]; [| -1.0; 4.0 |] |];
+  (* Zero on the initial diagonal forces a row swap. *)
+  let p = Mat.of_rows [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+  let x = Mat.lu_solve_factored (Mat.lu_factor p) [| 7.0; 9.0 |] in
+  check_float "swap x0" 9.0 x.(0);
+  check_float "swap x1" 7.0 x.(1)
+
+let test_lu_factor_singular () =
+  let a = Mat.of_rows [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+  Alcotest.check_raises "singular" Mat.Singular (fun () -> ignore (Mat.lu_factor a))
+
+let test_nullspace_basis () =
+  (* One row in R^3: the basis must be orthonormal, orthogonal to the
+     row, and of dimension 2; rank-deficient (duplicated) rows collapse
+     to the same basis. *)
+  let row = [| 1.0; 1.0; 0.0 |] in
+  let z = Mat.nullspace_basis 3 [| row |] in
+  Alcotest.(check int) "dim" 2 (Array.length z);
+  Array.iter
+    (fun v ->
+      check_float "orthogonal to row" 0.0 (Vec.dot row v);
+      check_float "unit norm" 1.0 (Vec.norm2 v))
+    z;
+  check_float "mutually orthogonal" 0.0 (Vec.dot z.(0) z.(1));
+  let z2 = Mat.nullspace_basis 3 [| row; Vec.copy row |] in
+  Alcotest.(check int) "rank-deficient dim" 2 (Array.length z2)
+
 let test_cholesky_known () =
   let a = Mat.of_rows [| [| 4.0; 2.0 |]; [| 2.0; 3.0 |] |] in
   let l = Mat.cholesky a in
@@ -156,6 +202,40 @@ let gen_spd n =
   let* x = array_size (return n) (float_range (-5.0) 5.0) in
   return (a, x)
 
+let prop_lu_factored_bit_identical =
+  QCheck2.Test.make ~name:"lu_solve_factored = lu_solve, bitwise" ~count:300
+    (gen_system 5) (fun (a, x) ->
+      let b = Mat.mul_vec a x in
+      let direct = Mat.lu_solve a b in
+      let factored = Mat.lu_solve_factored (Mat.lu_factor a) b in
+      Array.for_all2
+        (fun u v -> Int64.equal (Int64.bits_of_float u) (Int64.bits_of_float v))
+        direct factored)
+
+let gen_pivoting_system n =
+  (* Break diagonal dominance so partial pivoting actually swaps rows:
+     the top-left entry is forced small. *)
+  let open QCheck2.Gen in
+  let* a, x = gen_system n in
+  let a' = Mat.copy a in
+  Mat.set a' 0 0 1e-3;
+  return (a', x)
+
+let prop_lu_factored_bit_identical_pivoting =
+  QCheck2.Test.make ~name:"lu_solve_factored = lu_solve under pivoting" ~count:300
+    (gen_pivoting_system 5) (fun (a, x) ->
+      let b = Mat.mul_vec a x in
+      match Mat.lu_solve a b with
+      | direct ->
+        let factored = Mat.lu_solve_factored (Mat.lu_factor a) b in
+        Array.for_all2
+          (fun u v -> Int64.equal (Int64.bits_of_float u) (Int64.bits_of_float v))
+          direct factored
+      | exception Mat.Singular -> (
+        match Mat.lu_factor a with
+        | _ -> false
+        | exception Mat.Singular -> true))
+
 let prop_cholesky_roundtrip =
   QCheck2.Test.make ~name:"cholesky solve recovers x" ~count:200 (gen_spd 5)
     (fun (a, x) ->
@@ -191,6 +271,9 @@ let () =
           Alcotest.test_case "lu known" `Quick test_lu_solve_known;
           Alcotest.test_case "lu pivoting" `Quick test_lu_needs_pivoting;
           Alcotest.test_case "lu singular" `Quick test_lu_singular;
+          Alcotest.test_case "lu factored matches" `Quick test_lu_factored_matches;
+          Alcotest.test_case "lu factor singular" `Quick test_lu_factor_singular;
+          Alcotest.test_case "nullspace basis" `Quick test_nullspace_basis;
           Alcotest.test_case "cholesky known" `Quick test_cholesky_known;
           Alcotest.test_case "cholesky not PD" `Quick test_cholesky_not_pd;
           Alcotest.test_case "cholesky in place" `Quick test_cholesky_in_place;
@@ -198,5 +281,11 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_lu_roundtrip; prop_cholesky_roundtrip; prop_cholesky_factor ] );
+          [
+            prop_lu_roundtrip;
+            prop_lu_factored_bit_identical;
+            prop_lu_factored_bit_identical_pivoting;
+            prop_cholesky_roundtrip;
+            prop_cholesky_factor;
+          ] );
     ]

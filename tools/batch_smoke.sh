@@ -1,0 +1,52 @@
+#!/bin/sh
+# batch_smoke.sh THISTLE_CLI
+#
+# End-to-end smoke of the batched GP kernel (DESIGN §15).  The batched
+# kernel is contractually bit-identical to the default compiled kernel,
+# so every report below must match byte-for-byte:
+#   1. --gp-kernel batched vs the default, same flags;
+#   2. the batched run again with a different worker count (batch
+#      grouping follows enumeration order, never the schedule);
+#   3. both kernels with presolve off (batches are formed from the
+#      original problems instead of the presolve-reduced ones).
+set -eu
+
+if [ $# -ne 1 ]; then
+    echo "usage: $0 path/to/thistle_cli.exe" >&2
+    exit 2
+fi
+
+cli=$1
+case $cli in */*) ;; *) cli=./$cli ;; esac
+layer=resnet-2
+opts="--layer $layer --max-choices 8 --jobs 1"
+
+dir=$(mktemp -d "${TMPDIR:-/tmp}/thistle_batch.XXXXXX")
+trap 'rm -rf "$dir"' EXIT
+
+"$cli" optimize $opts > "$dir/compiled.txt"
+
+"$cli" optimize $opts --gp-kernel batched > "$dir/batched.txt"
+if ! cmp -s "$dir/compiled.txt" "$dir/batched.txt"; then
+    echo "batch smoke: batched report differs from compiled report" >&2
+    diff "$dir/compiled.txt" "$dir/batched.txt" >&2 || true
+    exit 1
+fi
+
+"$cli" optimize --layer $layer --max-choices 8 --jobs 4 \
+    --gp-kernel batched > "$dir/batched-j4.txt"
+if ! cmp -s "$dir/compiled.txt" "$dir/batched-j4.txt"; then
+    echo "batch smoke: batched report depends on --jobs" >&2
+    diff "$dir/compiled.txt" "$dir/batched-j4.txt" >&2 || true
+    exit 1
+fi
+
+"$cli" optimize $opts --presolve off > "$dir/compiled-off.txt"
+"$cli" optimize $opts --presolve off --gp-kernel batched > "$dir/batched-off.txt"
+if ! cmp -s "$dir/compiled-off.txt" "$dir/batched-off.txt"; then
+    echo "batch smoke: batched report differs from compiled with presolve off" >&2
+    diff "$dir/compiled-off.txt" "$dir/batched-off.txt" >&2 || true
+    exit 1
+fi
+
+echo "batch smoke: batched reports byte-identical to compiled on $layer"

@@ -6,6 +6,7 @@
 # exit 1 if any tracked metric regressed by more than the tolerance
 # (default 10%).  Direction is inferred from the key name:
 #   *wall_s             lower is better
+#   *wall_mean_s        lower is better (mean-of-repeats companion)
 #   *_ms                lower is better (serve latency percentiles)
 #   *solves_per_s       higher is better
 #   *speedup            higher is better
@@ -13,6 +14,11 @@
 #   *hit_rate           higher is better (serve cache)
 #   *req_per_s          higher is better (serve throughput)
 # All other keys are informational and only reported when they change.
+#
+# A *speedup key whose current value hovers around 1.0 (within 5%) gets
+# a "~1.0 WARN" marker: the feature it measures is enabled but buying
+# nothing, which deserves a look even though it is not a regression.
+# The warning never affects the exit status.
 #
 # A directional key present in the baseline but absent from the current
 # file is itself a failure (exit 1): a bench that silently stops
@@ -49,17 +55,22 @@ while read -r key cur; do
     base=$(awk -v k="$key" '$1 == k { print $2; exit }' "${TMPDIR:-/tmp}/perfdiff_base.$$")
     [ -n "$base" ] || continue
     case $key in
-        *wall_s | *_ms) dir=lower ;;
+        *wall_s | *wall_mean_s | *_ms) dir=lower ;;
         *solves_per_s | *speedup | *_pruned | *hit_rate | *req_per_s) dir=higher ;;
         *) dir=info ;;
     esac
-    line=$(awk -v k="$key" -v b="$base" -v c="$cur" -v d="$dir" -v tol="$tolerance" '
+    ratio=0
+    case $key in *speedup) ratio=1 ;; esac
+    line=$(awk -v k="$key" -v b="$base" -v c="$cur" -v d="$dir" -v tol="$tolerance" \
+               -v ratio="$ratio" '
         BEGIN {
             delta = (b == 0) ? 0 : 100 * (c - b) / b
             verdict = "ok"
             if (d == "lower" && delta > tol) verdict = "REGRESSION"
             if (d == "higher" && delta < -tol) verdict = "REGRESSION"
             if (d == "info") verdict = (c == b) ? "same" : "changed"
+            if (ratio && verdict == "ok" && c >= 0.95 && c <= 1.05)
+                verdict = "~1.0 WARN"
             printf "%-25s %14g %14g %+8.1f%%  %s", k, b, c, delta, verdict
         }')
     echo "$line"
@@ -72,7 +83,8 @@ done < "${TMPDIR:-/tmp}/perfdiff_cur.$$"
 missing=0
 while read -r key base; do
     case $key in
-        *wall_s | *_ms | *solves_per_s | *speedup | *_pruned | *hit_rate | *req_per_s) ;;
+        *wall_s | *wall_mean_s | *_ms | *solves_per_s | *speedup | *_pruned \
+            | *hit_rate | *req_per_s) ;;
         *) continue ;;
     esac
     cur=$(awk -v k="$key" '$1 == k { print $2; exit }' "${TMPDIR:-/tmp}/perfdiff_cur.$$")
