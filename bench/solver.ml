@@ -118,11 +118,12 @@ let time_repeats ~repeat pass =
   in
   loop repeat None 0.0 None
 
-let measure ?(arch = Arch.eyeriss) options config nests =
+let measure ?(arch = Arch.eyeriss) ?(tech = tech) ?(objective = F.Energy) options
+    config nests =
   let one_pass () =
     List.fold_left
       (fun (solves, newton, obj, pruned) (name, nest) ->
-        match O.dataflow ~config tech arch F.Energy nest with
+        match O.dataflow ~config tech arch objective nest with
         | Ok r ->
           let t = r.O.solve_totals in
           ( solves + t.Gp.Solver.solves,
@@ -289,6 +290,28 @@ let () =
   show "prune" presolve_on;
   Printf.printf "presolve: pruned %d pair(s), speedup %.2fx\n" presolve_on.pruned
     presolve_speedup;
+  (* Communication-limited scenario (DESIGN §16): the bandwidth-starved
+     edge technology point under the Delay objective, where the
+     comm-aware lowering adds the per-link occupancy constraints.  Both
+     lowerings run over the same layer set so the bench records what the
+     richer model costs the solver. *)
+  let edge_tech = Archspec.Technology.edge in
+  let comm_overlapped =
+    measure ~tech:edge_tech ~objective:F.Delay options
+      { base with O.comm = Archspec.Link.Overlapped }
+      nests
+  in
+  let comm_aware =
+    measure ~tech:edge_tech ~objective:F.Delay options
+      { base with O.comm = Archspec.Link.Comm_aware }
+      nests
+  in
+  let comm_overhead = comm_aware.wall_s /. comm_overlapped.wall_s in
+  Printf.printf
+    "edge technology, delay objective: overlapped vs comm-aware lowering:\n";
+  show "overlapped" comm_overlapped;
+  show "comm" comm_aware;
+  Printf.printf "comm-aware lowering overhead: %.2fx\n" comm_overhead;
   let drift =
     Float.abs (listed.objective_sum -. compiled.objective_sum)
     /. (1.0 +. Float.abs listed.objective_sum)
@@ -403,6 +426,17 @@ let () =
        f "presolve_on_wall_mean_s" presolve_on.wall_mean_s;
        i "presolve_pruned" presolve_on.pruned;
        f "presolve_speedup" presolve_speedup;
+       f "comm_overlapped_wall_s" comm_overlapped.wall_s;
+       f "comm_overlapped_wall_mean_s" comm_overlapped.wall_mean_s;
+       f "comm_overlapped_solves_per_s"
+         (float_of_int comm_overlapped.solves /. comm_overlapped.wall_s);
+       f "comm_aware_wall_s" comm_aware.wall_s;
+       f "comm_aware_wall_mean_s" comm_aware.wall_mean_s;
+       f "comm_aware_solves_per_s"
+         (float_of_int comm_aware.solves /. comm_aware.wall_s);
+       (* Informational ratio (no perfdiff direction): how much the
+          per-link lowering costs over the aggregate one. *)
+       f "comm_lowering_overhead" comm_overhead;
      ]
     @ matrix_fields
     @ [

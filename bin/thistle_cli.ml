@@ -247,6 +247,41 @@ let sweep_opts =
   in
   Term.(const build $ shard_arg $ journal_arg $ resume_arg)
 
+(* Communication-model knobs (DESIGN §16), composing onto the config
+   like the other option groups. *)
+let comm_opts =
+  let comm_arg =
+    Arg.(
+      value
+      & opt
+          (Arg.enum
+             [
+               ("comm", Archspec.Link.Comm_aware);
+               ("overlapped", Archspec.Link.Overlapped);
+             ])
+          Archspec.Link.Comm_aware
+      & info [ "comm-model" ] ~docv:"MODEL"
+          ~doc:
+            "Communication model for the delay constraints and candidate \
+             scoring: $(b,comm) (default) bounds each link occupancy — DRAM \
+             and NoC reads and writes, the per-PE register operand stream — \
+             separately with per-burst overhead folded in; $(b,overlapped) \
+             keeps the historical aggregate SRAM/DRAM bandwidth form, \
+             bit-identical to earlier releases.")
+  in
+  let contention_arg =
+    Arg.(
+      value & flag
+      & info [ "contention" ]
+          ~doc:
+            "Serialize the DRAM and NoC channels when scoring integer \
+             candidates: the shared bus is busy for the sum of their \
+             occupancies rather than the maximum.  Only meaningful under \
+             $(b,--comm-model comm).")
+  in
+  let build comm contention config = { config with O.comm; contention } in
+  Term.(const build $ comm_arg $ contention_arg)
+
 let lint_mode_arg =
   Arg.(
     value
@@ -360,7 +395,7 @@ let layers_cmd =
 
 let optimize_cmd =
   let run () layer objective arch top_choices max_choices emit emit_code node jobs lint
-      solver robust sweep trace metrics =
+      solver robust sweep comm trace metrics =
     match nest_of_layer layer with
     | Error msg ->
       prerr_endline msg;
@@ -369,10 +404,11 @@ let optimize_cmd =
       with_obs ~trace ~metrics @@ fun () -> begin
         let tech = tech_of_node node in
         let config =
-          sweep
-            (robust
-               (solver
-                  { O.default_config with O.top_choices; max_choices; jobs; lint }))
+          comm
+            (sweep
+               (robust
+                  (solver
+                     { O.default_config with O.top_choices; max_choices; jobs; lint })))
         in
         match O.dataflow ~config tech arch objective nest with
         | Error msg ->
@@ -391,8 +427,8 @@ let optimize_cmd =
     Term.(
       const run $ setup_logs $ layer_arg $ objective_arg $ arch_args $ top_choices_arg
       $ sweep_max_choices_arg $ emit_arg $ emit_code_arg $ node_arg $ jobs_arg
-      $ lint_mode_arg $ solver_opts $ robust_opts $ sweep_opts $ trace_arg
-      $ metrics_out_arg)
+      $ lint_mode_arg $ solver_opts $ robust_opts $ sweep_opts $ comm_opts
+      $ trace_arg $ metrics_out_arg)
 
 let codesign_cmd =
   let area_arg =
@@ -403,7 +439,7 @@ let codesign_cmd =
           ~doc:"Chip-area budget in um^2 (defaults to the Eyeriss area).")
   in
   let run () layer objective area top_choices max_choices emit emit_code node jobs lint
-      solver robust sweep trace metrics =
+      solver robust sweep comm trace metrics =
     match nest_of_layer layer with
     | Error msg ->
       prerr_endline msg;
@@ -415,10 +451,11 @@ let codesign_cmd =
           match area with Some a -> a | None -> Arch.eyeriss_area tech
         in
         let config =
-          sweep
-            (robust
-               (solver
-                  { O.default_config with O.top_choices; max_choices; jobs; lint }))
+          comm
+            (sweep
+               (robust
+                  (solver
+                     { O.default_config with O.top_choices; max_choices; jobs; lint })))
         in
         match O.codesign ~config tech ~area_budget objective nest with
         | Error msg ->
@@ -438,8 +475,8 @@ let codesign_cmd =
     Term.(
       const run $ setup_logs $ layer_arg $ objective_arg $ area_arg $ top_choices_arg
       $ sweep_max_choices_arg $ emit_arg $ emit_code_arg $ node_arg $ jobs_arg
-      $ lint_mode_arg $ solver_opts $ robust_opts $ sweep_opts $ trace_arg
-      $ metrics_out_arg)
+      $ lint_mode_arg $ solver_opts $ robust_opts $ sweep_opts $ comm_opts
+      $ trace_arg $ metrics_out_arg)
 
 let mapper_cmd =
   let trials_arg =
@@ -814,11 +851,11 @@ let pipeline_cmd =
       & opt (some (Arg.enum Workload.Zoo.pipelines)) None
       & info [ "pipeline" ] ~docv:"NAME" ~doc)
   in
-  let run () layers objective max_choices jobs lint solver robust trace metrics =
+  let run () layers objective max_choices jobs lint solver robust comm trace metrics =
     with_obs ~trace ~metrics @@ fun () ->
     let nests = List.map Conv.to_nest layers in
     let config =
-      robust (solver { O.default_config with O.max_choices; jobs; lint })
+      comm (robust (solver { O.default_config with O.max_choices; jobs; lint }))
     in
     (* The whole run — layer-wise co-design, dominant-arch selection,
        comparison table — renders through the module shared with the
@@ -833,8 +870,8 @@ let pipeline_cmd =
           dominant layer's shared architecture (Fig. 6 / Fig. 8 flow).")
     Term.(
       const run $ setup_logs $ pipeline_arg $ objective_arg $ sweep_max_choices_arg
-      $ jobs_arg $ lint_mode_arg $ solver_opts $ robust_opts $ trace_arg
-      $ metrics_out_arg)
+      $ jobs_arg $ lint_mode_arg $ solver_opts $ robust_opts $ comm_opts
+      $ trace_arg $ metrics_out_arg)
 
 let merge_cmd =
   let files_arg =

@@ -6,6 +6,8 @@ type tensor_counts = {
   tensor : string;
   read_write : bool;
   fills : (int * float) list;
+  copies : (int * float) list;
+  copy_words : (int * float) list;
   footprints : (int * float) list;
 }
 
@@ -29,8 +31,13 @@ let product_factors factors = List.fold_left (fun a (_, f) -> a *. float_of_int 
 
 (* Words copied into the storage below temporal level [level] for one
    tensor, across the whole execution (Algorithm 1 with concrete trip
-   counts). *)
-let fill_volume mapping tensor ~level =
+   counts).  Besides the total volume, the same walk yields the copy
+   schedule's shape: how many copy executions happen ([copies]) and how
+   many words each one moves ([copy_words], identical across copies —
+   the tile shape does not depend on the loop indices).  The volume is
+   computed with exactly the original accumulation order, so [fills]
+   stays bit-identical to the pre-communication-model code. *)
+let fill_shape mapping tensor ~level =
   let lvl = Mapping.level mapping level in
   let ext_below dim = Mapping.extent_through mapping ~level:(level - 1) dim in
   (* Inner-to-outer walk over this level's permutation. *)
@@ -57,21 +64,28 @@ let fill_volume mapping tensor ~level =
     | Some h when String.equal h dim -> ext_below dim * Mapping.factor mapping ~level dim
     | Some _ | None -> ext_below dim
   in
-  let volume = ref (exact_footprint tensor cur *. !mult) in
+  let words = exact_footprint tensor cur in
+  let volume = ref (words *. !mult) in
+  let copies = ref !mult in
   (* Loops of every outer level multiply the volume; spatial levels only
      through dims present in the tensor (multicast / spatial reduction). *)
   let nlevels = Mapping.num_levels mapping in
   for l = level + 1 to nlevels - 1 do
     let outer = Mapping.level mapping l in
     match outer.Mapping.kind with
-    | Level.Temporal -> volume := !volume *. product_factors outer.Mapping.factors
+    | Level.Temporal ->
+      volume := !volume *. product_factors outer.Mapping.factors;
+      copies := !copies *. product_factors outer.Mapping.factors
     | Level.Spatial ->
       List.iter
         (fun (dim, f) ->
-          if Nest.tensor_mentions tensor dim then volume := !volume *. float_of_int f)
+          if Nest.tensor_mentions tensor dim then begin
+            volume := !volume *. float_of_int f;
+            copies := !copies *. float_of_int f
+          end)
         outer.Mapping.factors
   done;
-  !volume
+  (!volume, !copies, words)
 
 let tensor_counts mapping tensor =
   let nlevels = Mapping.num_levels mapping in
@@ -80,7 +94,10 @@ let tensor_counts mapping tensor =
       (fun l -> (Mapping.level mapping l).Mapping.kind = Level.Temporal)
       (List.init (nlevels - 1) (fun i -> i + 1))
   in
-  let fills = List.map (fun l -> (l, fill_volume mapping tensor ~level:l)) boundary_levels in
+  let shapes = List.map (fun l -> (l, fill_shape mapping tensor ~level:l)) boundary_levels in
+  let fills = List.map (fun (l, (v, _, _)) -> (l, v)) shapes in
+  let copies = List.map (fun (l, (_, c, _)) -> (l, c)) shapes in
+  let copy_words = List.map (fun (l, (_, _, w)) -> (l, w)) shapes in
   let footprints =
     List.map
       (fun l ->
@@ -92,6 +109,8 @@ let tensor_counts mapping tensor =
     tensor = tensor.Nest.tensor_name;
     read_write = tensor.Nest.read_write;
     fills;
+    copies;
+    copy_words;
     footprints;
   }
 
@@ -116,6 +135,23 @@ let boundary_total ?(rw_only = false) t ~level =
         match List.assoc_opt level tc.fills with
         | Some v -> acc +. v
         | None -> invalid_arg "Counts: mapping does not have the canonical levels")
+    0.0 t.per_tensor
+
+(* Burst count of one boundary's copy schedule: each copy moves a fixed
+   number of words, quantized up to whole bursts ([ceil]).  The timed
+   refsim derives the same number by walking the schedule copy by copy;
+   both sides are exact integer-valued floats, so they agree
+   bit-for-bit. *)
+let boundary_bursts ?(rw_only = false) t ~level ~burst_words =
+  List.fold_left
+    (fun acc tc ->
+      if rw_only && not tc.read_write then acc
+      else
+        match
+          (List.assoc_opt level tc.copies, List.assoc_opt level tc.copy_words)
+        with
+        | Some c, Some w -> acc +. (c *. Float.ceil (w /. burst_words))
+        | _ -> invalid_arg "Counts: mapping does not have the canonical levels")
     0.0 t.per_tensor
 
 let sram_to_reg t = boundary_total t ~level:Level.pe_temporal_level

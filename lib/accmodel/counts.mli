@@ -21,6 +21,14 @@ type tensor_counts = {
       (** [(level, words)] for each temporal level [l >= 1]: words copied
           {e into} the storage below level [l] across the whole execution
           (one direction; read-write tensors drain the same volume back) *)
+  copies : (int * float) list;
+      (** [(level, n)]: number of copy executions behind the fill volume
+          — [fills = copies * copy_words] exactly (all three are
+          integer-valued floats) *)
+  copy_words : (int * float) list;
+      (** [(level, words)]: words moved by one copy at that boundary;
+          identical across copies because the tile shape does not depend
+          on the loop indices *)
   footprints : (int * float) list;
       (** [(level, words)] buffer size the tensor needs at each level
           boundary: the exact footprint of the tile defined by levels
@@ -50,6 +58,14 @@ val reg_to_sram : t -> float
 val dram_to_sram : t -> float
 
 val sram_to_dram : t -> float
+
+val boundary_bursts :
+  ?rw_only:bool -> t -> level:int -> burst_words:float -> float
+(** Bursts needed to move one direction of a boundary's traffic: per
+    tensor, [copies * ceil(copy_words / burst_words)] — each copy is
+    quantized to whole bursts on its own, matching what the timed refsim
+    observes walking the schedule.  [rw_only] restricts to read-write
+    tensors (the write-back direction). *)
 
 val reg_words_per_pe : t -> float
 (** Register buffer words needed per PE (sum over tensors). *)

@@ -9,8 +9,18 @@
     - SRAM accesses from both the register and the DRAM boundary;
     - DRAM accesses.
 
-    Delay is the maximum of per-component delays (compute on the used PEs,
-    SRAM port traffic, DRAM traffic) as in Section V-B. *)
+    Delay depends on the communication model (DESIGN §16).  [Overlapped]
+    (the default, and the paper's Section V-B assumption) takes the
+    maximum of per-component delays: compute on the used PEs, aggregate
+    SRAM port traffic, aggregate DRAM traffic.  [Comm_aware] instead
+    charges each per-level, per-direction link (DRAM read/write, NoC
+    read/write, the per-PE register operand stream) with its burst
+    overhead — each copy of the schedule quantized to whole bursts — and
+    takes the max (uncontended) or serializes the DRAM/NoC channels onto
+    one fabric ([contention]).  The timed refsim
+    ({!Refsim.Simulate.timed}) re-derives the same channel totals by
+    walking the copy schedule, so the two agree bit-for-bit in
+    uncontended mode. *)
 
 type breakdown = {
   mac_energy : float;  (** pJ, includes per-MAC register accesses *)
@@ -26,23 +36,40 @@ type t = {
   energy_per_mac : float;
   breakdown : breakdown;
   compute_cycles : float;
-  sram_cycles : float;
-  dram_cycles : float;
+  sram_cycles : float;  (** aggregate-model SRAM port cycles (legacy view) *)
+  dram_cycles : float;  (** aggregate-model DRAM cycles (legacy view) *)
+  comm : Archspec.Link.occupancy list;
+      (** per-link occupancies in canonical order (dram-rd, dram-wr,
+          noc-rd, noc-wr, reg); empty under [Overlapped] *)
+  binding : string;
+      (** the resource determining [cycles]: ["compute"], a channel
+          name, ["bus"] (contended shared fabric), or under [Overlapped]
+          ["sram"]/["dram"]; first-wins on ties in canonical order *)
   cycles : float;
   ipc : float;  (** MACs per cycle; at most the number of PEs used *)
 }
 
 val evaluate :
+  ?comm:Archspec.Link.comm_model ->
+  ?contention:bool ->
   Archspec.Technology.t ->
   Archspec.Arch.t ->
   Workload.Nest.t ->
   Mapspace.Mapping.t ->
   (t, string) result
-(** Fails when the mapping is invalid for the nest or exceeds the
-    architecture's register / SRAM / PE capacities. *)
+(** Fails when the mapping is invalid for the nest, exceeds the
+    architecture's register / SRAM / PE capacities, or is degenerate —
+    the MAC count, cycle count or energy comes out non-finite or
+    non-positive (overflowed trip-count products), which would otherwise
+    yield NaN/inf [energy_per_mac]/[ipc] records.  [comm] defaults to
+    [Overlapped] (the historical behavior); [contention] only affects
+    [Comm_aware]. *)
 
 val energy : t -> float
 
 val ipc : t -> float
 
 val pp : Format.formatter -> t -> unit
+(** Under [Overlapped] the output is byte-identical to the
+    pre-communication-model report; [Comm_aware] results append the
+    per-link occupancy breakdown and the binding resource. *)

@@ -1,0 +1,67 @@
+type t = { bandwidth : float; burst_words : float; burst_overhead : float }
+
+type set = { dram : t; noc : t; reg : t }
+
+type comm_model = Overlapped | Comm_aware
+
+let field_ok ~non_negative v =
+  Float.is_finite v && (if non_negative then v >= 0.0 else v > 0.0)
+
+let make ~bandwidth ~burst_words ~burst_overhead =
+  if not (field_ok ~non_negative:false bandwidth) then
+    invalid_arg "Link.make: bandwidth must be finite and positive";
+  if not (field_ok ~non_negative:false burst_words) then
+    invalid_arg "Link.make: burst_words must be finite and positive";
+  if not (field_ok ~non_negative:true burst_overhead) then
+    invalid_arg "Link.make: burst_overhead must be finite and non-negative";
+  { bandwidth; burst_words; burst_overhead }
+
+let busy t ~words ~bursts = (words /. t.bandwidth) +. (bursts *. t.burst_overhead)
+
+let stream_busy t ~words = busy t ~words ~bursts:(words /. t.burst_words)
+
+let cycles_per_word t =
+  (1.0 /. t.bandwidth) +. (t.burst_overhead /. t.burst_words)
+
+let comm_model_name = function Overlapped -> "overlapped" | Comm_aware -> "comm"
+
+type occupancy = { chan : string; words : float; bursts : float; busy : float }
+
+let occupancy chan t ~words ~bursts =
+  { chan; words; bursts; busy = busy t ~words ~bursts }
+
+let stream_occupancy chan t ~words =
+  occupancy chan t ~words ~bursts:(words /. t.burst_words)
+
+(* First-wins argmax: a later candidate displaces the current one only
+   when strictly larger, so ties resolve to the earlier (canonical-order)
+   name in the analytical model and the refsim alike. *)
+let binding = function
+  | [] -> "compute"
+  | (n0, v0) :: rest ->
+    let _, name =
+      List.fold_left
+        (fun (v, n) (n', v') -> if v' > v then (v', n') else (v, n))
+        (v0, n0) rest
+    in
+    name
+
+let comm_cycles ~contention ~compute ~shared ~reg =
+  if contention then begin
+    (* Serialized shared-bus bracket: every DRAM/NoC transfer contends for
+       one fabric, in fixed left-fold order so the sum is reproducible. *)
+    let bus = List.fold_left (fun acc o -> acc +. o.busy) 0.0 shared in
+    let cycles = Float.max compute (Float.max bus reg.busy) in
+    (cycles, binding [ ("compute", compute); ("bus", bus); (reg.chan, reg.busy) ])
+  end
+  else begin
+    let occs = shared @ [ reg ] in
+    let cycles = List.fold_left (fun acc o -> Float.max acc o.busy) compute occs in
+    ( cycles,
+      binding (("compute", compute) :: List.map (fun o -> (o.chan, o.busy)) occs)
+    )
+  end
+
+let pp ppf t =
+  Format.fprintf ppf "%g w/cyc, burst %g w + %g cyc" t.bandwidth t.burst_words
+    t.burst_overhead

@@ -1,0 +1,91 @@
+(** Per-level interconnect parameters for the communication-aware delay
+    model (DESIGN §16).
+
+    A link moves data in bursts: transferring [words] words in [bursts]
+    bursts occupies the link for [words / bandwidth + bursts *
+    burst_overhead] cycles.  The per-word streaming view amortizes the
+    overhead over full bursts ([words / burst_words] of them), which
+    keeps the cost a posynomial in the traffic and is exact whenever
+    transfers are whole bursts; the analytical model and the timed
+    refsim quantize ([ceil] per copy) where exactness matters. *)
+
+type t = {
+  bandwidth : float;  (** words per cycle while streaming *)
+  burst_words : float;  (** words per burst (>= 1) *)
+  burst_overhead : float;  (** fixed cycles charged per burst (>= 0) *)
+}
+
+type set = {
+  dram : t;  (** DRAM <-> SRAM path *)
+  noc : t;  (** SRAM <-> PE-array network-on-chip *)
+  reg : t;  (** PE-array <-> register-file operand path, per PE *)
+}
+
+type comm_model =
+  | Overlapped
+      (** the original aggregate model: one SRAM and one DRAM bandwidth,
+          transfers perfectly overlapped with compute *)
+  | Comm_aware
+      (** per-level, per-direction link occupancy including burst
+          overhead *)
+
+val make : bandwidth:float -> burst_words:float -> burst_overhead:float -> t
+(** Validates every field: bandwidth and burst length finite and
+    positive, overhead finite and non-negative.  Raises
+    [Invalid_argument] otherwise. *)
+
+val busy : t -> words:float -> bursts:float -> float
+(** Link occupancy in cycles: [words / bandwidth + bursts *
+    burst_overhead].  The analytical model and the timed refsim both
+    compute occupancies through this one function so their uncontended
+    answers agree bit-for-bit. *)
+
+val stream_busy : t -> words:float -> float
+(** {!busy} with fractional bursts [words / burst_words] — the
+    streaming (non-quantized) view used for the per-MAC register
+    operand path. *)
+
+val cycles_per_word : t -> float
+(** [1/bandwidth + burst_overhead/burst_words]: the coefficient that
+    turns a traffic posynomial into a link-occupancy posynomial in the
+    DGP lowering. *)
+
+val comm_model_name : comm_model -> string
+(** ["overlapped"] / ["comm"] — the CLI spelling, also used in
+    fingerprints. *)
+
+type occupancy = {
+  chan : string;  (** channel label, e.g. ["dram-rd"] *)
+  words : float;
+  bursts : float;
+  busy : float;  (** cycles the link is occupied *)
+}
+
+val occupancy : string -> t -> words:float -> bursts:float -> occupancy
+
+val stream_occupancy : string -> t -> words:float -> occupancy
+(** {!occupancy} with fractional bursts ({!stream_busy}). *)
+
+val binding : (string * float) list -> string
+(** First-wins argmax over labeled cycle counts: ties keep the earlier
+    entry, so the canonical channel order (compute, dram-rd, dram-wr,
+    noc-rd, noc-wr, reg) resolves deterministically.  ["compute"] for
+    the empty list. *)
+
+val comm_cycles :
+  contention:bool ->
+  compute:float ->
+  shared:occupancy list ->
+  reg:occupancy ->
+  float * string
+(** Total cycles and binding resource of a communication-aware
+    evaluation.  Uncontended: every channel overlaps, so the result is
+    the max of compute and each occupancy.  Contended: the [shared]
+    channels (DRAM and NoC, in canonical order) serialize onto one
+    fabric — their busies {e sum} (left fold, fixed order) — while the
+    per-PE register path and compute still overlap; the binding then
+    names ["bus"] for the serialized fabric.  Both the analytical model
+    and the timed refsim call this one function, which is what makes
+    their answers bit-identical on identical channel totals. *)
+
+val pp : Format.formatter -> t -> unit

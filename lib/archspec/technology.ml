@@ -8,22 +8,77 @@ type t = {
   energy_dram : float;
   dram_bandwidth : float;
   sram_bandwidth : float;
+  links : Link.set;
 }
 
-let table3 =
+let make ~area_mac ~area_register ~area_sram_word ~energy_mac ~sigma_register
+    ~sigma_sram ~energy_dram ~dram_bandwidth ~sram_bandwidth ~links =
+  let check name v =
+    if not (Float.is_finite v && v > 0.0) then
+      invalid_arg
+        (Printf.sprintf "Technology.make: %s must be finite and positive (got %g)"
+           name v)
+  in
+  check "area_mac" area_mac;
+  check "area_register" area_register;
+  check "area_sram_word" area_sram_word;
+  check "energy_mac" energy_mac;
+  check "sigma_register" sigma_register;
+  check "sigma_sram" sigma_sram;
+  check "energy_dram" energy_dram;
+  check "dram_bandwidth" dram_bandwidth;
+  check "sram_bandwidth" sram_bandwidth;
   {
-    area_mac = 1239.5;
-    area_register = 19.874;
-    area_sram_word = 6.806;
-    energy_mac = 2.2;
-    sigma_register = 9.06719e-3;
-    (* Table III lists 17.88 for the SRAM constant; on the same 10^-3 pJ
-       scale as the register constant this gives ~4.6 pJ per access for the
-       Eyeriss 64K-word scratchpad, consistent with Cacti. *)
-    sigma_sram = 17.88e-3;
-    energy_dram = 128.0;
-    dram_bandwidth = 8.0;
-    sram_bandwidth = 80.0;
+    area_mac;
+    area_register;
+    area_sram_word;
+    energy_mac;
+    sigma_register;
+    sigma_sram;
+    energy_dram;
+    dram_bandwidth;
+    sram_bandwidth;
+    links;
+  }
+
+(* Eyeriss-calibrated links: the streaming bandwidths match the Fig. 3(a)
+   aggregate numbers; DRAM moves 32-word (LPDDR4 BL16 x 16-bit) bursts
+   with a fixed activation overhead, the NoC hands 16-word flits to the
+   PEs with one cycle of header/routing, and the register operand path
+   moves 4 words per MAC per cycle with no burst structure (so its
+   occupancy coincides exactly with the compute bound). *)
+let eyeriss_links =
+  {
+    Link.dram = Link.make ~bandwidth:8.0 ~burst_words:32.0 ~burst_overhead:4.0;
+    noc = Link.make ~bandwidth:80.0 ~burst_words:16.0 ~burst_overhead:1.0;
+    reg = Link.make ~bandwidth:4.0 ~burst_words:1.0 ~burst_overhead:0.0;
+  }
+
+let table3 =
+  make ~area_mac:1239.5 ~area_register:19.874 ~area_sram_word:6.806
+    ~energy_mac:2.2
+    ~sigma_register:9.06719e-3
+      (* Table III lists 17.88 for the SRAM constant; on the same 10^-3 pJ
+         scale as the register constant this gives ~4.6 pJ per access for the
+         Eyeriss 64K-word scratchpad, consistent with Cacti. *)
+    ~sigma_sram:17.88e-3 ~energy_dram:128.0 ~dram_bandwidth:8.0
+    ~sram_bandwidth:80.0 ~links:eyeriss_links
+
+(* A bandwidth-starved edge point: same Table III energies and areas, but
+   a single-channel LPDDR interface (1 word/cycle, longer activation) and
+   a narrow NoC.  Communication-limited by construction — the point where
+   the overlapped and communication-aware models visibly disagree. *)
+let edge =
+  {
+    table3 with
+    dram_bandwidth = 1.0;
+    sram_bandwidth = 16.0;
+    links =
+      {
+        Link.dram = Link.make ~bandwidth:1.0 ~burst_words:32.0 ~burst_overhead:8.0;
+        noc = Link.make ~bandwidth:16.0 ~burst_words:16.0 ~burst_overhead:2.0;
+        reg = Link.make ~bandwidth:4.0 ~burst_words:1.0 ~burst_overhead:0.0;
+      };
   }
 
 let reference_node_nm = 45.0
@@ -41,7 +96,8 @@ let scale_to_node tech ~node_nm =
     energy_mac = tech.energy_mac *. s2;
     sigma_register = tech.sigma_register *. s2;
     sigma_sram = tech.sigma_sram *. s2;
-    (* DRAM is off-chip: per-access energy and bandwidths unchanged. *)
+    (* DRAM is off-chip: per-access energy, the bandwidths and the link
+       parameters are left unchanged. *)
   }
 
 let register_access_energy_f tech r = tech.sigma_register *. r
@@ -64,6 +120,8 @@ let pp ppf t =
   Format.fprintf ppf
     "@[<v>area/MAC %g um^2, area/reg %g um^2, area/SRAM-word %g um^2@,\
      MAC %g pJ, sigma_R %g pJ/word, sigma_S %g pJ/sqrt-word, DRAM %g pJ@,\
-     bandwidth: DRAM %g w/cyc, SRAM %g w/cyc@]"
+     bandwidth: DRAM %g w/cyc, SRAM %g w/cyc@,\
+     links: dram %a; noc %a; reg %a@]"
     t.area_mac t.area_register t.area_sram_word t.energy_mac t.sigma_register
-    t.sigma_sram t.energy_dram t.dram_bandwidth t.sram_bandwidth
+    t.sigma_sram t.energy_dram t.dram_bandwidth t.sram_bandwidth Link.pp
+    t.links.Link.dram Link.pp t.links.Link.noc Link.pp t.links.Link.reg

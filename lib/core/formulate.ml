@@ -18,6 +18,7 @@ type instance = {
   analysis : Volume.t;
   objective : objective;
   arch_mode : arch_mode;
+  comm : Archspec.Link.comm_model;
   tileable : string list;
   pinned : (string * float) list;
   provenance : string;
@@ -73,7 +74,8 @@ let provenance_of objective nest (choice : Permutations.choice) pinned =
 let bind_pinned pinned p =
   List.fold_left (fun acc (x, v) -> P.bind x v acc) p pinned
 
-let build ?placement tech arch_mode objective (plan : Permutations.plan) (choice, analysis) =
+let build ?placement ?(comm = Archspec.Link.Overlapped) tech arch_mode objective
+    (plan : Permutations.plan) (choice, analysis) =
   let nest = plan.Permutations.nest in
   let pinned =
     match placement with Some p -> p | None -> plan.Permutations.pinned
@@ -276,17 +278,60 @@ let build ?placement tech arch_mode objective (plan : Permutations.plan) (choice
     (* Bandwidths are words per cycle; dividing traffic by them yields
        cycles. *)
     let per_word = U.div U.cycles U.elements in
-    [
-      ("delay-compute", D.le ctx ~name:"delay-compute" compute_delay t);
-      ( "delay-sram",
-        D.le ctx ~name:"delay-sram"
-          (D.scale per_word (1.0 /. tech.Tech.sram_bandwidth) sram_side)
-          t );
-      ( "delay-dram",
-        D.le ctx ~name:"delay-dram"
-          (D.scale per_word (1.0 /. tech.Tech.dram_bandwidth) dram_side)
-          t );
-    ]
+    match comm with
+    | Archspec.Link.Overlapped ->
+      [
+        ("delay-compute", D.le ctx ~name:"delay-compute" compute_delay t);
+        ( "delay-sram",
+          D.le ctx ~name:"delay-sram"
+            (D.scale per_word (1.0 /. tech.Tech.sram_bandwidth) sram_side)
+            t );
+        ( "delay-dram",
+          D.le ctx ~name:"delay-dram"
+            (D.scale per_word (1.0 /. tech.Tech.dram_bandwidth) dram_side)
+            t );
+      ]
+    | Archspec.Link.Comm_aware ->
+      (* Per-level, per-direction link occupancy bounds (DESIGN §16).
+         [cycles_per_word] folds the burst overhead into the coefficient
+         — [traffic/bw + (traffic/burst)*ovh] with fractional bursts —
+         so each bound stays a posynomial-vs-monomial epigraph
+         constraint.  The quantized ([ceil]) burst count is evaluation-
+         side only (Accmodel / refsim); fractional bursts lower-bound it,
+         keeping the relaxation sound.  Directions with no traffic (a
+         nest with no read-write tensor has empty write-back sums) are
+         skipped: an empty posynomial is not a DGP constraint. *)
+      let links = tech.Tech.links in
+      let chan name link traffic =
+        if Symexpr.Posynomial.terms (D.posy traffic) = [] then None
+        else
+          Some
+            ( name,
+              D.le ctx ~name
+                (D.scale per_word (Archspec.Link.cycles_per_word link) traffic)
+                t )
+      in
+      (* The register operand path moves [4 * macs] words spread over the
+         used PEs; like compute, it scales with the reciprocal spatial
+         product. *)
+      let reg_delay =
+        D.of_mono
+          (D.mono U.cycles
+             (M.scale
+                (4.0 *. macs
+                *. Archspec.Link.cycles_per_word tech.Tech.links.Archspec.Link.reg)
+                (M.pow spatial_product (-1.0))))
+      in
+      ("delay-compute", D.le ctx ~name:"delay-compute" compute_delay t)
+      :: ("delay-reg", D.le ctx ~name:"delay-reg" reg_delay t)
+      :: List.filter_map
+           (fun c -> c)
+           [
+             chan "delay-dram-rd" links.Archspec.Link.dram dram_to_sram;
+             chan "delay-dram-wr" links.Archspec.Link.dram sram_to_dram;
+             chan "delay-noc-rd" links.Archspec.Link.noc sram_to_reg;
+             chan "delay-noc-wr" links.Archspec.Link.noc reg_to_sram;
+           ]
   in
   let lower ~expected d = D.objective ctx ~expected d in
   let problem =
@@ -320,6 +365,7 @@ let build ?placement tech arch_mode objective (plan : Permutations.plan) (choice
     analysis;
     objective;
     arch_mode;
+    comm;
     tileable;
     pinned;
     provenance;

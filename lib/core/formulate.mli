@@ -38,6 +38,9 @@ type instance = {
   analysis : Volume.t;
   objective : objective;
   arch_mode : arch_mode;
+  comm : Archspec.Link.comm_model;
+      (** which delay lowering this instance was built with; the
+          integerizer evaluates candidates under the same model *)
   tileable : string list;
   pinned : (string * float) list;
   provenance : string;
@@ -61,6 +64,7 @@ val unit_of_var : string -> Analysis.Units.t option
 
 val build :
   ?placement:(string * float) list ->
+  ?comm:Archspec.Link.comm_model ->
   Archspec.Technology.t ->
   arch_mode ->
   objective ->
@@ -69,7 +73,18 @@ val build :
   instance
 (** [placement] selects one of the plan's window-dim placements
     ({!Permutations.plan.placements}); defaults to the plan's default
-    pinned assignment (window dims at the register level). *)
+    pinned assignment (window dims at the register level).
+
+    [comm] selects the delay lowering (DESIGN §16; only Delay/Edp
+    objectives carry delay constraints).  [Overlapped] (default) emits
+    the two aggregate [delay-sram]/[delay-dram] bandwidth bounds —
+    bit-identical to the historical formulation.  [Comm_aware] instead
+    bounds each link occupancy separately: [delay-reg] (per-MAC operand
+    stream over the used PEs), [delay-dram-rd]/[delay-dram-wr] and
+    [delay-noc-rd]/[delay-noc-wr], each with the burst overhead folded
+    into its coefficient ([Link.cycles_per_word], fractional bursts — a
+    sound lower bound on the evaluation side's quantized count).
+    Write-back bounds are skipped for nests without read-write traffic. *)
 
 val lint : instance -> Analysis.Diagnostic.t list
 (** The instance's unit diagnostics followed by the DGP discipline

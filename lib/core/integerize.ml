@@ -170,7 +170,7 @@ let per_dim_budget ~max_candidates ~dims =
   end
 
 let run ?(n_divisors = 2) ?(n_pow2 = 2) ?(max_candidates = 65536)
-    ?(min_pe_utilization = 0.0) tech instance solution =
+    ?(min_pe_utilization = 0.0) ?(contention = false) tech instance solution =
   match check_pinned instance with
   | Some msg -> Error msg
   | None ->
@@ -221,7 +221,12 @@ let run ?(n_divisors = 2) ?(n_pow2 = 2) ?(max_candidates = 65536)
           in
           if utilization < min_pe_utilization then ()
           else
-          match Accmodel.Evaluate.evaluate tech arch nest mapping with
+          match
+            (* Candidates are scored under the same communication model
+               the GP was lowered with (DESIGN §16). *)
+            Accmodel.Evaluate.evaluate ~comm:instance.Formulate.comm ~contention
+              tech arch nest mapping
+          with
           | Error _ -> ()
           | Ok metrics ->
             incr valid;

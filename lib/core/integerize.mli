@@ -36,6 +36,7 @@ val run :
   ?n_pow2:int ->
   ?max_candidates:int ->
   ?min_pe_utilization:float ->
+  ?contention:bool ->
   Archspec.Technology.t ->
   Formulate.instance ->
   Gp.Solver.solution ->
@@ -44,4 +45,9 @@ val run :
     the paper's [N]; [max_candidates] (default 65536) bounds the cross
     product; [min_pe_utilization] (default 0, i.e. off) rejects candidates
     whose used-PE fraction falls below the threshold — the paper's
-    "minimum threshold on resource utilization" filter. *)
+    "minimum threshold on resource utilization" filter.
+
+    Candidates are scored by {!Accmodel.Evaluate} under the instance's
+    communication model ({!Formulate.instance.comm}); [contention]
+    (default false) additionally serializes the DRAM/NoC channels in
+    that scoring (only meaningful under [Comm_aware]). *)

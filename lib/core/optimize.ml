@@ -6,6 +6,8 @@ type config = {
   gp_tol : float;
   explore_placements : bool;
   min_pe_utilization : float;
+  comm : Archspec.Link.comm_model;
+  contention : bool;
   jobs : int;
   lint : Analysis.Lint.mode;
   presolve : Analysis.Presolve.mode;
@@ -29,6 +31,8 @@ let default_config =
     gp_tol = 1e-6;
     explore_placements = true;
     min_pe_utilization = 0.0;
+    comm = Archspec.Link.Comm_aware;
+    contention = false;
     jobs = Domain.recommended_domain_count ();
     lint = Analysis.Lint.Enforce;
     presolve = Analysis.Presolve.Prune;
@@ -102,6 +106,18 @@ let m_presolve_pruned = Obs.Metrics.counter "presolve.pruned"
 let m_presolve_vars_fixed = Obs.Metrics.counter "presolve.vars_fixed"
 let m_presolve_dropped = Obs.Metrics.counter "presolve.constraints_dropped"
 
+(* Communication-model counters (DESIGN §9/§16): per-link delay
+   constraints emitted across the owned pairs (a function of the nest,
+   the objective and [config.comm]; zero under [Overlapped] or the
+   Energy objective), and shortlisted integer outcomes whose binding
+   resource is a link rather than compute.  Both fed sequentially after
+   the parallel stages. *)
+let m_comm_constraints = Obs.Metrics.counter "comm.delay_constraints"
+let m_comm_bound = Obs.Metrics.counter "comm.comm_bound_outcomes"
+
+let comm_constraint_names =
+  [ "delay-reg"; "delay-dram-rd"; "delay-dram-wr"; "delay-noc-rd"; "delay-noc-wr" ]
+
 (* Ascending on finite scores; any non-finite score (NaN, +/-inf from an
    overflowed or failed model evaluation) orders after every finite one
    and ties with other non-finite scores — under a minimization
@@ -133,7 +149,7 @@ let select_best ~score outcomes =
    journal entry goes stale and is re-solved (DESIGN §12). *)
 let config_fingerprint config =
   Printf.sprintf
-    "v2|tol=%Lx|kernel=%s|warm=%b|dedupe=%b|deadline=%s|retries=%d|inject=%s|presolve=%s"
+    "v3|tol=%Lx|kernel=%s|warm=%b|dedupe=%b|deadline=%s|retries=%d|inject=%s|presolve=%s|comm=%s"
     (Int64.bits_of_float config.gp_tol)
     (* [`Batched] returns bit-for-bit the [`Compiled] results (see
        {!Gp.Solver.solve_batched}), so their journal entries — and serve
@@ -155,6 +171,14 @@ let config_fingerprint config =
     (match config.presolve with
     | Analysis.Presolve.Prune -> "prune"
     | Analysis.Presolve.Check | Analysis.Presolve.Off -> "off")
+    (* The communication model changes the delay constraints a pair is
+       lowered with, so journaled fates of one model must never replay
+       under the other.  (For the Energy objective the GPs coincide, but
+       [problem_key] already keys that; entering the fingerprint keeps
+       the invalidation rule uniform.)  [contention] is excluded: it
+       never changes a solve, only evaluation-side scoring — it enters
+       {!request_key} instead. *)
+    (Archspec.Link.comm_model_name config.comm)
 
 (* Fed from the sequentially-accumulated totals (not from inside the
    parallel sweep), so the counter values are functions of the workload
@@ -222,7 +246,7 @@ let request_key ~config tech arch_mode objective nest =
   let buf = Buffer.create 512 in
   let add = Buffer.add_string buf in
   let fl v = add (Printf.sprintf "%Lx;" (Int64.bits_of_float v)) in
-  add "rk1|tech:";
+  add "rk2|tech:";
   fl tech.Archspec.Technology.area_mac;
   fl tech.Archspec.Technology.area_register;
   fl tech.Archspec.Technology.area_sram_word;
@@ -232,6 +256,15 @@ let request_key ~config tech arch_mode objective nest =
   fl tech.Archspec.Technology.energy_dram;
   fl tech.Archspec.Technology.dram_bandwidth;
   fl tech.Archspec.Technology.sram_bandwidth;
+  let link (l : Archspec.Link.t) =
+    fl l.Archspec.Link.bandwidth;
+    fl l.Archspec.Link.burst_words;
+    fl l.Archspec.Link.burst_overhead
+  in
+  add "links:";
+  link tech.Archspec.Technology.links.Archspec.Link.dram;
+  link tech.Archspec.Technology.links.Archspec.Link.noc;
+  link tech.Archspec.Technology.links.Archspec.Link.reg;
   (match arch_mode with
   | Formulate.Fixed a ->
     add
@@ -278,6 +311,12 @@ let request_key ~config tech arch_mode objective nest =
     | Analysis.Lint.Enforce -> "lint=enforce"
     | Analysis.Lint.Warn -> "lint=warn"
     | Analysis.Lint.Off -> "lint=off");
+  (* Unlike the journal fingerprint, contention belongs here: it changes
+     the integerizer's candidate scoring, hence the served result. *)
+  add
+    (Printf.sprintf ";comm=%s;cont=%b"
+       (Archspec.Link.comm_model_name config.comm)
+       config.contention);
   Buffer.contents buf
 
 (* Fate of one (choice, placement) pair after the guarded solve stage:
@@ -368,7 +407,8 @@ let run ?(config = default_config) tech arch_mode objective nest =
              let choice_vol, placement = pair_arr.(i) in
              let instance =
                Obs.Trace.span "formulate" (fun () ->
-                   Formulate.build ~placement tech arch_mode objective plan choice_vol)
+                   Formulate.build ~placement ~comm:config.comm tech arch_mode
+                     objective plan choice_vol)
              in
              Analysis.Lint.gate config.lint (Formulate.lint instance);
              (instance, problem_key instance.Formulate.problem, presolve_of instance))
@@ -925,6 +965,16 @@ let run ?(config = default_config) tech arch_mode objective nest =
   Obs.Metrics.add m_presolve_pruned !presolve_pruned;
   Obs.Metrics.add m_presolve_vars_fixed !presolve_fixed;
   Obs.Metrics.add m_presolve_dropped !presolve_dropped;
+  let comm_constraints = ref 0 in
+  List.iter
+    (fun i ->
+      let instance, _, _ = instance_of i in
+      List.iter
+        (fun (name, _) ->
+          if List.mem name comm_constraint_names then incr comm_constraints)
+        (Gp.Problem.ineqs instance.Formulate.problem))
+    shard_idx;
+  Obs.Metrics.add m_comm_constraints !comm_constraints;
   Obs.Metrics.add m_quarantined (List.length solve_failures);
   Obs.Metrics.add m_retries
     (List.fold_left (fun acc (_, slot) -> acc + slot.s_retries) 0 attempts);
@@ -1008,8 +1058,8 @@ let run ?(config = default_config) tech arch_mode objective nest =
                   (fun () ->
                     Integerize.run ~n_divisors:config.n_divisors
                       ~n_pow2:config.n_pow2
-                      ~min_pe_utilization:config.min_pe_utilization tech instance
-                      solution))
+                      ~min_pe_utilization:config.min_pe_utilization
+                      ~contention:config.contention tech instance solution))
           with
           | Ok (Ok o) -> (Some o, None)
           | Ok (Error msg) ->
@@ -1021,6 +1071,13 @@ let run ?(config = default_config) tech arch_mode objective nest =
     let outcomes = List.filter_map fst staged in
     let integerize_failures = List.filter_map snd staged in
     Obs.Metrics.add m_quarantined (List.length integerize_failures);
+    Obs.Metrics.add m_comm_bound
+      (List.length
+         (List.filter
+            (fun o ->
+              o.Integerize.metrics.Accmodel.Evaluate.comm <> []
+              && o.Integerize.metrics.Accmodel.Evaluate.binding <> "compute")
+            outcomes));
     List.iter
       (fun f -> Log.warn (fun m -> m "quarantined: %s" (Robust.describe f)))
       integerize_failures;

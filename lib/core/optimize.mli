@@ -21,6 +21,21 @@ type config = {
   min_pe_utilization : float;
       (** integer candidates using a smaller fraction of the PEs are
           rejected (paper Section IV's utilization filter); 0 disables *)
+  comm : Archspec.Link.comm_model;
+      (** communication model for the delay lowering and candidate
+          scoring (DESIGN §16).  [Comm_aware] (default) bounds each
+          link occupancy — DRAM/NoC read and write, register operand
+          stream — separately, with per-burst overhead folded into the
+          coefficients; [Overlapped] keeps the historical aggregate
+          [delay-sram]/[delay-dram] form, bit-identical to earlier
+          releases.  Enters both {!config_fingerprint} (the lowering
+          changes the GP) and {!request_key}. *)
+  contention : bool;
+      (** serialize the DRAM and NoC channels when scoring integer
+          candidates (default [false]): the shared-bus busy time is the
+          {e sum} of their occupancies rather than the max.  Only
+          meaningful under [Comm_aware]; never changes a GP solve, so it
+          enters {!request_key} but not {!config_fingerprint}. *)
   jobs : int;
       (** parallelism of the GP-solve sweep and integerization shortlist,
           run on the shared {!Exec.Pool} (default
@@ -149,7 +164,10 @@ val select_best : score:('a -> float) -> 'a list -> 'a option
 val config_fingerprint : config -> string
 (** The solver-behavior fingerprint entering every journal entry's
     {!Sweep.Journal.fingerprint}: tolerance, kernel, reuse policy,
-    deadline/retry/injection settings.  Changing any of them invalidates
+    deadline/retry/injection settings, and the communication model (the
+    lowering changes the GP, so journaled fates of one model never
+    replay under the other; [contention] is excluded — it never changes
+    a solve).  Changing any of them invalidates
     journaled pairs on the next resume.  [`Batched] fingerprints as
     [`Compiled]: their results are bit-identical, so journal (and serve
     store) entries are interchangeable between the two kernels.  Exposed
@@ -172,11 +190,13 @@ val request_key :
   string
 (** Canonical identity of a whole optimization request — what the serve
     layer's cross-request result store keys on (DESIGN §14).  Covers the
-    technology point (exact float bits), the arch mode {e including the
+    technology point (exact float bits, all three link parameter
+    triples included), the arch mode {e including the
     architecture name} (two arches with identical capacities formulate
     bit-identical GPs, so {!problem_key} alone collides), the objective,
     the full nest (dims, extents, tensors, projections) and every
-    enumeration/integerization/lint knob that shapes the report.  Solver
+    enumeration/integerization/lint knob that shapes the report —
+    including [comm] and [contention].  Solver
     behavior is versioned separately by {!config_fingerprint}; a result
     cache must key on both.  [jobs]/[shard]/[journal]/[resume] are
     excluded — they never change the report.  Exposed for the serve

@@ -90,7 +90,12 @@ let copy_words tensor ~origin ~ext =
       acc *. float_of_int (stop - start + 1))
     1.0 tensor.Nest.projections
 
-let fills_of_tensor mapping tensor ~level =
+(* Walk the copy schedule of one (tensor, level) pair: literally iterate
+   the enclosing loops, and at each copy point record the copy's word
+   count (interval arithmetic at the current indices) and the number of
+   whole [burst_words]-sized bursts it needs ([ceil] per copy — a copy
+   cannot share a burst with the next one). *)
+let walk mapping tensor ~level ~burst_words =
   let ext_below dim = Mapping.extent_through mapping ~level:(level - 1) dim in
   let perm = (Mapping.level mapping level).Mapping.perm in
   let hoist_index, hoist_dim =
@@ -108,10 +113,13 @@ let fills_of_tensor mapping tensor ~level =
   let origin dim = Option.value ~default:0 (Hashtbl.find_opt origins dim) in
   let copies = ref 0 in
   let words = ref 0.0 in
+  let bursts = ref 0.0 in
   let rec run = function
     | [] ->
       incr copies;
-      words := !words +. copy_words tensor ~origin ~ext:tile_ext
+      let cw = copy_words tensor ~origin ~ext:tile_ext in
+      words := !words +. cw;
+      bursts := !bursts +. Float.ceil (cw /. burst_words)
     | l :: inner ->
       let saved = origin l.loop_dim in
       for i = 0 to l.trips - 1 do
@@ -121,7 +129,11 @@ let fills_of_tensor mapping tensor ~level =
       Hashtbl.replace origins l.loop_dim saved
   in
   run loops;
-  { tensor = tensor.Nest.tensor_name; level; copies = !copies; words = !words }
+  (!copies, !words, !bursts)
+
+let fills_of_tensor mapping tensor ~level =
+  let copies, words, _ = walk mapping tensor ~level ~burst_words:1.0 in
+  { tensor = tensor.Nest.tensor_name; level; copies; words }
 
 let fills nest mapping =
   match Mapping.validate nest mapping with
@@ -138,6 +150,76 @@ let fills nest mapping =
          (fun tensor ->
            List.map (fun level -> fills_of_tensor mapping tensor ~level) boundary_levels)
          (Nest.tensors nest))
+
+(* --- timed replay (DESIGN §16) --- *)
+
+module Link = Archspec.Link
+module Tech = Archspec.Technology
+
+type timing = {
+  compute : float;
+  channels : Link.occupancy list;
+  cycles : float;
+  binding : string;
+}
+
+(* The timed replay charges each level's copies to its link, so it only
+   makes sense on the canonical 4-level hierarchy where level 1 is the
+   SRAM->register (NoC) boundary and level 3 the DRAM->SRAM boundary. *)
+let canonical_levels mapping =
+  Mapping.num_levels mapping = 4
+  && (Mapping.level mapping Level.pe_temporal_level).Mapping.kind = Level.Temporal
+  && (Mapping.level mapping Level.spatial_level).Mapping.kind = Level.Spatial
+  && (Mapping.level mapping Level.dram_temporal_level).Mapping.kind
+     = Level.Temporal
+
+let timed ?(contention = false) tech nest mapping =
+  match Mapping.validate nest mapping with
+  | Error _ as e -> e
+  | Ok () ->
+    if not (canonical_levels mapping) then
+      Error "refsim: timed replay requires the canonical 4-level mapping"
+    else begin
+      let links = tech.Tech.links in
+      (* One walk per (tensor, level); the read direction sums every
+         tensor, the write-back direction only read-write tensors —
+         tensors in nest order, matching the analytical model's
+         accumulation so the totals are the same exact integers. *)
+      let totals ~level ~burst_words =
+        List.fold_left
+          (fun (rd_w, rd_b, wr_w, wr_b) tensor ->
+            let _, w, b = walk mapping tensor ~level ~burst_words in
+            if tensor.Nest.read_write then
+              (rd_w +. w, rd_b +. b, wr_w +. w, wr_b +. b)
+            else (rd_w +. w, rd_b +. b, wr_w, wr_b))
+          (0.0, 0.0, 0.0, 0.0) (Nest.tensors nest)
+      in
+      let d_rd_w, d_rd_b, d_wr_w, d_wr_b =
+        totals ~level:Level.dram_temporal_level
+          ~burst_words:links.Link.dram.Link.burst_words
+      in
+      let n_rd_w, n_rd_b, n_wr_w, n_wr_b =
+        totals ~level:Level.pe_temporal_level
+          ~burst_words:links.Link.noc.Link.burst_words
+      in
+      let shared =
+        [
+          Link.occupancy "dram-rd" links.Link.dram ~words:d_rd_w ~bursts:d_rd_b;
+          Link.occupancy "dram-wr" links.Link.dram ~words:d_wr_w ~bursts:d_wr_b;
+          Link.occupancy "noc-rd" links.Link.noc ~words:n_rd_w ~bursts:n_rd_b;
+          Link.occupancy "noc-wr" links.Link.noc ~words:n_wr_w ~bursts:n_wr_b;
+        ]
+      in
+      let macs = Nest.ops nest in
+      let pes = Mapping.spatial_size mapping in
+      let compute = macs /. float_of_int pes in
+      let reg =
+        Link.stream_occupancy "reg" links.Link.reg
+          ~words:(4.0 *. macs /. float_of_int pes)
+      in
+      let cycles, binding = Link.comm_cycles ~contention ~compute ~shared ~reg in
+      Ok { compute; channels = shared @ [ reg ]; cycles; binding }
+    end
 
 (* --- footprint checks by enumeration --- *)
 

@@ -22,6 +22,36 @@ type fill_report = {
 val fills : Workload.Nest.t -> Mapspace.Mapping.t -> (fill_report list, string) result
 (** One report per (tensor, temporal level >= 1) pair. *)
 
+(** {2 Timed replay (DESIGN §16)} *)
+
+type timing = {
+  compute : float;  (** cycles on the used PEs, one MAC per PE per cycle *)
+  channels : Archspec.Link.occupancy list;
+      (** per-link occupancies in canonical order (dram-rd, dram-wr,
+          noc-rd, noc-wr, reg), each derived by walking the copy
+          schedule transfer by transfer with burst quantization *)
+  cycles : float;
+  binding : string;  (** the resource determining [cycles] *)
+}
+
+val timed :
+  ?contention:bool ->
+  Archspec.Technology.t ->
+  Workload.Nest.t ->
+  Mapspace.Mapping.t ->
+  (timing, string) result
+(** Replay the copy schedule against the technology's link parameters:
+    every copy of every (tensor, boundary level) pair is charged to its
+    link — level 1 to the NoC, level 3 to the DRAM interface, write-backs
+    of read-write tensors mirrored onto the write direction — quantized
+    up to whole bursts per copy, plus the per-PE register operand stream
+    and the compute bound.  [contention] serializes the DRAM/NoC
+    channels onto one fabric (their occupancies sum); the default
+    overlaps everything, in which case the result agrees bit-for-bit
+    with {!Accmodel}'s communication-aware evaluation.  Requires the
+    canonical 4-level mapping.  Like {!fills}, the cost grows with the
+    product of outer trip counts — use small nests. *)
+
 val projection_span : extents:(string -> int) -> Workload.Nest.projection -> int
 (** Footprint extent of one projection computed by enumerating every
     iterator combination inside the tile: [max index - min index + 1]. *)

@@ -287,6 +287,12 @@ let constraints_of_yaml yaml =
 (* Architecture                                                       *)
 (* ------------------------------------------------------------------ *)
 
+(* Bandwidths are words/cycle and may be fractional (e.g. a 8.5-words/cycle
+   technology point): truncating through [int_of_float] silently exported
+   8, so the round-tripped Timeloop model under-provisioned the link. *)
+let bandwidth_yaml v =
+  if Float.is_integer v then Yaml.Int (int_of_float v) else Yaml.Float v
+
 let architecture_to_yaml tech arch =
   let dram =
     Yaml.Map
@@ -298,8 +304,8 @@ let architecture_to_yaml tech arch =
             [
               ("type", Yaml.String "LPDDR4");
               ("word-bits", Yaml.Int 16);
-              ("read_bandwidth", Yaml.Int (int_of_float tech.Tech.dram_bandwidth));
-              ("write_bandwidth", Yaml.Int (int_of_float tech.Tech.dram_bandwidth));
+              ("read_bandwidth", bandwidth_yaml tech.Tech.dram_bandwidth);
+              ("write_bandwidth", bandwidth_yaml tech.Tech.dram_bandwidth);
             ] );
       ]
   in
@@ -313,8 +319,8 @@ let architecture_to_yaml tech arch =
             [
               ("depth", Yaml.Int arch.Arch.sram_words);
               ("word-bits", Yaml.Int 16);
-              ("read_bandwidth", Yaml.Int (int_of_float tech.Tech.sram_bandwidth));
-              ("write_bandwidth", Yaml.Int (int_of_float tech.Tech.sram_bandwidth));
+              ("read_bandwidth", bandwidth_yaml tech.Tech.sram_bandwidth);
+              ("write_bandwidth", bandwidth_yaml tech.Tech.sram_bandwidth);
             ] );
       ]
   in

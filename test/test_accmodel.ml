@@ -262,6 +262,44 @@ let test_capacity_rejection () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "expected PE-count rejection"
 
+(* A nest whose extent product overflows to infinity used to reach the
+   unguarded [energy / macs] and [macs / cycles] divisions and return
+   NaN/inf metrics as [Ok]; the evaluator must refuse it instead. *)
+let test_degenerate_nest_rejected () =
+  let dims =
+    List.init 18 (fun i ->
+        { Nest.dim_name = Printf.sprintf "d%d" i; extent = 1 lsl 60 })
+  in
+  let tensors =
+    [
+      {
+        Nest.tensor_name = "T";
+        projections = [ [ { Nest.stride = 1; iter = "d0" } ] ];
+        read_write = false;
+      };
+    ]
+  in
+  let nest = Nest.make ~name:"overflow" ~dims ~tensors in
+  Alcotest.(check bool) "ops overflow to inf" false (Float.is_finite (Nest.ops nest));
+  let ones = List.map (fun d -> (d.Nest.dim_name, 1)) dims in
+  let full = List.map (fun d -> (d.Nest.dim_name, d.Nest.extent)) dims in
+  let perm = Nest.dim_names nest in
+  (* All the iteration lives at the DRAM level, so every on-chip tile is
+     one word and the capacity checks pass. *)
+  let mapping =
+    Mapping.canonical ~reg:(ones, perm) ~pe:(ones, perm) ~spatial:[]
+      ~dram:(full, perm)
+  in
+  match Evaluate.evaluate tech Arch.eyeriss nest mapping with
+  | Error msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "message names degeneracy: %s" msg)
+      true
+      (String.length msg > 0)
+  | Ok m ->
+    Alcotest.failf "degenerate nest accepted: energy/mac %g, ipc %g"
+      m.Evaluate.energy_per_mac m.Evaluate.ipc
+
 let test_eyeriss_constants () =
   (* Eyeriss area under the Table III model, used as the co-design budget. *)
   let area = Arch.eyeriss_area tech in
@@ -293,6 +331,8 @@ let () =
         [
           Alcotest.test_case "energy formula" `Quick test_energy_formula;
           Alcotest.test_case "capacity rejection" `Quick test_capacity_rejection;
+          Alcotest.test_case "degenerate nest rejected" `Quick
+            test_degenerate_nest_rejected;
           Alcotest.test_case "eyeriss constants" `Quick test_eyeriss_constants;
         ] );
     ]

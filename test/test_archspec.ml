@@ -56,6 +56,81 @@ let test_validation () =
     (Invalid_argument "Arch.make: all parameters must be positive") (fun () ->
       ignore (Arch.make ~name:"bad" ~pes:0 ~registers:1 ~sram_words:1))
 
+(* Every float field of the technology point must be finite and positive:
+   a NaN or zero bandwidth would otherwise flow into the DGP as [1/bw]
+   and surface much later (or not at all) as a sign-flipped coefficient. *)
+let test_technology_validation () =
+  let ok = tech in
+  let make ?(area_mac = ok.Tech.area_mac) ?(area_register = ok.Tech.area_register)
+      ?(area_sram_word = ok.Tech.area_sram_word) ?(energy_mac = ok.Tech.energy_mac)
+      ?(sigma_register = ok.Tech.sigma_register) ?(sigma_sram = ok.Tech.sigma_sram)
+      ?(energy_dram = ok.Tech.energy_dram)
+      ?(dram_bandwidth = ok.Tech.dram_bandwidth)
+      ?(sram_bandwidth = ok.Tech.sram_bandwidth) () =
+    Tech.make ~area_mac ~area_register ~area_sram_word ~energy_mac
+      ~sigma_register ~sigma_sram ~energy_dram ~dram_bandwidth ~sram_bandwidth
+      ~links:ok.Tech.links
+  in
+  (* The all-defaults build reproduces the valid point. *)
+  Alcotest.(check bool) "valid point accepted" true (make () = ok);
+  let rejects field build =
+    List.iter
+      (fun bad ->
+        match build bad with
+        | exception Invalid_argument msg ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s=%g names the field" field bad)
+            true
+            (String.length msg >= String.length field
+            &&
+            let rec contains i =
+              i + String.length field <= String.length msg
+              && (String.sub msg i (String.length field) = field
+                 || contains (i + 1))
+            in
+            contains 0)
+        | _ -> Alcotest.failf "%s = %g accepted" field bad)
+      [ 0.0; -1.0; Float.nan; Float.infinity ]
+  in
+  rejects "area_mac" (fun v -> make ~area_mac:v ());
+  rejects "area_register" (fun v -> make ~area_register:v ());
+  rejects "area_sram_word" (fun v -> make ~area_sram_word:v ());
+  rejects "energy_mac" (fun v -> make ~energy_mac:v ());
+  rejects "sigma_register" (fun v -> make ~sigma_register:v ());
+  rejects "sigma_sram" (fun v -> make ~sigma_sram:v ());
+  rejects "energy_dram" (fun v -> make ~energy_dram:v ());
+  rejects "dram_bandwidth" (fun v -> make ~dram_bandwidth:v ());
+  rejects "sram_bandwidth" (fun v -> make ~sram_bandwidth:v ())
+
+let test_link_validation () =
+  let module Link = Archspec.Link in
+  let reject what f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s accepted" what
+  in
+  List.iter
+    (fun bad ->
+      reject "bandwidth" (fun () ->
+          Link.make ~bandwidth:bad ~burst_words:8.0 ~burst_overhead:1.0);
+      reject "burst_words" (fun () ->
+          Link.make ~bandwidth:8.0 ~burst_words:bad ~burst_overhead:1.0))
+    [ 0.0; -2.0; Float.nan; Float.infinity ];
+  List.iter
+    (fun bad ->
+      reject "burst_overhead" (fun () ->
+          Link.make ~bandwidth:8.0 ~burst_words:8.0 ~burst_overhead:bad))
+    [ -1.0; Float.nan; Float.infinity ];
+  (* Zero overhead is a legal (overhead-free) link. *)
+  let l = Link.make ~bandwidth:8.0 ~burst_words:32.0 ~burst_overhead:0.0 in
+  check_float "busy words/bw" 4.0 (Link.busy l ~words:32.0 ~bursts:7.0);
+  let l' = Link.make ~bandwidth:8.0 ~burst_words:32.0 ~burst_overhead:4.0 in
+  check_float "burst overhead counted" 8.0 (Link.busy l' ~words:32.0 ~bursts:1.0);
+  (* 4 words: 0.5 cycles on the wire + 4/32 of a burst's 4-cycle setup. *)
+  check_float "stream busy uses fractional bursts" 1.0
+    (Link.stream_busy l' ~words:4.0);
+  check_float "cycles per word" (1.0 /. 8.0 +. 4.0 /. 32.0) (Link.cycles_per_word l')
+
 let test_node_scaling () =
   (* Halving the feature size quarters on-chip area and dynamic energy. *)
   let t22 = Tech.scale_to_node tech ~node_nm:22.5 in
@@ -113,6 +188,8 @@ let () =
         [
           Alcotest.test_case "eyeriss" `Quick test_eyeriss_parameters;
           Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "technology validation" `Quick test_technology_validation;
+          Alcotest.test_case "link validation" `Quick test_link_validation;
           Alcotest.test_case "node scaling" `Quick test_node_scaling;
         ] );
       ( "properties",

@@ -181,6 +181,37 @@ let test_architecture_roundtrip () =
   Alcotest.(check int) "registers" 512 arch'.Arch.registers_per_pe;
   Alcotest.(check int) "sram" 65536 arch'.Arch.sram_words
 
+(* Regression: fractional bandwidths (e.g. a 8.5-words/cycle technology
+   point) used to be truncated through [int_of_float] on export, so the
+   emitted Timeloop arch under-provisioned the link. *)
+let test_architecture_fractional_bandwidth () =
+  let tech = { tech with Archspec.Technology.dram_bandwidth = 8.5 } in
+  let yaml = T.architecture_to_yaml tech Arch.eyeriss in
+  let text = Y.emit yaml in
+  Alcotest.(check bool)
+    "8.5 survives emission" true
+    (let rec contains i =
+       i + 3 <= String.length text
+       && (String.sub text i 3 = "8.5" || contains (i + 1))
+     in
+     contains 0);
+  Alcotest.(check bool) "no truncated 8 exported" false
+    (let rec contains i =
+       i + 18 <= String.length text
+       && (String.sub text i 18 = "read_bandwidth: 8\n" || contains (i + 1))
+     in
+     contains 0);
+  (* Integer bandwidths still export as integers. *)
+  let yaml_int = T.architecture_to_yaml Archspec.Technology.table3 Arch.eyeriss in
+  let text_int = Y.emit yaml_int in
+  Alcotest.(check bool)
+    "integer bandwidth stays integral" true
+    (let rec contains i =
+       i + 18 <= String.length text_int
+       && (String.sub text_int i 18 = "read_bandwidth: 8\n" || contains (i + 1))
+     in
+     contains 0)
+
 let test_problem_error_paths () =
   let check_error doc what =
     match Result.bind (Y.parse doc) T.problem_of_yaml with
@@ -255,6 +286,8 @@ let () =
           Alcotest.test_case "problem roundtrip" `Quick test_problem_roundtrip;
           Alcotest.test_case "mapping roundtrip" `Quick test_mapping_roundtrip;
           Alcotest.test_case "architecture roundtrip" `Quick test_architecture_roundtrip;
+          Alcotest.test_case "fractional bandwidth preserved" `Quick
+            test_architecture_fractional_bandwidth;
           Alcotest.test_case "problem error paths" `Quick test_problem_error_paths;
           Alcotest.test_case "mapping error paths" `Quick test_mapping_error_paths;
           Alcotest.test_case "write bundle" `Quick test_write_bundle;

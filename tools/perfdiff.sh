@@ -14,6 +14,10 @@
 #   *hit_rate           higher is better (serve cache)
 #   *req_per_s          higher is better (serve throughput)
 # All other keys are informational and only reported when they change.
+# The comm_* keys from the communication-limited scenario follow the
+# same suffix rules (comm_aware_wall_s is lower-better, &c.);
+# comm_lowering_overhead is a cost ratio, deliberately informational —
+# a richer lowering is allowed to cost solver time.
 #
 # A *speedup key whose current value hovers around 1.0 (within 5%) gets
 # a "~1.0 WARN" marker: the feature it measures is enabled but buying
